@@ -1,0 +1,25 @@
+# Convenience targets.  NOTE: in offline environments without the `wheel`
+# package, `pip install -e .` cannot build editable metadata; the install
+# target falls back to the legacy setuptools path automatically.
+
+.PHONY: install test bench examples selfcheck docs all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+selfcheck:
+	python -m repro selfcheck
+
+docs:
+	python tools/gen_api_docs.py
+
+all: test bench

@@ -1,0 +1,36 @@
+"""Workload builders shared by the benchmarks (not collected by pytest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semirings import REAL_FIELD
+from repro.sparsity.families import GM, US
+from repro.supported.instance import (
+    SupportedInstance,
+    make_hard_instance,
+    make_instance,
+)
+
+
+def dense_instance(n: int, seed: int = 0) -> SupportedInstance:
+    rng = np.random.default_rng(seed)
+    return make_instance((GM, GM, GM), n, n, rng, distribution="rows")
+
+
+def hard_us(n: int, d: int, seed: int = 0, density: float = 1.0) -> SupportedInstance:
+    rng = np.random.default_rng(seed)
+    return make_hard_instance(n, d, rng, density=density)
+
+
+def random_us(n: int, d: int, seed: int = 0) -> SupportedInstance:
+    rng = np.random.default_rng(seed)
+    return make_instance((US, US, US), n, d, rng)
+
+
+def measured_rounds(instance_factory, algorithm_fn) -> int:
+    """Build a fresh instance and run one algorithm; return rounds."""
+    inst = instance_factory()
+    res = algorithm_fn(inst)
+    assert inst.verify(res.x), f"{res.algorithm} produced a wrong product"
+    return res.rounds

@@ -1,0 +1,82 @@
+"""E2 — the §1.2 progress figure: exponent milestones.
+
+The figure shows how the round-complexity exponent for uniformly sparse
+MM has moved: trivial 2 -> SPAA22's 1.927/1.907 -> this work's 1.867/1.832,
+against the conditional milestones 1.333 (semirings) / 1.156 (fields).
+
+We print the analytic series for both algebras (regenerating the figure's
+y-values) and overlay the *measured* exponents of the executable endpoints
+(trivial triangle processing and the two-phase algorithm) fitted from a
+``d``-sweep on worst-case instances.
+"""
+
+from conftest import save_report
+from _workloads import hard_us
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.fitting import fit_exponent
+from repro.analysis.parameters import figure1_series
+
+DS = (4, 8, 12, 16, 27)
+N_FACTOR = 12
+
+
+def _sweep(algorithm):
+    rounds = []
+    for d in DS:
+        inst = hard_us(N_FACTOR * d, d)
+        res = algorithm(inst)
+        assert inst.verify(res.x)
+        rounds.append(res.rounds)
+    return rounds
+
+
+def bench_figure1_progress(benchmark):
+    naive_rounds = _sweep(naive_triangles)
+    two_phase_rounds = _sweep(multiply_two_phase)
+    benchmark.pedantic(
+        lambda: multiply_two_phase(hard_us(N_FACTOR * 8, 8)).rounds,
+        rounds=1,
+        iterations=1,
+    )
+
+    fit_naive = fit_exponent(DS, naive_rounds)
+    fit_tp = fit_exponent(DS, two_phase_rounds)
+    series = figure1_series()
+
+    lines = ["Figure (§1.2) — progress toward the conditional milestones",
+             "=" * 70]
+    for algebra in ("semiring", "field"):
+        s = series[algebra]
+        lines.append(f"{algebra}:")
+        for label, value in s.items():
+            bar = "#" * int(round((value - 1.0) * 40))
+            lines.append(f"  {label:<26} d^{value:.3f}  |{bar}")
+    lines.append("")
+    lines.append("measured on worst-case instances (d in %s, n = %dd):" % (DS, N_FACTOR))
+    lines.append(f"  trivial triangle processing   rounds {naive_rounds} -> fitted d^{fit_naive.exponent:.2f}")
+    lines.append(f"  two-phase (Theorem 4.2)       rounds {two_phase_rounds} -> fitted d^{fit_tp.exponent:.2f}")
+    lines.append("")
+    lines.append("(Fully clusterable instances run at the phase-1 kernel cost, below")
+    lines.append(" the worst-case d^1.867; the trivial baseline sits at its d^2.)")
+    save_report("figure1_progress", lines)
+
+    # also emit the figure as a standalone HTML/SVG artifact
+    from pathlib import Path
+
+    from repro.analysis.figure_svg import render_figure1_html
+
+    html = render_figure1_html(
+        measured={
+            "semiring": {
+                "trivial": fit_naive.exponent,
+                "two-phase": fit_tp.exponent,
+            }
+        }
+    )
+    out = Path(__file__).parent / "results" / "figure1.html"
+    out.write_text(html)
+
+    assert fit_naive.exponent > 1.85  # the trivial bound really is ~d^2
+    assert fit_tp.exponent < fit_naive.exponent - 0.3  # the improvement is real

@@ -1,0 +1,53 @@
+"""E15 (extension) — the value of the supported model, priced.
+
+The paper's algorithms live in the *supported* model; removing that
+assumption is listed as a major open challenge (§1.6).  This bench runs
+the unsupported pipeline — gossip the structure to common knowledge, then
+multiply — and compares the discovery cost against the multiplication
+itself across ``n``: discovery is ``Theta(d n)`` and utterly dominates,
+which is exactly why the supported model is the right home for these
+algorithms.
+"""
+
+import numpy as np
+
+from conftest import save_report
+
+from repro.algorithms.unsupported import multiply_unsupported
+from repro.analysis.fitting import fit_exponent
+from repro.sparsity.families import US
+from repro.supported.instance import make_instance
+
+
+def bench_unsupported(benchmark):
+    d = 3
+    ns = (32, 64, 128, 256)
+    lines = ["Support discovery vs multiplication (unsupported model)", "=" * 72]
+    lines.append(f"{'n':>6} {'discovery':>10} {'multiply':>9} {'ratio':>7}")
+    discovery = []
+    for n in ns:
+        rng = np.random.default_rng(n)
+        inst = make_instance((US, US, US), n, d, rng)
+        res = multiply_unsupported(inst)
+        assert inst.verify(res.x)
+        disc = res.details["discovery_rounds"]
+        mult = res.details["multiply_rounds"]
+        discovery.append(disc)
+        lines.append(f"{n:>6} {disc:>10} {mult:>9} {disc / max(mult, 1):>7.1f}")
+    fit = fit_exponent(ns, discovery)
+    lines.append("")
+    lines.append(f"discovery cost fit: n^{fit.exponent:.2f} (theory Theta(d n) at fixed d)")
+    lines.append("The supported model's head start — knowing the structure — is worth")
+    lines.append("a Theta(d n) gossip that dwarfs the O(d^2 + log n) multiplication.")
+    save_report("unsupported_model", lines)
+
+    benchmark.pedantic(
+        lambda: multiply_unsupported(
+            make_instance((US, US, US), 32, 3, np.random.default_rng(1))
+        ).rounds,
+        rounds=1,
+        iterations=1,
+    )
+
+    assert 0.7 < fit.exponent < 1.4  # linear-ish in n
+    assert discovery[-1] > discovery[0] * 4

@@ -1,0 +1,31 @@
+"""Shared fixtures/utilities for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Tables 1-4, the §1.2 progress figure, the §6 lower bounds) by *executing*
+the corresponding algorithms on the round-counting simulator and printing
+the paper-style rows.  Reports are printed to stdout and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+HERE = Path(__file__).parent
+sys.path.insert(0, str(HERE))
+
+RESULTS_DIR = HERE / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    return RESULTS_DIR
+
+
+def save_report(name: str, lines: list[str]) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print("\n" + text, flush=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

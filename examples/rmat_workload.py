@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""R-MAT workloads through the sparsity classification.
+
+R-MAT / Kronecker graphs are the standard skewed workload of the HPC
+graph-processing world (Graph500).  Their degree distributions are heavy-
+tailed: at average degree d they are average-sparse but nowhere near
+uniformly sparse — precisely the regime the paper's Contribution 2 is
+about.  This example classifies R-MAT matrices at several skew levels,
+reports their degeneracy/arboricity, and multiplies them with the
+algorithm the classification selects.
+
+Run:  python examples/rmat_workload.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.algorithms.api import multiply, select_algorithm
+from repro.semirings import REAL_FIELD
+from repro.sparsity.arboricity import arboricity_bounds
+from repro.sparsity.degeneracy import degeneracy
+from repro.sparsity.families import AS, classify_tightest, row_degrees
+from repro.sparsity.generators import product_support, restrict_support, rmat_pattern
+from repro.supported.instance import SupportedInstance
+
+
+def build_instance(a_hat, b_hat, d, rng):
+    x_hat = restrict_support(product_support(a_hat, b_hat), AS, d, rng)
+
+    def values(pat):
+        coo = pat.tocoo()
+        return sp.csr_matrix(
+            (REAL_FIELD.random_values(rng, coo.nnz), (coo.row, coo.col)),
+            shape=pat.shape,
+        )
+
+    return SupportedInstance(
+        semiring=REAL_FIELD,
+        a_hat=a_hat,
+        b_hat=b_hat,
+        x_hat=x_hat,
+        a=values(a_hat),
+        b=values(b_hat),
+        d=d,
+        distribution="balanced",
+    )
+
+
+def main() -> None:
+    n, d = 128, 4
+    skews = {
+        "Graph500 (0.57/0.19/0.19/0.05)": (0.57, 0.19, 0.19, 0.05),
+        "mild skew (0.45/0.22/0.22/0.11)": (0.45, 0.22, 0.22, 0.11),
+        "no skew (uniform quadrants)": (0.25, 0.25, 0.25, 0.25),
+    }
+    print(f"R-MAT matrices, n = {n}, ~{d} nonzeros/row requested")
+    print(f"{'workload':<34}{'max deg':>8}{'degen':>6}{'arbor':>8}{'class':>7}"
+          f"{'algorithm':>12}{'rounds':>8}")
+    for name, probs in skews.items():
+        rng = np.random.default_rng(42)
+        a = rmat_pattern(n, d * n, rng, probs=probs)
+        b = rmat_pattern(n, d * n, rng, probs=probs)
+        inst = build_instance(a, b, d, rng)
+        fam = classify_tightest(a, d)
+        lo, up = arboricity_bounds(a)
+        res = multiply(inst)
+        assert inst.verify(res.x)
+        print(f"{name:<34}{int(row_degrees(a).max()):>8}{degeneracy(a):>6}"
+              f"{f'[{lo},{up}]':>8}{fam.value:>7}{res.details['selected']:>12}"
+              f"{res.rounds:>8}")
+    print()
+    print("Skewed R-MAT matrices land outside US(d) (hub degrees far above d)")
+    print("but keep small degeneracy — the bounded-degeneracy regime where")
+    print("the paper's Theorem 5.11 machinery gives O(d^2 + log n) rounds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Bounded degeneracy on social-network-like graphs (paper §1.4).
+
+Power-law graphs have hubs whose degree dwarfs any uniform bound ``d`` —
+the ``US(d)`` machinery of the prior work simply does not apply to them.
+But their *degeneracy* stays tiny, and the paper's Theorem 5.11 gives
+``O(d^2 + log n)`` for ``[BD:AS:AS]``-type multiplications.
+
+This example builds Barabasi-Albert graphs, shows max degree vs
+degeneracy, splits the adjacency into the RS + CS parts that power the
+theorem, and counts triangles through the general algorithm.
+
+Run:  python examples/social_network_degeneracy.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.apps.graphs import powerlaw_adjacency
+from repro.apps.triangles import count_triangles
+from repro.sparsity.degeneracy import degeneracy, split_rs_cs
+from repro.sparsity.families import row_degrees, col_degrees
+
+
+def main() -> None:
+    print(f"{'n':>6} {'max deg':>8} {'degeneracy':>11} {'triangles':>10} "
+          f"{'rounds':>8} {'algorithm':>10}")
+    for n in (60, 120, 240):
+        adj = powerlaw_adjacency(n, 2, seed=n)
+        max_deg = int(row_degrees(adj).max())
+        degen = degeneracy(adj)
+        report = count_triangles(adj, algorithm="general")
+        ref = sum(nx.triangles(nx.from_scipy_sparse_array(adj)).values()) // 3
+        assert report.count == ref, "distributed count must match networkx"
+        print(f"{n:>6} {max_deg:>8} {degen:>11} {report.count:>10} "
+              f"{report.total_rounds:>8} {report.algorithm:>10}")
+
+    print()
+    adj = powerlaw_adjacency(200, 2, seed=0)
+    rs, cs = split_rs_cs(adj)
+    print("Theorem 5.11's decomposition on the n = 200 graph:")
+    print(f"  degeneracy:                 {degeneracy(adj)}")
+    print(f"  row-sparse part:  max row degree {int(row_degrees(rs).max())}, {rs.nnz} entries")
+    print(f"  col-sparse part:  max col degree {int(col_degrees(cs).max())}, {cs.nnz} entries")
+    print(f"  (both bounded by the degeneracy — the hub degree "
+          f"{int(row_degrees(adj).max())} never appears)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Anatomy of a Lemma 3.1 run: per-phase rounds, loads, scheduling slack.
+
+Runs the paper's core routine on a tracing network and prints where every
+round goes — the anchor routing, the broadcast trees, the host
+forwarding, the convergecast — together with the scheduler's measured
+slack against the max(s, r) lower bound.
+
+Run:  python examples/tracing_deep_dive.py
+"""
+
+import numpy as np
+
+from repro.algorithms.base import init_outputs
+from repro.algorithms.fewtriangles import default_kappa, process_few_triangles
+from repro.analysis.report import render_table
+from repro.model.tracing import TracingNetwork, phase_load_report
+from repro.supported.instance import make_hard_instance
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n, d = 192, 12
+    inst = make_hard_instance(n, d, rng, density=0.5)
+    tri = inst.triangles
+    kappa = default_kappa(len(tri), n)
+    print(f"instance: hard [US:US:US], n={n}, d={d}, density 0.5")
+    print(f"  |T| = {len(tri)}, kappa = |T|/n = {kappa}, "
+          f"max t(v) = {tri.max_node_count()}, max pair = {tri.max_pair_count()}")
+    print()
+
+    net = TracingNetwork(n)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    rounds = process_few_triangles(net, inst, tri.triangles, kappa)
+    assert inst.verify(inst.collect_result(net))
+
+    print(f"Lemma 3.1 processed everything in {rounds} rounds "
+          f"(bound O(kappa + d + log m)):")
+    print()
+    rows = [
+        (r["label"], r["rounds"], r["messages"], r["max_send"], r["max_recv"], r["worst_slack"])
+        for r in phase_load_report(net, group_depth=2)
+    ]
+    print(render_table(
+        ["phase", "rounds", "messages", "max send", "max recv", "slack"], rows
+    ))
+    print()
+    print("Reading the table: the anchor phases are bounded by d + kappa")
+    print("(each owner sends <= its elements once per run; each anchor")
+    print("computer holds <= kappa slots); the spread/collect phases are the")
+    print("log-depth trees; 'slack' is the greedy scheduler's overhead over")
+    print("the Koenig optimum max(s, r) — never 2.0 by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Distributed triangle counting in bounded-degree graphs (paper §1.5).
+
+``[US:US:US]`` matrix multiplication *is* triangle detection in a
+bounded-degree graph: each computer holds one vertex's adjacency row, and
+after the product ``A*A`` restricted to edges, common-neighbour counts sit
+exactly where triangles are.  This example sweeps the degree ``d`` and
+reports the measured rounds of the full pipeline against networkx ground
+truth.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.apps.graphs import random_regular_adjacency
+from repro.apps.triangles import count_triangles
+
+
+def nx_count(adj) -> int:
+    return sum(nx.triangles(nx.from_scipy_sparse_array(adj)).values()) // 3
+
+
+def main() -> None:
+    n = 120
+    print(f"random d-regular graphs on n = {n} vertices (one computer each)")
+    print(f"{'d':>4} {'triangles':>10} {'nx agrees':>10} {'mm rounds':>10} "
+          f"{'agg rounds':>11} {'algorithm':>12}")
+    for d in (3, 4, 6, 8, 10):
+        adj = random_regular_adjacency(n, d, seed=d)
+        report = count_triangles(adj)
+        agrees = report.count == nx_count(adj)
+        print(f"{d:>4} {report.count:>10} {str(agrees):>10} "
+              f"{report.multiply_rounds:>10} {report.aggregate_rounds:>11} "
+              f"{report.algorithm:>12}")
+    print()
+    print("The multiply cost tracks the sparse machinery (O(d^2)-ish on")
+    print("these easy random instances); the O(log n) aggregation tree is")
+    print("exactly the Omega(log n)-hard primitive of Corollary 6.8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — Low-Bandwidth Sparse Matrix Multiplication (SPAA 2024).
+
+Reproduction of Gupta, Korhonen, Studeny, Suomela, Vahidi:
+*"Brief Announcement: Low-Bandwidth Matrix Multiplication: Faster
+Algorithms and More General Forms of Sparsity"*, SPAA 2024.
+
+Public API
+----------
+* :func:`repro.multiply` — one-call distributed sparse matrix product with
+  automatic algorithm selection from the sparsity classification.
+* :mod:`repro.model` — the low-bandwidth model simulator.
+* :mod:`repro.sparsity` — sparsity families US/RS/CS/BD/AS/GM, degeneracy.
+* :mod:`repro.supported` — supported instances, triangles, clusters.
+* :mod:`repro.algorithms` — every upper-bound algorithm in the paper.
+* :mod:`repro.lowerbounds` — executable lower-bound constructions (§6).
+* :mod:`repro.analysis` — parameter schedules (Tables 3–4), the
+  classification engine (Table 2), exponent fitting.
+"""
+
+from repro.semirings import (
+    Semiring,
+    REAL_FIELD,
+    INTEGER_RING,
+    BOOLEAN,
+    GF2,
+    MIN_PLUS,
+    MAX_PLUS,
+)
+from repro.sparsity import Family, US, RS, CS, BD, AS, GM
+from repro.model import LowBandwidthNetwork
+from repro.supported import SupportedInstance, make_instance
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Semiring",
+    "REAL_FIELD",
+    "INTEGER_RING",
+    "BOOLEAN",
+    "GF2",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "Family",
+    "US",
+    "RS",
+    "CS",
+    "BD",
+    "AS",
+    "GM",
+    "LowBandwidthNetwork",
+    "SupportedInstance",
+    "make_instance",
+    "multiply",
+    "__version__",
+]
+
+
+def multiply(instance, *, algorithm="auto", strict=False, network=None):
+    """Compute the requested part of ``X = A B`` on the simulator.
+
+    Convenience wrapper around :func:`repro.algorithms.api.multiply`;
+    imported lazily to keep base import light.
+    """
+    from repro.algorithms.api import multiply as _multiply
+
+    return _multiply(instance, algorithm=algorithm, strict=strict, network=network)

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``classify``      print Table 2 (add ``--rs-cs`` for the 56-row version)
+``schedule``      print the Tables 3/4 parameter schedules
+``run``           generate one instance and multiply it, reporting rounds
+``landscape``     print the analytic Table 1 exponents
+``selfcheck``     run the strict end-to-end validation matrix
+``lowerbounds``   print the executable lower-bound certificates
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_classify(args) -> int:
+    from repro.analysis.classification import classification_table
+
+    for c in classification_table(include_rs_cs=args.rs_cs):
+        fams = ":".join(f.value for f in c.families)
+        flag = "" if c.complete else " (open)"
+        print(f"[{fams:<10}] {c.cls:<12} upper: {c.upper_bound}{flag}")
+        for lb, prov in zip(c.lower_bounds, c.lower_provenance):
+            print(f"{'':14} lower: {lb} [{prov}]")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.analysis.parameters import DENSE_EXPONENTS, derive_schedule
+
+    lam = DENSE_EXPONENTS["semiring" if args.algebra == "semiring" else "field"]
+    target = args.target if args.target else (1.867 if args.algebra == "semiring" else 1.832)
+    print(f"schedule for lambda = {lam:.6f}, target d^{target}")
+    print(f"{'step':>4} {'gamma':>9} {'eps':>9} {'alpha':>9} {'beta':>9}")
+    for s in derive_schedule(target, lam, delta=args.delta):
+        print(f"{s.step:>4} {s.gamma:>9.5f} {s.eps:>9.5f} {s.alpha:>9.5f} {s.beta:>9.5f}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.algorithms.api import ALGORITHMS, multiply
+    from repro.sparsity.families import Family
+    from repro.supported.instance import make_hard_instance, make_instance
+
+    rng = np.random.default_rng(args.seed)
+    if args.hard:
+        inst = make_hard_instance(args.n, args.d, rng, density=args.density)
+        fams = "hard [US:US:US]"
+    else:
+        families = tuple(Family(f.upper()) for f in args.families.split(":"))
+        if len(families) != 3:
+            print("families must be like US:US:AS", file=sys.stderr)
+            return 2
+        inst = make_instance(families, args.n, args.d, rng)
+        fams = f"[{args.families.upper()}]"
+    res = multiply(inst, algorithm=args.algorithm)
+    ok = inst.verify(res.x)
+    print(f"instance: {fams}, n={args.n}, d={args.d}, |T|={len(inst.triangles)}")
+    print(f"algorithm: {res.details.get('selected', res.algorithm)}")
+    print(f"rounds: {res.rounds}   messages: {res.messages}   correct: {ok}")
+    for label, (rounds, msgs) in res.phase_summary().items():
+        print(f"  {label:<20} {rounds:6d} rounds  {msgs:8d} messages")
+    return 0 if ok else 1
+
+
+def _cmd_landscape(args) -> int:
+    from repro.analysis.parameters import landscape_table
+
+    for row in landscape_table():
+        s, f = row["semiring"], row["field"]
+
+        def fmt(e):
+            parts = []
+            if e["n"]:
+                parts.append(f"n^{e['n']:.3f}")
+            if e["d"]:
+                parts.append(f"d^{e['d']:.3f}")
+            return " * ".join(parts) or "O(1)"
+
+        print(f"{row['algorithm']:<34} semiring {fmt(s):<18} field {fmt(f):<18} [{row['reference']}]")
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    from repro.validation import run_selfcheck
+
+    results = run_selfcheck(n=args.n, d=args.d, seed=args.seed)
+    failed = 0
+    for r in results:
+        mark = "ok " if r.ok else "FAIL"
+        extra = f"  {r.error}" if r.error else ""
+        print(f"[{mark}] {r.description:<28} {r.algorithm:<16} rounds={r.rounds}{extra}")
+        failed += 0 if r.ok else 1
+    print(f"{len(results) - failed}/{len(results)} cells passed")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_lowerbounds(args) -> int:
+    import math
+
+    from repro.lowerbounds import (
+        broadcast_lower_bound_rounds,
+        certify_received_values_6_23,
+        lemma_6_23_instance,
+        or_function,
+        solve_sum_via_mm,
+    )
+
+    n = args.n
+    print(f"deg(OR_{min(n, 12)}) = {or_function(min(n, 12)).degree()} "
+          f"=> Omega(log n) (Lemma 6.5)")
+    total, rounds = solve_sum_via_mm(np.arange(n, dtype=float))
+    print(f"SUM via MM on n={n}: {rounds} rounds "
+          f"(lower bound ceil(log2 n) = {math.ceil(math.log2(n))})")
+    print(f"broadcast counting bound (Lemma 6.13): ceil(log3 {n}) = "
+          f"{broadcast_lower_bound_rounds(n)}")
+    rng = np.random.default_rng(args.seed)
+    inst = lemma_6_23_instance(n, rng)
+    deficit = certify_received_values_6_23(n, inst.owner_x, inst.owner_a, inst.owner_b)
+    print(f"Theorem 6.27 certificate (RS x CS = GM): some computer must "
+          f"receive >= {int(deficit.max())} values (sqrt n = {math.isqrt(n)})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Low-bandwidth sparse matrix multiplication (SPAA 2024)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="print the Table 2 classification")
+    p.add_argument("--rs-cs", action="store_true", help="include RS/CS rows")
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("schedule", help="print the Tables 3/4 schedules")
+    p.add_argument("--algebra", choices=("semiring", "field"), default="semiring")
+    p.add_argument("--target", type=float, default=None)
+    p.add_argument("--delta", type=float, default=1e-5)
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("run", help="multiply one generated instance")
+    p.add_argument("--families", default="US:US:US", help="e.g. US:US:AS")
+    p.add_argument("--n", type=int, default=96)
+    p.add_argument("--d", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", default="auto")
+    p.add_argument("--hard", action="store_true", help="worst-case block instance")
+    p.add_argument("--density", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("landscape", help="print the Table 1 exponents")
+    p.set_defaults(fn=_cmd_landscape)
+
+    p = sub.add_parser("selfcheck", help="strict end-to-end validation matrix")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_selfcheck)
+
+    p = sub.add_parser("lowerbounds", help="print lower-bound certificates")
+    p.add_argument("--n", type=int, default=36)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_lowerbounds)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Distributed matrix-multiplication algorithms for the low-bandwidth model.
+
+Upper-bound algorithms of the paper, all executed on the round-counting
+simulator:
+
+==========================  ===============================  ==================
+algorithm                   paper reference                  rounds
+==========================  ===============================  ==================
+``gather_all``              trivial (§1.1)                   ``O(n^2)``
+``naive_triangles``         trivial (§1.2)                   ``O(d^2)`` for US
+``dense_3d``                Lemma 2.1 / [3]                  ``O(n^{4/3})``
+``dense_strassen``          Lemma 2.1 (fields; substitute)   ``O(n^{2-2/w0})``
+``sparse_3d``               [2]                              ``O(d n^{1/3})``
+``process_few_triangles``   **Lemma 3.1 (core new result)**  ``O(k + d + log m)``
+``multiply_two_phase``      **Theorem 4.2**                  ``O(d^{1.867/1.832})``
+``multiply_general``        Theorems 5.3 / 5.11              ``O(d^2 + log n)``
+==========================  ===============================  ==================
+"""
+
+from repro.algorithms.base import MultiplyResult
+from repro.algorithms.trivial import gather_all, naive_triangles
+from repro.algorithms.dense import dense_3d, dense_strassen, sparse_3d
+from repro.algorithms.fewtriangles import process_few_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.algorithms.general import (
+    multiply_general,
+    multiply_us_as_gm,
+    multiply_bd_as_as,
+)
+from repro.algorithms.api import multiply, ALGORITHMS
+
+__all__ = [
+    "MultiplyResult",
+    "gather_all",
+    "naive_triangles",
+    "dense_3d",
+    "dense_strassen",
+    "sparse_3d",
+    "process_few_triangles",
+    "multiply_two_phase",
+    "multiply_general",
+    "multiply_us_as_gm",
+    "multiply_bd_as_as",
+    "multiply",
+    "ALGORITHMS",
+]

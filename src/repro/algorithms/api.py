@@ -1,0 +1,120 @@
+"""One-call public entry point with automatic algorithm selection.
+
+``multiply(instance)`` inspects the instance's sparsity structure (free,
+support-only preprocessing) and dispatches to the cheapest applicable
+upper-bound algorithm from the paper's classification:
+
+* triangle-rich uniformly-sparse-ish instances → Theorem 4.2 two-phase;
+* anything with ``|T| = O(d^2 n)`` triangles → Lemma 3.1 directly
+  (Theorems 5.3 / 5.11 territory);
+* dense instances → the 3D algorithm, or distributed Strassen over
+  rings/fields;
+* tiny or pathological instances → trivial baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.base import MultiplyResult
+from repro.algorithms.dense import dense_3d, dense_strassen, sparse_3d
+from repro.algorithms.general import multiply_bd_as_as, multiply_general, multiply_us_as_gm
+from repro.algorithms.trivial import gather_all, naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.model.network import LowBandwidthNetwork
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["multiply", "ALGORITHMS", "select_algorithm"]
+
+def _two_phase_field(inst, **kw):
+    """Theorem 4.2 with the bilinear (Strassen) cluster kernel — the
+    paper's field variant, executable end-to-end."""
+    return multiply_two_phase(inst, kernel="strassen", **kw)
+
+
+ALGORITHMS: dict[str, Callable[..., MultiplyResult]] = {
+    "gather_all": gather_all,
+    "naive": naive_triangles,
+    "dense_3d": dense_3d,
+    "sparse_3d": sparse_3d,
+    "strassen": dense_strassen,
+    "two_phase": multiply_two_phase,
+    "two_phase_field": _two_phase_field,
+    "general": multiply_general,
+    "us_as_gm": multiply_us_as_gm,
+    "bd_as_as": multiply_bd_as_as,
+}
+
+
+def select_algorithm(inst: SupportedInstance) -> str:
+    """Pick an algorithm from the support alone (supported-model legal).
+
+    Effectively-dense instances route to the dense kernels; otherwise the
+    three indicator matrices are classified into their tightest sparsity
+    families and the Table 2 engine (:mod:`repro.analysis.classification`)
+    decides the regime: FAST brackets get the two-phase algorithm when
+    triangle-rich, GENERAL/OUTLIER brackets get the Lemma 3.1 engine, and
+    routing-/conditionally-hard brackets fall back to the dense machinery
+    the upper bounds of Table 2 cite.
+    """
+    from repro.analysis.classification import classify
+    from repro.sparsity.families import classify_tightest
+
+    n = inst.n
+    d = max(inst.d, 1)
+    nnz = inst.a_hat.nnz + inst.b_hat.nnz + inst.x_hat.nnz
+    if nnz >= 1.5 * n * n or d >= max(n // 2, 1):
+        # effectively dense (or d so large the families degenerate)
+        return "strassen" if inst.semiring.is_field else "dense_3d"
+
+    fams = tuple(
+        classify_tightest(hat, d) for hat in (inst.a_hat, inst.b_hat, inst.x_hat)
+    )
+    verdict = classify(fams)  # type: ignore[arg-type]
+    num_tri = len(inst.triangles)
+    if verdict.cls in ("ROUTING", "CONDITIONAL"):
+        # Table 2's upper bound here is the dense fallback; for genuinely
+        # sparse members the sparse 3D pattern is the cheaper realization
+        return "sparse_3d" if nnz < n * n // 2 else (
+            "strassen" if inst.semiring.is_field else "dense_3d"
+        )
+    if num_tri > 4 * d * d * n:
+        # triangle count beyond the sparse machinery's budget at this d
+        return "sparse_3d"
+    if verdict.cls == "FAST" and num_tri > n:
+        return "two_phase"
+    if num_tri > n:
+        return "two_phase"
+    return "general"
+
+
+def multiply(
+    inst: SupportedInstance,
+    *,
+    algorithm: str = "auto",
+    strict: bool = False,
+    network: LowBandwidthNetwork | None = None,
+) -> MultiplyResult:
+    """Compute the requested part of ``X = A B`` on the simulator.
+
+    Parameters
+    ----------
+    inst:
+        A :class:`SupportedInstance` (see :func:`repro.make_instance`).
+    algorithm:
+        ``"auto"`` or one of :data:`ALGORITHMS`.
+    strict:
+        Run the network in strict validation mode (slow; for tests).
+    network:
+        Optionally supply a pre-built network (must be fresh).
+    """
+    name = select_algorithm(inst) if algorithm == "auto" else algorithm
+    try:
+        fn = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    result = fn(inst, strict=strict, net=network)
+    result.details.setdefault("selected", name)
+    return result

@@ -1,0 +1,102 @@
+"""Shared machinery for the triangle-processing algorithms.
+
+Every upper-bound algorithm follows the same contract:
+
+* inputs have been dealt into a :class:`LowBandwidthNetwork` by
+  :meth:`SupportedInstance.deal_into`;
+* the algorithm moves values only through network primitives;
+* on return, for every requested entry ``(i, k)`` of ``X_hat``, the owner
+  computer ``owner_x(i, k)`` holds the final value under key
+  ``("X", i, k)``.
+
+:func:`finalize_result` packages that into a :class:`MultiplyResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.model.network import LowBandwidthNetwork
+from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "MultiplyResult",
+    "init_outputs",
+    "accumulate_at_owner",
+    "finalize_result",
+]
+
+
+@dataclass
+class MultiplyResult:
+    """Outcome of one distributed multiplication run."""
+
+    x: sp.csr_matrix
+    rounds: int
+    messages: int
+    algorithm: str
+    network: LowBandwidthNetwork
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def phase_summary(self) -> dict[str, tuple[int, int]]:
+        """Rounds/messages aggregated per algorithm phase label."""
+        return self.network.phase_summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiplyResult(algorithm={self.algorithm!r}, rounds={self.rounds}, "
+            f"messages={self.messages})"
+        )
+
+
+def init_outputs(net: LowBandwidthNetwork, inst: SupportedInstance) -> None:
+    """Each X owner initializes its requested entries to the semiring zero.
+
+    This is support-only local computation (owners know which entries they
+    must report) and costs no rounds.
+    """
+    zero = inst.semiring.scalar(inst.semiring.zero)
+    for (i, k), comp in inst.owner_x.items():
+        net.write(comp, ("X", i, k), zero)
+
+
+def accumulate_at_owner(
+    net: LowBandwidthNetwork,
+    inst: SupportedInstance,
+    comp: int,
+    i: int,
+    k: int,
+    value,
+    *,
+    provenance=(),
+) -> None:
+    """Local semiring addition of ``value`` into ``X[i, k]`` at ``comp``."""
+    sr = inst.semiring
+    key = ("X", i, k)
+    acc = sr.add(net.mem[comp].get(key, sr.scalar(sr.zero)), value)
+    net.write(comp, key, acc, provenance=provenance)
+
+
+def finalize_result(
+    net: LowBandwidthNetwork,
+    inst: SupportedInstance,
+    algorithm: str,
+    *,
+    rounds_before: int = 0,
+    details: dict[str, Any] | None = None,
+) -> MultiplyResult:
+    """Collect the computed X values from their owners into a result."""
+    x = inst.collect_result(net)
+    return MultiplyResult(
+        x=x,
+        rounds=net.rounds - rounds_before,
+        messages=net.messages_sent,
+        algorithm=algorithm,
+        network=net,
+        details=details or {},
+    )
+

@@ -1,0 +1,126 @@
+"""Theorems 5.3 and 5.11 — ``O(d^2 + log n)`` algorithms beyond uniform
+sparsity.
+
+Both results follow the same recipe: bound the total number of triangles by
+``O(d^2 n)`` (Lemmas 5.1, 5.5-5.9) and hand the whole set to Lemma 3.1 with
+``kappa = O(d^2)`` and ``m <= n``, giving ``O(d^2 + log n)`` rounds.
+
+``multiply_bd_as_as`` additionally realizes the proof structure of
+Lemma 5.9: the bounded-degeneracy operand is split into a row-sparse part
+plus a column-sparse part (``A = A1 + A2``, §1.3), and the two triangle
+subsets are processed as separate Lemma 3.1 invocations whose partial sums
+accumulate into the same outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import MultiplyResult, finalize_result, init_outputs
+from repro.algorithms.fewtriangles import default_kappa, process_few_triangles
+from repro.model.network import LowBandwidthNetwork
+from repro.sparsity.degeneracy import split_rs_cs
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["multiply_general", "multiply_us_as_gm", "multiply_bd_as_as"]
+
+
+def multiply_general(
+    inst: SupportedInstance,
+    *,
+    strict: bool = False,
+    net: LowBandwidthNetwork | None = None,
+    kappa: int | None = None,
+) -> MultiplyResult:
+    """Process all triangles with Lemma 3.1 — ``O(|T|/n + d + log m)``.
+
+    This is the workhorse behind Theorems 5.3 and 5.11: whenever the
+    sparsity combination guarantees ``|T| = O(d^2 n)``, the cost is
+    ``O(d^2 + log n)``.
+    """
+    if net is None:
+        net = LowBandwidthNetwork(inst.n, strict=strict)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+
+    tri = inst.triangles.triangles
+    if kappa is None:
+        kappa = default_kappa(tri.shape[0], inst.n)
+    process_few_triangles(net, inst, tri, kappa, label="lemma31")
+    return finalize_result(net, inst, "general", details={"kappa": kappa})
+
+
+def multiply_us_as_gm(
+    inst: SupportedInstance,
+    *,
+    strict: bool = False,
+    net: LowBandwidthNetwork | None = None,
+) -> MultiplyResult:
+    """Theorem 5.3: ``[US:AS:GM]`` in ``O(d^2 + log n)`` rounds.
+
+    Verifies the Lemma 5.1 precondition ``|T| <= d^2 n`` before running.
+    """
+    tri_count = len(inst.triangles)
+    bound = inst.d * inst.d * inst.n
+    if tri_count > bound:
+        raise ValueError(
+            f"not a [US:AS:GM] instance: {tri_count} triangles exceed d^2 n = {bound}"
+        )
+    res = multiply_general(inst, strict=strict, net=net)
+    res.algorithm = "us_as_gm"
+    return res
+
+
+def multiply_bd_as_as(
+    inst: SupportedInstance,
+    *,
+    strict: bool = False,
+    net: LowBandwidthNetwork | None = None,
+    bd_operand: str = "a",
+) -> MultiplyResult:
+    """Theorem 5.11: ``[BD:AS:AS]`` in ``O(d^2 + log n)`` rounds.
+
+    ``bd_operand`` names which matrix carries the bounded-degeneracy
+    structure (``"a"`` or ``"b"``); its pattern is split ``RS + CS`` and
+    the induced triangle subsets are processed separately, mirroring the
+    proof of Lemma 5.9 (which bounds each subset by ``d^2 n``).
+    """
+    if net is None:
+        net = LowBandwidthNetwork(inst.n, strict=strict)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+
+    if bd_operand not in ("a", "b"):
+        raise ValueError("bd_operand must be 'a' or 'b'")
+    pattern = inst.a_hat if bd_operand == "a" else inst.b_hat
+    part_rs, part_cs = split_rs_cs(pattern)
+
+    tri = inst.triangles.triangles
+    bound = 2 * inst.d * inst.d * inst.n
+    if tri.shape[0] > bound:
+        raise ValueError(
+            f"not a [BD:AS:AS] instance: {tri.shape[0]} triangles exceed 2 d^2 n = {bound}"
+        )
+
+    # split triangles by which part their BD edge falls into
+    n = inst.n
+    coo = part_rs.tocoo()
+    rs_keys = np.sort(coo.row.astype(np.int64) * n + coo.col.astype(np.int64))
+    if bd_operand == "a":
+        edge_keys = tri[:, 0] * n + tri[:, 1]
+    else:
+        edge_keys = tri[:, 1] * n + tri[:, 2]
+    pos = np.searchsorted(rs_keys, edge_keys)
+    pos_c = np.minimum(pos, max(rs_keys.size - 1, 0))
+    in_rs = (
+        (rs_keys[pos_c] == edge_keys) if rs_keys.size else np.zeros(tri.shape[0], bool)
+    )
+
+    for mask, tag in ((in_rs, "rs"), (~in_rs, "cs")):
+        subset = tri[mask]
+        if subset.shape[0] == 0:
+            continue
+        kappa = default_kappa(subset.shape[0], n)
+        process_few_triangles(net, inst, subset, kappa, label=f"lemma31-{tag}")
+
+    return finalize_result(net, inst, "bd_as_as")

@@ -1,0 +1,133 @@
+"""Trivial baseline algorithms (paper §1.1, Table 1 rows 1 and 4).
+
+``gather_all``
+    Everyone ships every input element to computer 0, which multiplies
+    locally and scatters the results — ``O(n^2)`` rounds for dense inputs
+    (receiving ``~2 n^2`` values one message at a time dominates).
+
+``naive_triangles``
+    Direct triangle processing: for each triangle ``{i, j, k}``, the owners
+    of ``A[i, j]`` and ``B[j, k]`` send their values straight to the
+    computer that owns ``X[i, k]``, which multiplies and accumulates
+    locally.  For ``[US:US:US]`` instances under the row distribution every
+    node touches at most ``d^2`` triangles and sends/receives ``O(d^2)``
+    messages, so the greedy schedule delivers in ``O(d^2)`` rounds — the
+    trivial bound the paper's Theorem 4.2 improves on.  This is also the
+    ablation baseline "Lemma 3.1 without virtual nodes and without trees":
+    its cost degrades to ``O(max_v t(v))`` on unbalanced instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    MultiplyResult,
+    accumulate_at_owner,
+    finalize_result,
+    init_outputs,
+)
+from repro.model.network import LowBandwidthNetwork
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["gather_all", "naive_triangles"]
+
+
+def gather_all(
+    inst: SupportedInstance, *, strict: bool = False, net: LowBandwidthNetwork | None = None
+) -> MultiplyResult:
+    """The O(n^2) trivial algorithm: centralize at computer 0."""
+    if net is None:
+        net = LowBandwidthNetwork(inst.n, strict=strict)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+
+    # Phase 1: gather all of A and B at computer 0.
+    src, dst, keys = [], [], []
+    for (i, j), comp in inst.owner_a.items():
+        src.append(comp)
+        dst.append(0)
+        keys.append(("A", i, j))
+    for (j, k), comp in inst.owner_b.items():
+        src.append(comp)
+        dst.append(0)
+        keys.append(("B", j, k))
+    net.exchange_arrays(np.array(src), np.array(dst), keys, label="gather")
+
+    # Phase 2: computer 0 multiplies locally (free local computation).
+    sr = inst.semiring
+    tri = inst.triangles.triangles
+    for i, j, k in tri.tolist():
+        a = net.read(0, ("A", i, j))
+        b = net.read(0, ("B", j, k))
+        prod = sr.mul(a, b)
+        key = ("Xc", i, k)
+        acc = sr.add(net.mem[0].get(key, sr.scalar(sr.zero)), prod)
+        net.write(0, key, acc, provenance=(("A", i, j), ("B", j, k)))
+
+    # Phase 3: scatter results to their owners.
+    src, dst, skeys, dkeys = [], [], [], []
+    for (i, k), comp in inst.owner_x.items():
+        if ("Xc", i, k) not in net.mem[0]:
+            continue  # no triangle: owner already initialized zero
+        if comp == 0:
+            net.write(0, ("X", i, k), net.read(0, ("Xc", i, k)), provenance=(("Xc", i, k),))
+            continue
+        src.append(0)
+        dst.append(comp)
+        skeys.append(("Xc", i, k))
+        dkeys.append(("X", i, k))
+    net.exchange_arrays(np.array(src), np.array(dst), skeys, dkeys, label="scatter")
+
+    return finalize_result(net, inst, "gather_all")
+
+
+def naive_triangles(
+    inst: SupportedInstance,
+    *,
+    strict: bool = False,
+    net: LowBandwidthNetwork | None = None,
+) -> MultiplyResult:
+    """Direct per-triangle routing — the O(d^2) trivial algorithm."""
+    if net is None:
+        net = LowBandwidthNetwork(inst.n, strict=strict)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+
+    sr = inst.semiring
+    tri = inst.triangles.triangles
+    if tri.shape[0] == 0:
+        return finalize_result(net, inst, "naive_triangles")
+
+    owner_a = inst.owner_a
+    owner_b = inst.owner_b
+    owner_x = inst.owner_x
+
+    # Route A values to the X owner of each triangle.  Deduplicate: the X
+    # owner needs each distinct A entry only once.
+    need_a: dict[tuple[int, int, int], None] = {}
+    need_b: dict[tuple[int, int, int], None] = {}
+    for i, j, k in tri.tolist():
+        xo = owner_x[(i, k)]
+        need_a.setdefault((xo, i, j))
+        need_b.setdefault((xo, j, k))
+
+    src = np.fromiter((owner_a[(i, j)] for (_, i, j) in need_a), dtype=np.int64, count=len(need_a))
+    dst = np.fromiter((xo for (xo, _, _) in need_a), dtype=np.int64, count=len(need_a))
+    keys = [("A", i, j) for (_, i, j) in need_a]
+    net.exchange_arrays(src, dst, keys, label="routeA")
+
+    src = np.fromiter((owner_b[(j, k)] for (_, j, k) in need_b), dtype=np.int64, count=len(need_b))
+    dst = np.fromiter((xo for (xo, _, _) in need_b), dtype=np.int64, count=len(need_b))
+    keys = [("B", j, k) for (_, j, k) in need_b]
+    net.exchange_arrays(src, dst, keys, label="routeB")
+
+    # Local processing at the X owners.
+    for i, j, k in tri.tolist():
+        xo = owner_x[(i, k)]
+        prod = sr.mul(net.read(xo, ("A", i, j)), net.read(xo, ("B", j, k)))
+        accumulate_at_owner(
+            net, inst, xo, i, k, prod, provenance=(("A", i, j), ("B", j, k))
+        )
+
+    return finalize_result(net, inst, "naive_triangles")

@@ -1,0 +1,94 @@
+"""What the *supported* model buys: support discovery, priced (paper §1.6).
+
+The paper's algorithms assume the sparsity structure is known in advance
+("eliminating the knowledge of the support is a major challenge for future
+work").  This module quantifies that assumption's value: in the
+*unsupported* low-bandwidth model the structure must first be gossiped
+until it is common knowledge, after which the supported machinery applies.
+
+``discover_support`` runs hypercube gossip: in stage ``t`` every computer
+exchanges everything it knows with its partner ``i XOR 2^t``; after
+``ceil(log2 n)`` stages every computer knows every structure token.  Each
+token is one ``O(log n)``-bit coordinate pair, so the final stages move
+``Theta(d n)`` words per computer — support discovery costs
+``Theta(d n)`` rounds, dwarfing the ``O(d^1.867)`` multiplication itself.
+That gap *is* the supported model's advantage, measured.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.api import multiply
+from repro.algorithms.base import MultiplyResult
+from repro.model.network import LowBandwidthNetwork, Message
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["discover_support", "multiply_unsupported"]
+
+
+def discover_support(
+    net: LowBandwidthNetwork, inst: SupportedInstance, *, label: str = "discover"
+) -> int:
+    """Gossip the instance structure to common knowledge; returns rounds.
+
+    Tokens are coordinate pairs ``(matrix, i, j)`` held as single-word
+    values; initially each owner knows the tokens of its own elements.
+    """
+    n = net.n
+    rounds_before = net.rounds
+
+    # initial token sets (support-only, but placed as *values* since in
+    # the unsupported model structure is data like any other)
+    known: list[set] = [set() for _ in range(n)]
+    for tag, owners in (("sA", inst.owner_a), ("sB", inst.owner_b), ("sX", inst.owner_x)):
+        for (i, j), comp in owners.items():
+            token = (tag, i, j)
+            known[comp].add(token)
+            net.deal(comp, token, i * inst.n + j)  # one word
+
+    # Bruck-style circular doubling (works for any n): in stage t each
+    # computer ships everything it knows to (comp + 2^t) mod n; the known
+    # arc doubles per stage.
+    stages = max(1, math.ceil(math.log2(n))) if n > 1 else 0
+    for t in range(stages):
+        bit = 1 << t
+        batch: list[Message] = []
+        new_known = [set(k) for k in known]
+        for comp in range(n):
+            partner = (comp + bit) % n
+            if partner == comp:
+                continue
+            for token in known[comp]:
+                if token not in known[partner]:
+                    batch.append(Message(comp, partner, token, token))
+                    new_known[partner].add(token)
+        known = new_known
+        if batch:
+            net.exchange(batch, label=f"{label}/stage{t}")
+
+    # every computer must now know the full structure
+    full = set().union(*known) if known else set()
+    for comp in range(n):
+        assert known[comp] == full, "gossip must reach common knowledge"
+    return net.rounds - rounds_before
+
+
+def multiply_unsupported(
+    inst: SupportedInstance, *, algorithm: str = "auto", strict: bool = False
+) -> MultiplyResult:
+    """Unsupported-model multiplication: discovery phase + supported run.
+
+    Returns the usual :class:`MultiplyResult` whose round count includes
+    discovery; ``details['discovery_rounds']`` isolates the price of not
+    knowing the support in advance.
+    """
+    net = LowBandwidthNetwork(inst.n, strict=strict)
+    discovery = discover_support(net, inst)
+    res = multiply(inst, algorithm=algorithm, network=net)
+    res.algorithm = f"unsupported+{res.algorithm}"
+    res.details["discovery_rounds"] = discovery
+    res.details["multiply_rounds"] = res.rounds - discovery
+    return res

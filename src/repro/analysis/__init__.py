@@ -1,0 +1,37 @@
+"""Analytical reproduction machinery: parameter schedules (Tables 3-4),
+the complexity classification (Table 2), and exponent fitting for the
+measured benchmark sweeps."""
+
+from repro.analysis.parameters import (
+    DENSE_EXPONENTS,
+    ScheduleStep,
+    derive_schedule,
+    fixed_point_new,
+    fixed_point_spaa22,
+    landscape_table,
+)
+from repro.analysis.classification import (
+    Classification,
+    classify,
+    classification_table,
+)
+from repro.analysis.fitting import fit_exponent
+from repro.analysis.report import phase_table, render_table
+from repro.analysis.sweeps import SweepResult, run_sweep
+
+__all__ = [
+    "DENSE_EXPONENTS",
+    "ScheduleStep",
+    "derive_schedule",
+    "fixed_point_new",
+    "fixed_point_spaa22",
+    "landscape_table",
+    "Classification",
+    "classify",
+    "classification_table",
+    "fit_exponent",
+    "phase_table",
+    "render_table",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,220 @@
+"""The complexity classification of Table 2.
+
+``classify((F_A, F_B, F_X))`` maps an (unordered) triple of sparsity
+families to its complexity class.  The paper's bracket notation
+``[X : Y : Z]`` covers all six assignments of the three families to the
+roles (A, B, X), so classification is a function of the *multiset*;
+only the RS-vs-CS distinction inside a multiset matters for one
+lower-bound case (Theorem 6.27 covers ``RS x CS = GM`` but not, e.g.,
+``RS x RS = GM``).
+
+Classes (paper §1.3):
+
+1. ``FAST``        — upper ``O(d^{1.867})``/``O(d^{1.832})`` (Thm 4.2),
+   lower ``Omega(d^lambda)`` (trivial/conditional).
+2. ``GENERAL``     — upper ``O(d^2 + log n)`` (Thms 5.3/5.11), lower
+   ``Omega(log n)`` (Thm 6.15) and ``Omega(d^lambda)``.
+3. ``ROUTING``     — lower ``Omega(sqrt(n))`` (Thm 6.27; dagger: holds for
+   certain permutations of the families).
+4. ``CONDITIONAL`` — lower ``Omega(n^{(lambda-1)/2})`` (Thm 6.19): a fast
+   algorithm would improve dense MM.
+
+``OUTLIER`` — ``[US:US:GM]``: trivial ``O(d^4)`` upper bound, no matching
+lower bound; the paper leaves its exact complexity open.  ``OPEN`` marks
+the few multisets Table 2's ranges do not cover (the paper's
+classification is "near-complete").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.parameters import (
+    DENSE_EXPONENTS,
+    fixed_point_new,
+)
+from repro.sparsity.families import AS, BD, CS, GM, RS, US, Family
+
+__all__ = ["Classification", "classify", "classification_table", "CLASS_NAMES"]
+
+CLASS_NAMES = ("FAST", "GENERAL", "ROUTING", "CONDITIONAL", "OUTLIER", "OPEN")
+
+_RANK = {US: 0, RS: 1, CS: 1, BD: 2, AS: 3, GM: 4}
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Verdict for one family triple."""
+
+    families: tuple[Family, Family, Family]
+    cls: str
+    upper_bound: str
+    upper_provenance: str
+    lower_bounds: tuple[str, ...]
+    lower_provenance: tuple[str, ...]
+    complete: bool
+    notes: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fams = ":".join(f.value for f in self.families)
+        return f"[{fams}] -> {self.cls} (upper {self.upper_bound}; lower {', '.join(self.lower_bounds)})"
+
+
+def _ranks(families) -> tuple[int, int, int]:
+    return tuple(sorted(_RANK[f] for f in families))  # type: ignore[return-value]
+
+
+def classify(families: tuple[Family, Family, Family]) -> Classification:
+    """Classify the bracket ``[F1 : F2 : F3]`` per Table 2."""
+    fams = tuple(sorted(families, key=lambda f: (_RANK[f], f.value)))
+    r1, r2, r3 = _ranks(fams)
+    lam_s = DENSE_EXPONENTS["semiring"]
+    trivial_lower = f"Omega(d^{lam_s:.3f}) [trivial/conditional]"
+
+    # ---- class 1: [US:US:US] ... [US:US:AS] ---------------------------- #
+    if r1 == 0 and r2 == 0 and r3 <= 3:
+        return Classification(
+            fams,
+            "FAST",
+            f"O(d^{fixed_point_new(lam_s):.3f}) semirings / O(d^{fixed_point_new(DENSE_EXPONENTS['field']):.3f}) fields",
+            "Theorem 4.2",
+            (trivial_lower,),
+            ("plug d = n into dense MM",),
+            complete=True,
+        )
+
+    # ---- the outlier: [US:US:GM] --------------------------------------- #
+    if r1 == 0 and r2 == 0 and r3 == 4:
+        return Classification(
+            fams,
+            "OUTLIER",
+            "O(d^4) [best n-independent]; O(d^2 + log n) via Theorem 5.3 (US is contained in AS)",
+            "trivial / Theorem 5.3",
+            (trivial_lower,),
+            ("plug d = n into dense MM",),
+            complete=False,
+            notes=(
+                "no Omega(log n) bound applies (the §6.1 constructions need a "
+                "dense row/column, impossible inside US x US), so the open "
+                "question is the n-independent complexity between d^{1.832} "
+                "and the trivial d^4 (paper §1.3, §1.6)"
+            ),
+        )
+
+    # ---- class 3: contains {US,GM,GM} or {BD,BD,GM} or {RS,CS,GM} ------ #
+    two_gm = r2 == 4  # implies r3 == 4
+    bd_bd_gm = r3 == 4 and r1 >= 2 and r2 >= 2
+    rs_cs_gm = r3 == 4 and (RS in fams and CS in fams)
+    if two_gm or bd_bd_gm or rs_cs_gm:
+        return Classification(
+            fams,
+            "ROUTING",
+            "O(n^{4/3}) semirings / O(n^{1.157}) fields (dense fallback)",
+            "[23, 3]",
+            ("Omega(sqrt(n)) [dagger: certain permutations]",),
+            ("Theorem 6.27",),
+            complete=True,
+            notes="dagger: the sqrt(n) bound is proved for specific role assignments",
+        )
+
+    # ---- class 4: all three at least AS --------------------------------- #
+    if r1 >= 3:
+        exp_s = (lam_s - 1.0) / 2.0
+        return Classification(
+            fams,
+            "CONDITIONAL",
+            "O(n^{4/3}) semirings / O(n^{1.157}) fields (dense fallback)",
+            "[23, 3]",
+            (f"Omega(n^{exp_s:.3f}) conditional on dense MM hardness",),
+            ("Theorem 6.19",),
+            complete=True,
+            notes="a fast algorithm would imply major improvements in dense MM",
+        )
+
+    # ---- class 2: [US:BD:BD]..[US:AS:GM] or [BD:BD:BD]..[BD:AS:AS] ------ #
+    in_us_range = r1 == 0 and r2 <= 3  # one US, at most one GM
+    in_bd_range = r1 <= 2 and r3 <= 3  # no GM, at least one BD-or-lower
+    if in_us_range or in_bd_range:
+        return Classification(
+            fams,
+            "GENERAL",
+            "O(d^2 + log n)",
+            "Theorems 5.3 and 5.11",
+            ("Omega(log n)", trivial_lower),
+            ("Theorem 6.15", "plug d = n into dense MM"),
+            complete=True,
+        )
+
+    # ---- uncovered corner cases (e.g. [RS:RS:GM]) ----------------------- #
+    return Classification(
+        fams,
+        "OPEN",
+        "O(n^{4/3}) semirings / O(n^{1.157}) fields (dense fallback)",
+        "[23, 3]",
+        (trivial_lower,),
+        ("plug d = n into dense MM",),
+        complete=False,
+        notes="not covered by Table 2's ranges (the classification is near-complete)",
+    )
+
+
+#: ordered operations ``A x B = X`` for which Theorem 6.27's Omega(sqrt n)
+#: bound is actually proved (§6.3); other permutations of a ROUTING
+#: bracket are explicitly "left for future work"
+_PROVEN_627 = (
+    (US, GM, GM),  # Lemma 6.21: US x GM = GM
+    (GM, US, GM),  # symmetric case noted in §6.3.1
+    (RS, CS, GM),  # Lemma 6.23: RS x CS = GM (self-dual under transpose)
+)
+
+
+def ordered_routing_bound_proven(a: Family, b: Family, x: Family) -> bool:
+    """Is the ``Omega(sqrt n)`` bound proved for the *ordered* operation
+    ``A x B = X``?
+
+    Hardness is monotone role-wise: enlarging any family keeps the
+    adversarial instance admissible, so every pattern of
+    :data:`_PROVEN_627` propagates pointwise upward in the containment
+    lattice.  E.g. ``BD x BD = GM`` is proven (``BD`` contains both
+    ``RS`` and ``CS``), while ``BD x GM = BD`` is open — exactly the
+    dagger footnote of Table 2 and the §1.6 open question.
+    """
+    return any(pa <= a and pb <= b and px <= x for (pa, pb, px) in _PROVEN_627)
+
+
+def bracket_permutations(
+    families: tuple[Family, Family, Family]
+) -> list[tuple[tuple[Family, Family, Family], bool]]:
+    """The six ordered operations of a bracket ``[X : Y : Z]`` with, for
+    each, whether the Theorem 6.27 bound is proven for that assignment of
+    roles (meaningful for ROUTING-class brackets)."""
+    import itertools
+
+    out = []
+    seen = set()
+    for perm in itertools.permutations(families):
+        if perm in seen:
+            continue
+        seen.add(perm)
+        out.append((perm, ordered_routing_bound_proven(*perm)))
+    return out
+
+
+def classification_table(include_rs_cs: bool = False) -> list[Classification]:
+    """Every unordered family triple, classified (Table 2 regenerated).
+
+    With ``include_rs_cs=False`` (the paper's presentation) the table runs
+    over {US, BD, AS, GM}; enabling it adds RS/CS-bearing triples.
+    """
+    base = [US, BD, AS, GM] if not include_rs_cs else [US, RS, CS, BD, AS, GM]
+    out = []
+    seen = set()
+    for a in base:
+        for b in base:
+            for c in base:
+                key = tuple(sorted((a.value, b.value, c.value)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(classify((a, b, c)))
+    return out

@@ -1,0 +1,160 @@
+"""Render the §1.2 progress figure as a standalone HTML/SVG artifact.
+
+Form: a two-row dot plot — one row per algebra (semirings, fields), the
+x-axis is the round-complexity exponent of ``[US:US:US]`` multiplication,
+and the four milestone types (trivial, SPAA 2022, this work, conditional
+milestone) are categorical marks in fixed slot order with direct labels.
+A light track per row spans the open range between the conditional
+milestone and the current best, showing what remains.
+
+Design notes (per the data-viz method): categorical hues are assigned in
+fixed slot order and validated (worst adjacent CVD ΔE 24.2 on the light
+surface); the two low-contrast slots carry the mandatory direct labels;
+all text wears text tokens, never series color; marks are ≥ 10 px with a
+2 px surface ring; native ``<title>`` tooltips provide the hover layer;
+dark mode is a selected palette, not an automatic flip.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import figure1_series
+
+__all__ = ["render_figure1_html"]
+
+# categorical slots 1-4 of the validated reference palette (light, dark)
+_SLOTS = [
+    ("trivial", "#2a78d6", "#3987e5"),
+    ("SPAA 2022", "#1baf7a", "#199e70"),
+    ("this work", "#eda100", "#c98500"),
+    ("conditional milestone", "#008300", "#008300"),
+]
+
+_KEY_ORDER = ["trivial", "spaa22", "this work", "milestone (conditional)"]
+
+
+def _x(value: float, x0: float, x1: float, lo: float, hi: float) -> float:
+    return x0 + (value - lo) / (hi - lo) * (x1 - x0)
+
+
+def render_figure1_html(*, measured: dict | None = None) -> str:
+    """Build the figure as a self-contained HTML document string.
+
+    ``measured`` may map algebra name to ``{label: exponent}`` overlays
+    (e.g. fitted exponents from the benchmark sweep), drawn as open
+    diamonds with their own labels.
+    """
+    series = figure1_series()
+    lo, hi = 1.05, 2.1
+    width, height = 760, 330
+    x0, x1 = 90, width - 40
+    rows = {"semiring": 120, "field": 215}
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="Progress of the round-complexity exponent for uniformly sparse matrix multiplication">'
+    )
+    # title + subtitle in text tokens
+    parts.append(
+        f'<text x="{x0}" y="34" class="t-primary" font-size="16" font-weight="600">'
+        "Progress toward the conditional milestones (paper §1.2)</text>"
+    )
+    parts.append(
+        f'<text x="{x0}" y="54" class="t-secondary" font-size="12">'
+        "round-complexity exponent e in O(d^e) for [US:US:US] multiplication — lower is better</text>"
+    )
+
+    # recessive x grid + axis labels
+    tick = 1.1
+    while tick <= 2.05:
+        px = _x(tick, x0, x1, lo, hi)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="80" x2="{px:.1f}" y2="{height - 70}" class="grid"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{height - 52}" text-anchor="middle" class="t-muted" font-size="11">{tick:.1f}</text>'
+        )
+        tick = round(tick + 0.2, 10)
+
+    for algebra, y in rows.items():
+        data = series[algebra]
+        values = [data[k] for k in _KEY_ORDER]
+        # row label
+        parts.append(
+            f'<text x="{x0 - 10}" y="{y + 4}" text-anchor="end" class="t-primary" font-size="13">{algebra}s</text>'
+        )
+        # open-range track: milestone .. current best
+        best = data["this work"]
+        milestone = data["milestone (conditional)"]
+        parts.append(
+            f'<line x1="{_x(milestone, x0, x1, lo, hi):.1f}" y1="{y}" '
+            f'x2="{_x(best, x0, x1, lo, hi):.1f}" y2="{y}" class="track"/>'
+        )
+        # marks in fixed slot order, 2px surface ring, native tooltip
+        for (label, light, dark), key in zip(_SLOTS, _KEY_ORDER):
+            v = data[key]
+            px = _x(v, x0, x1, lo, hi)
+            parts.append(
+                f'<circle cx="{px:.1f}" cy="{y}" r="7" class="mark s-{label.split()[0].lower()}">'
+                f"<title>{algebra}s — {label}: d^{v:.3f}</title></circle>"
+            )
+            # direct label (text tokens, not series color)
+            above = key in ("trivial", "this work")
+            ly = y - 14 if above else y + 24
+            parts.append(
+                f'<text x="{px:.1f}" y="{ly}" text-anchor="middle" class="t-secondary" font-size="11">{v:.3f}</text>'
+            )
+        if measured and algebra in measured:
+            for mlabel, v in measured[algebra].items():
+                px = _x(v, x0, x1, lo, hi)
+                parts.append(
+                    f'<path d="M {px:.1f} {y - 7} L {px + 7:.1f} {y} L {px:.1f} {y + 7} L {px - 7:.1f} {y} Z" '
+                    f'class="measured"><title>{algebra}s — measured {mlabel}: d^{v:.2f}</title></path>'
+                )
+
+    # legend (categorical, fixed order) + measured marker
+    ly = height - 22
+    lx = x0
+    for label, light, dark in _SLOTS:
+        parts.append(
+            f'<circle cx="{lx}" cy="{ly - 4}" r="5" class="mark s-{label.split()[0].lower()}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 10}" y="{ly}" class="t-secondary" font-size="11">{label}</text>'
+        )
+        lx += 10 + 8 * len(label) + 28
+    if measured:
+        parts.append(
+            f'<path d="M {lx} {ly - 10} L {lx + 6} {ly - 4} L {lx} {ly + 2} L {lx - 6} {ly - 4} Z" class="measured"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 10}" y="{ly}" class="t-secondary" font-size="11">measured (this repo)</text>'
+        )
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+
+    style = """
+  .viz-root { --surface-1:#fcfcfb; --text-primary:#0b0b0b; --text-secondary:#52514e;
+    --text-muted:#8a8880; --grid:#e8e7e2; --track:#e8e7e2;
+    --s-trivial:#2a78d6; --s-spaa:#1baf7a; --s-this:#eda100; --s-conditional:#008300;
+    background: var(--surface-1); font-family: system-ui, sans-serif; padding: 8px; }
+  @media (prefers-color-scheme: dark) {
+    .viz-root { --surface-1:#1a1a19; --text-primary:#ffffff; --text-secondary:#c3c2b7;
+      --text-muted:#8a8880; --grid:#33322f; --track:#33322f;
+      --s-trivial:#3987e5; --s-spaa:#199e70; --s-this:#c98500; --s-conditional:#008300; } }
+  .t-primary { fill: var(--text-primary); }
+  .t-secondary { fill: var(--text-secondary); }
+  .t-muted { fill: var(--text-muted); }
+  .grid { stroke: var(--grid); stroke-width: 1; }
+  .track { stroke: var(--track); stroke-width: 4; stroke-linecap: round; }
+  .mark { stroke: var(--surface-1); stroke-width: 2; }
+  .s-trivial { fill: var(--s-trivial); } .s-spaa { fill: var(--s-spaa); }
+  .s-this { fill: var(--s-this); } .s-conditional { fill: var(--s-conditional); }
+  .measured { fill: none; stroke: var(--text-secondary); stroke-width: 2; }
+"""
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>Figure (§1.2) — exponent progress</title>"
+        f"<style>{style}</style></head>"
+        f"<body class='viz-root'>{svg}</body></html>\n"
+    )

@@ -1,0 +1,48 @@
+"""Log-log exponent fitting for measured round counts.
+
+Benchmarks sweep an instance parameter (``d`` or ``n``), measure rounds by
+execution, and fit ``rounds ~ C * x^e`` by least squares in log space.
+The fitted ``e`` is what EXPERIMENTS.md compares against the paper's
+exponents (shape, not constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExponentFit", "fit_exponent"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """Result of a power-law fit ``y ~ coeff * x^exponent``."""
+
+    exponent: float
+    coeff: float
+    r_squared: float
+
+    def predict(self, x):
+        """Evaluate the fitted power law at ``x``."""
+        return self.coeff * np.asarray(x, dtype=float) ** self.exponent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"~ {self.coeff:.2f} * x^{self.exponent:.3f} (R^2 = {self.r_squared:.3f})"
+
+
+def fit_exponent(xs, ys) -> ExponentFit:
+    """Least-squares power-law fit in log-log space."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValueError("need at least two (x, y) points")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("power-law fit needs positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ExponentFit(float(slope), float(np.exp(intercept)), r2)

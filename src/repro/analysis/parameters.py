@@ -1,0 +1,221 @@
+"""Parameter schedules and exponent arithmetic (paper §4, Tables 3-4).
+
+The two-phase algorithm's running time is governed by a small recurrence.
+One phase-1 step at residual bound ``|T| <= d^{2-gamma} n`` that aims to
+leave ``|T'| <= d^{2-eps} n`` costs ``O(d^alpha)`` rounds with
+
+    alpha = 5 eps - gamma + 4 delta + lambda          (Lemma 4.11 + 2.1)
+
+where ``lambda`` is the dense-kernel exponent (``4/3`` for semirings,
+``2 - 2/omega`` for fields).  Phase 2 then costs ``d^{phi(beta)}`` on the
+final residual ``beta = 2 - eps``:
+
+* this paper (Lemma 3.1):      ``phi(beta) = beta``
+* prior work [13, Lemma 5.1]:  ``phi(beta) = 1 + beta/2``  (the eps/2 loss)
+
+Balancing all step costs against the phase-2 cost gives closed-form fixed
+points::
+
+    new:     c* = (8 + lambda) / 5      -> 1.8667 / 1.8313
+    SPAA22:  c* = (16 + lambda) / 9     -> 1.9259 / 1.9063
+
+which match the paper's headline exponents 1.867/1.832 (and the prior
+work's 1.927/1.907 up to their rounding).  :func:`derive_schedule` runs the
+actual step recurrence with ``delta = 1e-5`` and regenerates Tables 3-4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DENSE_EXPONENTS",
+    "ScheduleStep",
+    "derive_schedule",
+    "fixed_point_new",
+    "fixed_point_spaa22",
+    "phase2_new",
+    "phase2_spaa22",
+    "landscape_table",
+    "figure1_series",
+    "OMEGA_PAPER",
+    "OMEGA_STRASSEN",
+]
+
+#: omega < 2.371552 from Vassilevska Williams et al. [23], used by the paper
+OMEGA_PAPER = 2.371552
+#: the strongest *implementable* bilinear exponent (Strassen)
+OMEGA_STRASSEN = math.log2(7)
+
+#: lambda = exponent of dense MM in the low-bandwidth model
+DENSE_EXPONENTS = {
+    "semiring": 4.0 / 3.0,
+    "field": 2.0 - 2.0 / OMEGA_PAPER,  # 1.156671...
+    "field-strassen": 2.0 - 2.0 / OMEGA_STRASSEN,  # 1.287...
+}
+
+
+def phase2_new(beta: float) -> float:
+    """Phase-2 exponent of this paper: Lemma 3.1 processes d^beta * n
+    triangles in O(d^beta) rounds."""
+    return beta
+
+
+def phase2_spaa22(beta: float) -> float:
+    """Phase-2 exponent of the prior work: O(d^{1 + beta/2}) — the eps/2
+    loss that Lemma 3.1 removes."""
+    return 1.0 + beta / 2.0
+
+
+def fixed_point_new(lam: float) -> float:
+    """Balanced exponent with the new phase 2: (8 + lambda)/5."""
+    return (8.0 + lam) / 5.0
+
+
+def fixed_point_spaa22(lam: float) -> float:
+    """Balanced exponent with the prior phase 2: (16 + lambda)/9."""
+    return (16.0 + lam) / 9.0
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One row of Table 3/4."""
+
+    step: int
+    delta: float
+    gamma: float
+    eps: float
+    alpha: float
+    beta: float
+
+
+def derive_schedule(
+    target: float,
+    lam: float,
+    *,
+    delta: float = 1e-5,
+    max_steps: int = 32,
+) -> list[ScheduleStep]:
+    """Run the paper's step recurrence until the residual exponent drops
+    to ``target`` (Lemma 4.13 / proof of Theorem 4.2).
+
+    Each step chooses the largest ``eps`` whose phase-1 cost stays within
+    the budget: ``eps = (target + gamma - 4 delta - lambda) / 5``; the
+    residual bound becomes ``beta = 2 - eps`` and the next step starts at
+    ``gamma' = 2 - beta = eps``.
+    """
+    if target <= lam:
+        raise ValueError("target below the dense-kernel exponent is infeasible")
+    steps: list[ScheduleStep] = []
+    gamma = 0.0
+    for s in range(1, max_steps + 1):
+        eps = (target + gamma - 4.0 * delta - lam) / 5.0
+        if eps <= gamma:
+            break  # no progress possible within budget
+        alpha = 5.0 * eps - gamma + 4.0 * delta + lam
+        beta = 2.0 - eps
+        steps.append(ScheduleStep(s, delta, gamma, eps, alpha, beta))
+        if beta <= target:
+            break
+        gamma = eps
+    return steps
+
+
+def minimal_balanced_target(
+    lam: float, phase2, *, tol: float = 1e-9
+) -> float:
+    """Binary-search the least overall exponent ``c`` such that the step
+    recurrence converges with ``phase2(limit residual) <= c``.
+
+    With constant step cost ``c``, epsilons satisfy
+    ``5 eps_t = c + eps_{t-1} - lambda`` whose limit is
+    ``eps_inf = (c - lambda)/4``; the requirement is
+    ``phase2(2 - eps_inf) <= c``.  Cross-checks the closed forms of
+    :func:`fixed_point_new` / :func:`fixed_point_spaa22`.
+    """
+    lo, hi = lam, 2.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        eps_inf = (mid - lam) / 4.0
+        if phase2(2.0 - eps_inf) <= mid:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tol:
+            break
+    return hi
+
+
+def landscape_table() -> list[dict]:
+    """Table 1 — the algorithm landscape, as exponent metadata.
+
+    Round complexities are written ``n^a * d^b`` (a or b zero when the
+    bound depends on one parameter only).
+    """
+    lam_s = DENSE_EXPONENTS["semiring"]
+    lam_f = DENSE_EXPONENTS["field"]
+    return [
+        {
+            "algorithm": "trivial gather-all",
+            "semiring": {"n": 2.0, "d": 0.0},
+            "field": {"n": 2.0, "d": 0.0},
+            "reference": "trivial",
+            "implemented": "gather_all",
+        },
+        {
+            "algorithm": "dense 3D / fast MM",
+            "semiring": {"n": lam_s, "d": 0.0},
+            "field": {"n": lam_f, "d": 0.0},
+            "reference": "[23, 3]",
+            "implemented": "dense_3d / dense_strassen (omega_0 = log2 7)",
+        },
+        {
+            "algorithm": "sparse 3D",
+            "semiring": {"n": 1.0 / 3.0, "d": 1.0},
+            "field": {"n": 1.0 / 3.0, "d": 1.0},
+            "reference": "[2]",
+            "implemented": "sparse_3d",
+        },
+        {
+            "algorithm": "trivial triangle processing",
+            "semiring": {"n": 0.0, "d": 2.0},
+            "field": {"n": 0.0, "d": 2.0},
+            "reference": "trivial, [13]",
+            "implemented": "naive_triangles",
+        },
+        {
+            "algorithm": "two-phase, prior second phase",
+            "semiring": {"n": 0.0, "d": fixed_point_spaa22(lam_s)},
+            "field": {"n": 0.0, "d": fixed_point_spaa22(lam_f)},
+            "reference": "[13] (1.927 / 1.907)",
+            "implemented": "analytic (schedule optimizer); mechanism ablated via use_trees/use_virtual_nodes",
+        },
+        {
+            "algorithm": "two-phase, this work",
+            "semiring": {"n": 0.0, "d": fixed_point_new(lam_s)},
+            "field": {"n": 0.0, "d": fixed_point_new(lam_f)},
+            "reference": "Theorem 4.2 (1.867 / 1.832)",
+            "implemented": "multiply_two_phase",
+        },
+    ]
+
+
+def figure1_series() -> dict:
+    """The §1.2 progress figure: exponent milestones for both algebras."""
+    lam_s = DENSE_EXPONENTS["semiring"]
+    lam_f = DENSE_EXPONENTS["field"]
+    return {
+        "semiring": {
+            "trivial": 2.0,
+            "spaa22": fixed_point_spaa22(lam_s),
+            "this work": fixed_point_new(lam_s),
+            "milestone (conditional)": lam_s,
+        },
+        "field": {
+            "trivial": 2.0,
+            "spaa22": fixed_point_spaa22(lam_f),
+            "this work": fixed_point_new(lam_f),
+            "milestone (conditional)": lam_f,
+        },
+    }

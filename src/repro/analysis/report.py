@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment reports.
+
+One formatting path for the CLI, the examples and the benchmark reports:
+aligned columns, optional markdown flavour, and a phase-cost table built
+from a network's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "phase_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render rows as an aligned text (or markdown) table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    if markdown:
+        out = ["| " + " | ".join(h.ljust(w) for h, w in zip(cells[0], widths)) + " |"]
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in cells[1:]:
+            out.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+        return "\n".join(out)
+    out = ["  ".join(h.ljust(w) for h, w in zip(cells[0], widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def phase_table(summary: Mapping[str, tuple[int, int]], *, markdown: bool = False) -> str:
+    """Format a ``network.phase_summary()`` mapping as a table sorted by
+    round cost."""
+    rows = sorted(
+        ((label, rounds, msgs) for label, (rounds, msgs) in summary.items()),
+        key=lambda r: -r[1],
+    )
+    return render_table(["phase", "rounds", "messages"], rows, markdown=markdown)

@@ -1,0 +1,106 @@
+"""Parameter-sweep experiment runner.
+
+The benchmark harness repeats one pattern everywhere: build instances
+along a parameter axis, run algorithms, collect round counts, fit the
+exponent, render a table.  :func:`run_sweep` packages that pattern as a
+library feature so downstream users can reproduce the methodology on
+their own instance families in a few lines::
+
+    sweep = run_sweep(
+        axis=("d", [8, 27, 64]),
+        instance_factory=lambda d: make_hard_instance(16 * d, d, rng),
+        algorithms={"two_phase": multiply_two_phase, "naive": naive_triangles},
+    )
+    print(sweep.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.fitting import ExponentFit, fit_exponent
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Measured rounds per algorithm along one parameter axis."""
+
+    axis_name: str
+    axis_values: list
+    rounds: dict[str, list[int]]
+    messages: dict[str, list[int]]
+    verified: bool
+
+    def fit(self, algorithm: str) -> ExponentFit:
+        """Power-law fit of one algorithm's rounds against the axis."""
+        return fit_exponent(self.axis_values, self.rounds[algorithm])
+
+    def fits(self) -> dict[str, ExponentFit]:
+        """Fits for every algorithm in the sweep."""
+        return {name: self.fit(name) for name in self.rounds}
+
+    def render(self) -> str:
+        """A printable table: one row per axis value, one column per
+        algorithm, with fitted exponents in the footer."""
+        names = sorted(self.rounds)
+        width = max(10, max(len(n) for n in names) + 2)
+        lines = [
+            f"{self.axis_name:>8} " + "".join(f"{n:>{width}}" for n in names)
+        ]
+        for idx, v in enumerate(self.axis_values):
+            lines.append(
+                f"{v:>8} "
+                + "".join(f"{self.rounds[n][idx]:>{width}}" for n in names)
+            )
+        fits = self.fits()
+        lines.append(
+            f"{'fit':>8} "
+            + "".join(
+                f"{self.axis_name}^{fits[n].exponent:.2f}".rjust(width) for n in names
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    *,
+    axis: tuple[str, Sequence],
+    instance_factory: Callable,
+    algorithms: Mapping[str, Callable],
+    verify: bool = True,
+) -> SweepResult:
+    """Run every algorithm on a fresh instance per axis value.
+
+    ``instance_factory(value)`` must build an independent instance each
+    call (algorithms mutate network state, never the instance, but each
+    algorithm gets its own instance to keep ownership caches clean).
+    ``algorithms`` maps display names to callables with the standard
+    ``(instance, **kwargs) -> MultiplyResult`` signature.
+    """
+    name, values = axis
+    rounds: dict[str, list[int]] = {a: [] for a in algorithms}
+    messages: dict[str, list[int]] = {a: [] for a in algorithms}
+    all_ok = True
+    for value in values:
+        for algo_name, algo in algorithms.items():
+            inst = instance_factory(value)
+            res = algo(inst)
+            if verify and not inst.verify(res.x):
+                all_ok = False
+                raise AssertionError(
+                    f"{algo_name} produced a wrong product at {name}={value}"
+                )
+            rounds[algo_name].append(res.rounds)
+            messages[algo_name].append(res.messages)
+    return SweepResult(
+        axis_name=name,
+        axis_values=list(values),
+        rounds=rounds,
+        messages=messages,
+        verified=all_ok,
+    )

@@ -1,0 +1,34 @@
+"""Applications of low-bandwidth matrix multiplication.
+
+The paper's headline application (§1.5) is distributed triangle
+detection: ``[US:US:US]`` multiplication is triangle detection in a
+bounded-degree graph, ``[AS:AS:AS]`` in a sparse graph, and bounded
+degeneracy captures e.g. social-network-like graphs with heavy hubs.
+Semiring generality additionally gives distance products (min-plus) for
+shortest-path computations.
+"""
+
+from repro.apps.triangles import (
+    count_triangles,
+    detect_triangles,
+    list_triangles,
+    triangle_instance,
+)
+from repro.apps.graphs import (
+    adjacency_pattern,
+    random_regular_adjacency,
+    powerlaw_adjacency,
+)
+from repro.apps.shortest_paths import apsp, two_hop_distances
+
+__all__ = [
+    "count_triangles",
+    "detect_triangles",
+    "triangle_instance",
+    "adjacency_pattern",
+    "random_regular_adjacency",
+    "powerlaw_adjacency",
+    "two_hop_distances",
+    "apsp",
+    "list_triangles",
+]

@@ -1,0 +1,60 @@
+"""Graph workload generators for the applications (networkx-backed)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "adjacency_pattern",
+    "random_regular_adjacency",
+    "powerlaw_adjacency",
+    "planted_triangles_adjacency",
+]
+
+
+def adjacency_pattern(graph: nx.Graph) -> sp.csr_matrix:
+    """Boolean CSR adjacency matrix of an undirected graph."""
+    n = graph.number_of_nodes()
+    mapping = {v: i for i, v in enumerate(sorted(graph.nodes()))}
+    rows, cols = [], []
+    for u, v in graph.edges():
+        iu, iv = mapping[u], mapping[v]
+        rows += [iu, iv]
+        cols += [iv, iu]
+    if not rows:
+        return sp.csr_matrix((n, n), dtype=bool)
+    return sp.csr_matrix(
+        (np.ones(len(rows), dtype=bool), (rows, cols)), shape=(n, n)
+    )
+
+
+def random_regular_adjacency(n: int, d: int, seed: int = 0) -> sp.csr_matrix:
+    """A random ``d``-regular graph — the bounded-degree / US(d) workload
+    of the paper's triangle-detection application."""
+    graph = nx.random_regular_graph(d, n, seed=seed)
+    return adjacency_pattern(graph)
+
+
+def powerlaw_adjacency(n: int, m: int, seed: int = 0) -> sp.csr_matrix:
+    """A Barabasi-Albert preferential-attachment graph: heavy hubs, low
+    degeneracy (exactly ``m``) — the regime where the paper's BD class
+    matters and US fails."""
+    graph = nx.barabasi_albert_graph(n, m, seed=seed)
+    return adjacency_pattern(graph)
+
+
+def planted_triangles_adjacency(
+    n: int, d: int, num_triangles: int, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """A sparse random graph with ``num_triangles`` explicitly planted
+    triangles (for detection tests with known ground truth)."""
+    graph = nx.gnm_random_graph(n, n * d // 2, seed=int(rng.integers(1 << 31)))
+    nodes = list(graph.nodes())
+    for _ in range(num_triangles):
+        u, v, w = rng.choice(len(nodes), size=3, replace=False)
+        graph.add_edge(nodes[u], nodes[v])
+        graph.add_edge(nodes[v], nodes[w])
+        graph.add_edge(nodes[w], nodes[u])
+    return adjacency_pattern(graph)

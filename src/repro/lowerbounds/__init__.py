@@ -1,0 +1,81 @@
+"""Executable lower-bound machinery (paper §6).
+
+Three families of arguments, each implemented as runnable constructions
+and certifiers rather than prose:
+
+* §6.1 — broadcasting/aggregation hardness: reductions from matrix
+  multiplication to SUM and BROADCAST (Lemma 6.1), the polynomial-degree
+  method for Boolean functions on the abstract low-bandwidth model
+  (Lemmas 6.4-6.5, ``deg(OR_n) = n`` hence ``Omega(log n)``), and the
+  affected-set counting bound ``B_i <= 3 B_{i-1}`` for broadcast
+  (Lemma 6.13).
+* §6.2 — the dense-packing reduction (Lemma 6.17 / Theorem 6.19): an
+  average-sparse solver on ``m^2`` computers yields a dense ``m x m``
+  multiplier in ``m * T(m^2)`` rounds, executed for real on the simulator.
+* §6.3 — routing hardness (Lemmas 6.21/6.23, Theorem 6.27): adversarial
+  instances on which some computer provably must receive ``Omega(sqrt n)``
+  values, certified by the fooling-assignment counting argument, plus the
+  Alice/Bob pigeonhole bound (Lemma 6.25).
+"""
+
+from repro.lowerbounds.boolean_degree import (
+    BooleanFunction,
+    degree_lower_bound_rounds,
+    or_function,
+)
+from repro.lowerbounds.broadcast import (
+    broadcast_lower_bound_rounds,
+    affected_set_trace,
+)
+from repro.lowerbounds.reductions import (
+    sum_instance,
+    broadcast_instance,
+    solve_sum_via_mm,
+    solve_broadcast_via_mm,
+)
+from repro.lowerbounds.packing import pack_dense_into_average_sparse
+from repro.lowerbounds.routing_lb import (
+    lemma_6_21_instance,
+    lemma_6_23_instance,
+    certify_received_values_6_21,
+    certify_received_values_6_23,
+)
+from repro.lowerbounds.comm_complexity import alice_bob_lower_bound
+from repro.lowerbounds.abstract_machine import (
+    Protocol,
+    ProtocolError,
+    run_protocol,
+    partition_classes,
+    max_partition_degree,
+    verify_degree_invariant,
+    tree_or_protocol,
+    silence_broadcast_protocol,
+    ternary_broadcast_protocol,
+)
+
+__all__ = [
+    "BooleanFunction",
+    "degree_lower_bound_rounds",
+    "or_function",
+    "broadcast_lower_bound_rounds",
+    "affected_set_trace",
+    "sum_instance",
+    "broadcast_instance",
+    "solve_sum_via_mm",
+    "solve_broadcast_via_mm",
+    "pack_dense_into_average_sparse",
+    "lemma_6_21_instance",
+    "lemma_6_23_instance",
+    "certify_received_values_6_21",
+    "certify_received_values_6_23",
+    "alice_bob_lower_bound",
+    "Protocol",
+    "ProtocolError",
+    "run_protocol",
+    "partition_classes",
+    "max_partition_degree",
+    "verify_degree_invariant",
+    "tree_or_protocol",
+    "silence_broadcast_protocol",
+    "ternary_broadcast_protocol",
+]

@@ -1,0 +1,280 @@
+"""The abstract low-bandwidth machine (paper Definition 6.3), executable.
+
+The paper's ``Omega(log n)`` bound is proved against a *formal* machine
+model: each computer is a state machine with a transition function
+``delta_i(state, received)``, a message function ``phi_i(state)``, and an
+address function ``p_i(state)``; per round every computer sends at most
+one message and must receive at most one (two senders addressing the same
+computer is a protocol error).  Crucially, *silence carries information*:
+a computer that receives nothing learns that no potential sender was in a
+sending state.
+
+This module implements the machine as an interpreter
+(:class:`Protocol`/:func:`run_protocol`) and makes the degree argument of
+Lemma 6.5 executable: :func:`partition_classes` enumerates all ``2^n``
+inputs of a protocol, reconstructs the knowledge partitions
+``G(q, c, t)`` (which inputs leave computer ``c`` in state ``q`` after
+``t`` rounds), and :func:`max_partition_degree` computes the exact
+multilinear degree of their characteristic functions — the quantity the
+lemma bounds by ``2^t``.  The tests run real protocols (a tree-OR
+protocol, a silence-signalling protocol) through the invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.lowerbounds.boolean_degree import BooleanFunction
+
+__all__ = [
+    "Protocol",
+    "ProtocolError",
+    "run_protocol",
+    "partition_classes",
+    "max_partition_degree",
+    "verify_degree_invariant",
+    "tree_or_protocol",
+    "silence_broadcast_protocol",
+]
+
+SILENT = None  # the dedicated Lambda symbol
+
+
+class ProtocolError(RuntimeError):
+    """A violation of the abstract model's communication rule."""
+
+
+@dataclass
+class Protocol:
+    """A protocol for ``n`` computers on one input bit each.
+
+    All functions are per-computer (the model is non-uniform):
+
+    * ``init(i, x_i)`` — initial state of computer ``i`` on input bit
+      ``x_i``;
+    * ``transition(i, state, received)`` — new state given the datum
+      received last round (``SILENT`` when none arrived);
+    * ``message(i, state)`` — the payload to send this round (``SILENT``
+      to stay quiet);
+    * ``address(i, state)`` — the destination computer (``SILENT`` to
+      stay quiet);
+    * ``output(i, state)`` — the computer's current output value.
+    """
+
+    n: int
+    init: Callable[[int, int], Hashable]
+    transition: Callable[[int, Hashable, Any], Hashable]
+    message: Callable[[int, Hashable], Any]
+    address: Callable[[int, Hashable], int | None]
+    output: Callable[[int, Hashable], Any]
+
+
+def run_protocol(protocol: Protocol, inputs, rounds: int) -> list[Hashable]:
+    """Execute ``rounds`` rounds on the given input bits; returns the
+    final per-computer states.
+
+    Raises :class:`ProtocolError` if two computers ever address the same
+    recipient in one round (the receive-at-most-one rule)."""
+    n = protocol.n
+    inputs = list(inputs)
+    if len(inputs) != n:
+        raise ValueError("one input bit per computer")
+    states = [protocol.init(i, int(inputs[i])) for i in range(n)]
+    received: list[Any] = [SILENT] * n
+    for _ in range(rounds):
+        states = [
+            protocol.transition(i, states[i], received[i]) for i in range(n)
+        ]
+        outbox: dict[int, Any] = {}
+        for i in range(n):
+            dst = protocol.address(i, states[i])
+            if dst is SILENT:
+                continue
+            payload = protocol.message(i, states[i])
+            if payload is SILENT:
+                continue
+            if dst in outbox:
+                raise ProtocolError(
+                    f"two computers address computer {dst} in one round"
+                )
+            outbox[int(dst)] = payload
+        received = [outbox.get(i, SILENT) for i in range(n)]
+    # one final local update so the last messages are absorbed
+    states = [protocol.transition(i, states[i], received[i]) for i in range(n)]
+    return states
+
+
+def partition_classes(
+    protocol: Protocol, rounds: int
+) -> dict[int, dict[Hashable, list[int]]]:
+    """The knowledge partitions ``G(q, c, t)`` of Definition 6.6.
+
+    Returns, per computer ``c``, a map from reached state ``q`` to the
+    list of input bitmasks that put ``c`` in ``q`` after ``rounds``
+    rounds.  Enumerates all ``2^n`` inputs (keep ``n <= ~14``).
+    """
+    n = protocol.n
+    classes: dict[int, dict[Hashable, list[int]]] = {c: {} for c in range(n)}
+    for mask in range(1 << n):
+        bits = [(mask >> i) & 1 for i in range(n)]
+        states = run_protocol(protocol, bits, rounds)
+        for c in range(n):
+            classes[c].setdefault(states[c], []).append(mask)
+    return classes
+
+
+def max_partition_degree(protocol: Protocol, rounds: int) -> int:
+    """``deg(G(t))`` — the maximum multilinear degree over all partition
+    classes after ``rounds`` rounds (the quantity of Lemma 6.5)."""
+    n = protocol.n
+    classes = partition_classes(protocol, rounds)
+    best = 0
+    for c in range(n):
+        for masks in classes[c].values():
+            table = np.zeros(1 << n, dtype=np.int64)
+            table[masks] = 1
+            best = max(best, BooleanFunction(n, table).degree())
+    return best
+
+
+def verify_degree_invariant(protocol: Protocol, max_rounds: int) -> list[int]:
+    """Check ``deg(G(t)) <= 2^t`` for ``t = 0..max_rounds`` (the inductive
+    invariant in the proof of Lemma 6.5); returns the measured degrees.
+
+    Raises ``AssertionError`` if the invariant — and hence the model
+    fidelity of the protocol interpreter — is violated.
+    """
+    degrees = []
+    for t in range(max_rounds + 1):
+        deg = max_partition_degree(protocol, t)
+        assert deg <= 2**t, (t, deg)
+        degrees.append(deg)
+    return degrees
+
+
+# --------------------------------------------------------------------- #
+# canonical protocols
+# --------------------------------------------------------------------- #
+def tree_or_protocol(n: int) -> Protocol:
+    """Binary-tree OR: computer 0 knows ``OR(x)`` after ``ceil(log2 n)``
+    rounds — matching the Corollary 6.8 lower bound exactly.
+
+    In round ``t`` (0-based), computers ``i`` with ``i % 2^{t+1} ==
+    2^t`` send their current OR-accumulator to ``i - 2^t``.
+    """
+
+    def init(i, x):
+        return ("acc", int(x), 0)  # accumulator, round counter
+
+    def transition(i, state, received):
+        _, acc, t = state
+        if received is not SILENT:
+            acc = acc | int(received)
+        return ("acc", acc, t + 1)
+
+    def address(i, state):
+        _, _, t = state
+        step = 1 << max(t - 1, 0)
+        if t >= 1 and i % (2 * step) == step and i - step >= 0:
+            return i - step
+        return SILENT
+
+    def message(i, state):
+        _, acc, _ = state
+        return acc
+
+    def output(i, state):
+        return state[1]
+
+    return Protocol(n, init, transition, message, address, output)
+
+
+def ternary_broadcast_protocol(n: int) -> Protocol:
+    """Broadcast one bit in exactly ``ceil(log3 n)`` rounds — matching
+    Lemma 6.13's lower bound, so the bound is *tight* in the abstract
+    model.
+
+    The trick is the proof's own counting: an affected computer can affect
+    **two** new computers per round — one by sending, one by silence.  The
+    affected set follows a fixed schedule (node ``i`` is affected once
+    ``i < 3^t``); at round ``t``, affected node ``i`` addresses
+    ``i + 3^t`` when the bit is 1 and ``i + 2*3^t`` when it is 0.  Both
+    targets know the schedule, so the one that receives learns the bit
+    from the message and the other learns it from the silence.  (The
+    standard message-only tree needs ``ceil(log2 n)`` rounds; the gap
+    log2 vs log3 is exactly the information carried by silence.)
+    """
+
+    def init(i, x):
+        # state: (round, bit-or-None); only computer 0 knows the bit
+        return (0, x if i == 0 else SILENT)
+
+    def transition(i, state, received):
+        t, bit = state
+        if bit is SILENT and t >= 1:
+            pow3 = 3 ** (t - 1)
+            lo = i - pow3  # i is the bit=1 target of sender lo
+            hi = i - 2 * pow3  # i is the bit=0 target of sender hi
+            if received is not SILENT:
+                bit = int(received)
+            elif 0 <= lo < pow3:
+                bit = 0  # my sender chose the other target: bit was 0
+            elif 0 <= hi < pow3:
+                bit = 1  # my sender chose the other target: bit was 1
+        return (t + 1, bit)
+
+    def address(i, state):
+        t, bit = state
+        if bit is SILENT or t < 1:
+            return SILENT
+        pow3 = 3 ** (t - 1)
+        if i >= pow3:
+            return SILENT  # not yet scheduled to spread
+        target = i + pow3 if bit == 1 else i + 2 * pow3
+        return target if target < n else SILENT
+
+    def message(i, state):
+        return state[1]
+
+    def output(i, state):
+        return state[1]
+
+    return Protocol(n, init, transition, message, address, output)
+
+
+def silence_broadcast_protocol(n: int) -> Protocol:
+    """Information by silence: computer 0 'tells' computer 1 its bit
+    without ever sending when the bit is 0.
+
+    Round 1: computer 0 sends a token to computer 1 iff ``x_0 = 1``.
+    Computer 1 then *knows* ``x_0`` either way — receiving nothing means
+    ``x_0 = 0``.  The knowledge-partition degrees must still respect the
+    ``2^t`` bound: silence is exactly the subtlety Case 2 of Lemma 6.5's
+    proof handles.
+    """
+
+    def init(i, x):
+        return ("s", int(x), 0, SILENT)  # bit, round, learned
+
+    def transition(i, state, received):
+        _, x, t, learned = state
+        if i == 1 and t == 1:
+            learned = 1 if received is not SILENT else 0
+        return ("s", x, t + 1, learned)
+
+    def address(i, state):
+        _, x, t, _ = state
+        if i == 0 and t == 1 and x == 1:
+            return 1
+        return SILENT
+
+    def message(i, state):
+        return 1
+
+    def output(i, state):
+        return state[3]
+
+    return Protocol(n, init, transition, message, address, output)

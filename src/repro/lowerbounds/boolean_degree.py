@@ -1,0 +1,152 @@
+"""The polynomial-degree method (paper §6.1.1, after [9]).
+
+Every Boolean function ``f : {0,1}^n -> {0,1}`` has a unique multilinear
+polynomial representation ``f = sum_S alpha_S(f) * prod_{i in S} x_i``.
+Lemma 6.5 shows that ``T`` rounds of the abstract low-bandwidth model can
+only compute functions of degree at most ``2^T`` (each round at most
+doubles the degree of the state-indicator functions, Lemma 6.4), so any
+algorithm for ``f`` needs ``Omega(log deg(f))`` rounds.  Since
+``deg(OR_n) = n`` (Corollary 6.8), computing OR — and hence a sum, and
+hence the matrix products of Lemma 6.1 — takes ``Omega(log n)`` rounds.
+
+:class:`BooleanFunction` computes exact multilinear coefficients via the
+Moebius transform over the subset lattice (integer arithmetic, exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+__all__ = [
+    "BooleanFunction",
+    "or_function",
+    "and_function",
+    "parity_function",
+    "constant_function",
+    "dictator_function",
+    "degree_lower_bound_rounds",
+]
+
+
+@dataclass(frozen=True)
+class BooleanFunction:
+    """A Boolean function on ``n`` bits given by its truth table.
+
+    ``table[x]`` is the value on input whose bit ``i`` is ``(x >> i) & 1``.
+    """
+
+    n: int
+    table: np.ndarray  # shape (2^n,), int64 in {0, 1}
+
+    def __post_init__(self):
+        table = np.asarray(self.table, dtype=np.int64).ravel()
+        if table.size != 1 << self.n:
+            raise ValueError("truth table size must be 2^n")
+        if not np.isin(table, (0, 1)).all():
+            raise ValueError("truth table entries must be 0/1")
+        object.__setattr__(self, "table", table)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_callable(cls, n: int, fn) -> "BooleanFunction":
+        table = np.fromiter(
+            (int(bool(fn([(x >> i) & 1 for i in range(n)]))) for x in range(1 << n)),
+            dtype=np.int64,
+            count=1 << n,
+        )
+        return cls(n, table)
+
+    # ------------------------------------------------------------------ #
+    def coefficients(self) -> np.ndarray:
+        """Multilinear coefficients ``alpha_S`` indexed by subset bitmask.
+
+        Moebius transform: subtract the no-bit slice from the with-bit
+        slice, one coordinate at a time.  Exact over int64 (coefficients
+        are bounded by ``2^{n-1}`` in absolute value, cf. [17]).
+        """
+        coef = self.table.astype(np.int64).copy()
+        for i in range(self.n):
+            bit = 1 << i
+            idx = np.arange(coef.size)
+            has = (idx & bit) != 0
+            coef[has] -= coef[idx[has] ^ bit]
+        return coef
+
+    def degree(self) -> int:
+        """``deg(f)`` = largest ``|S|`` with ``alpha_S != 0``."""
+        coef = self.coefficients()
+        nz = np.flatnonzero(coef)
+        if nz.size == 0:
+            return 0
+        popcounts = np.array([bin(int(s)).count("1") for s in nz])
+        return int(popcounts.max())
+
+    def evaluate_polynomial(self, x: list[int]) -> int:
+        """Evaluate the multilinear polynomial (consistency check)."""
+        coef = self.coefficients()
+        total = 0
+        for s in np.flatnonzero(coef):
+            s = int(s)
+            prod = 1
+            for i in range(self.n):
+                if (s >> i) & 1:
+                    prod *= x[i]
+            total += int(coef[s]) * prod
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Lemma 6.4 combinators
+    # ------------------------------------------------------------------ #
+    def __and__(self, other: "BooleanFunction") -> "BooleanFunction":
+        return BooleanFunction(self.n, self.table & other.table)
+
+    def __or__(self, other: "BooleanFunction") -> "BooleanFunction":
+        return BooleanFunction(self.n, self.table | other.table)
+
+    def __invert__(self) -> "BooleanFunction":
+        return BooleanFunction(self.n, 1 - self.table)
+
+
+def or_function(n: int) -> BooleanFunction:
+    """``OR_n`` — degree exactly ``n`` (Corollary 6.8)."""
+    table = np.ones(1 << n, dtype=np.int64)
+    table[0] = 0
+    return BooleanFunction(n, table)
+
+
+def and_function(n: int) -> BooleanFunction:
+    """``AND_n`` — degree exactly ``n``."""
+    table = np.zeros(1 << n, dtype=np.int64)
+    table[-1] = 1
+    return BooleanFunction(n, table)
+
+
+def parity_function(n: int) -> BooleanFunction:
+    """``XOR_n`` — degree exactly ``n``."""
+    idx = np.arange(1 << n)
+    table = np.array([bin(int(x)).count("1") % 2 for x in idx], dtype=np.int64)
+    return BooleanFunction(n, table)
+
+
+def constant_function(n: int, value: int) -> BooleanFunction:
+    """A constant function — degree 0."""
+    return BooleanFunction(n, np.full(1 << n, int(bool(value)), dtype=np.int64))
+
+
+def dictator_function(n: int, i: int) -> BooleanFunction:
+    """``f(x) = x_i`` — degree 1."""
+    idx = np.arange(1 << n)
+    return BooleanFunction(n, ((idx >> i) & 1).astype(np.int64))
+
+
+def degree_lower_bound_rounds(f: BooleanFunction) -> int:
+    """Lemma 6.5: computing ``f`` needs at least ``ceil(log2 deg(f))``
+    rounds in the (abstract, supported) low-bandwidth model."""
+    deg = f.degree()
+    if deg <= 1:
+        return 0
+    return math.ceil(math.log2(deg))

@@ -1,0 +1,50 @@
+"""Broadcast lower bound (paper §6.1.2, Lemma 6.13).
+
+A computer can be *affected* in a round in three ways: it was already
+affected, it receives a message from an affected computer, or it is
+affected *by silence* (an affected computer would have messaged it under
+the other broadcast value).  Hence the affected set at most triples per
+round: ``B_i <= 3 B_{i-1}``, giving ``T >= log3 n``.
+
+:func:`affected_set_trace` replays that counting argument;
+:func:`verify_broadcast_run` checks a concrete simulator execution against
+the bound (our broadcast trees take ``ceil(log2 n) >= log3 n`` rounds, so
+the bound is consistent and tight up to the base of the logarithm).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "broadcast_lower_bound_rounds",
+    "affected_set_trace",
+    "verify_broadcast_run",
+]
+
+
+def broadcast_lower_bound_rounds(n: int) -> int:
+    """Lemma 6.13: broadcasting one bit to ``n`` computers needs at least
+    ``ceil(log3 n)`` rounds."""
+    if n <= 1:
+        return 0
+    return math.ceil(math.log(n, 3))
+
+
+def affected_set_trace(n: int, rounds: int) -> list[int]:
+    """Upper envelope of the affected-set size: ``B_0 = 1``,
+    ``B_i = min(n, 3 B_{i-1})`` — the quantity the proof of Lemma 6.13
+    bounds."""
+    sizes = [1]
+    for _ in range(rounds):
+        sizes.append(min(n, 3 * sizes[-1]))
+    return sizes
+
+
+def verify_broadcast_run(n: int, measured_rounds: int) -> bool:
+    """Check that a measured broadcast execution respects Lemma 6.13.
+
+    Returns True when ``measured_rounds`` is large enough that the
+    affected set could have reached all ``n`` computers.
+    """
+    return affected_set_trace(n, measured_rounds)[-1] >= n

@@ -1,0 +1,38 @@
+"""Lemma 6.25 — the Alice/Bob pigeonhole bound.
+
+Alice holds a ``k``-word vector (``log n`` bits per word); Bob must output
+it while receiving one ``log n``-bit message per round.  After ``t < k``
+rounds Bob has seen one of at most ``2^{t log n}`` communication
+transcripts, strictly fewer than the ``2^{k log n}`` possible vectors, so
+two vectors collide and Bob errs: **at least ``k`` rounds are required.**
+
+Applied to the routing instances of §6.3 (some computer must output
+``Omega(sqrt n)`` foreign words), this yields Theorem 6.27's
+``Omega(sqrt n)`` round bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["alice_bob_lower_bound", "transcript_counts", "fooling_pair_exists"]
+
+
+def alice_bob_lower_bound(k_words: int) -> int:
+    """Rounds Bob needs to learn ``k`` words: exactly ``k``."""
+    return max(0, int(k_words))
+
+
+def transcript_counts(k_words: int, rounds: int, word_values: int) -> tuple[int, int]:
+    """(#possible transcripts after ``rounds``, #possible vectors).
+
+    A fooling pair exists whenever the first is smaller than the second —
+    the pigeonhole at the heart of Lemma 6.25.
+    """
+    return word_values**rounds, word_values**k_words
+
+
+def fooling_pair_exists(k_words: int, rounds: int, word_values: int = 2) -> bool:
+    """True when ``rounds`` rounds cannot disambiguate all vectors."""
+    transcripts, vectors = transcript_counts(k_words, rounds, word_values)
+    return transcripts < vectors

@@ -1,0 +1,91 @@
+"""Lemma 6.17 / Theorem 6.19 — the dense-packing reduction, executed.
+
+If ``[AS:AS:AS]`` at ``d = 1`` is solvable in ``T(n)`` rounds, then dense
+``m x m`` multiplication on ``m`` computers runs in ``m * T(m^2)`` rounds:
+pad the dense instance into the corner of an ``m^2 x m^2`` average-sparse
+instance and let each of the ``m`` real computers simulate ``m`` virtual
+ones (a virtual round costs at most ``m`` real rounds).
+
+Consequently a ``T(n) = o(n^{(lambda-1)/2})`` sparse solver would beat the
+``Omega(n^lambda)`` dense barrier — for semirings (``lambda = 4/3``, no
+progress past ``n^{4/3}`` is known) this conjecturally puts
+``[AS:AS:AS]`` at ``Omega(n^{1/6})``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.semirings import REAL_FIELD, Semiring
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["pack_dense_into_average_sparse", "conditional_lower_bound_exponent"]
+
+
+def conditional_lower_bound_exponent(lam: float) -> float:
+    """Theorem 6.19: o(n^{(lambda-1)/2}) for [AS:AS:AS] would give
+    o(n^lambda) dense MM."""
+    return (lam - 1.0) / 2.0
+
+
+def pack_dense_into_average_sparse(
+    a_dense: np.ndarray,
+    b_dense: np.ndarray,
+    *,
+    semiring: Semiring = REAL_FIELD,
+    algorithm: str = "general",
+):
+    """Multiply dense ``m x m`` matrices through an average-sparse solver.
+
+    Builds the padded ``n x n`` instance (``n = m^2``, so ``m^2 = n``
+    nonzeros make it ``AS(1)``), runs the requested sparse algorithm on
+    the ``n``-computer simulator, and accounts the simulation cost for
+    ``m`` real computers: ``simulated_rounds = m * measured_rounds``.
+
+    Returns ``(x_dense, measured_rounds, simulated_rounds_on_m_computers)``.
+    """
+    a_dense = np.asarray(a_dense, dtype=semiring.dtype)
+    b_dense = np.asarray(b_dense, dtype=semiring.dtype)
+    m = a_dense.shape[0]
+    if a_dense.shape != (m, m) or b_dense.shape != (m, m):
+        raise ValueError("need square matrices of equal size")
+    n = m * m
+
+    def pad(mat: np.ndarray) -> sp.csr_matrix:
+        rows, cols = np.nonzero(np.ones((m, m), dtype=bool))
+        data = mat[rows, cols]
+        return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    a = pad(a_dense)
+    b = pad(b_dense)
+    x_hat = sp.csr_matrix(
+        (
+            np.ones(n, dtype=bool),
+            tuple(np.nonzero(np.ones((m, m), dtype=bool))),
+        ),
+        shape=(n, n),
+    )
+    inst = SupportedInstance(
+        semiring=semiring,
+        a_hat=a.astype(bool),
+        b_hat=b.astype(bool),
+        x_hat=x_hat,
+        a=a,
+        b=b,
+        d=1,
+        distribution="balanced",
+    )
+    assert inst.a_hat.nnz <= n and inst.b_hat.nnz <= n and inst.x_hat.nnz <= n, (
+        "padding must stay average-sparse at d = 1"
+    )
+
+    from repro.algorithms.api import multiply
+
+    res = multiply(inst, algorithm=algorithm)
+    x_dense = semiring.zeros((m, m))
+    coo = res.x.tocoo()
+    for r, c, v in zip(coo.row, coo.col, coo.data):
+        if r < m and c < m:
+            x_dense[r, c] = v
+    return x_dense, res.rounds, m * res.rounds

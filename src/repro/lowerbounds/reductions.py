@@ -1,0 +1,113 @@
+"""Lemma 6.1 — matrix multiplication is at least as hard as SUM and
+BROADCAST, as executable reductions.
+
+``sum_instance``: one dense row times one dense column, request entry
+``(0, 0)`` — any MM algorithm run on it computes the sum of ``n`` values.
+The pattern is ``BD(1) x BD(1) = US(1)`` (a single dense row / column is
+1-degenerate), so even ``[US:BD:BD]`` at ``d = 1`` inherits the
+``Omega(log n)`` bound of Corollaries 6.8/6.10.
+
+``broadcast_instance``: one dense column times a single entry, request the
+first column — any MM algorithm delivers the value ``b`` to every
+computer, so ``[US:BD:BD]`` also inherits Lemma 6.13.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.semirings import REAL_FIELD, Semiring
+from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "sum_instance",
+    "broadcast_instance",
+    "solve_sum_via_mm",
+    "solve_broadcast_via_mm",
+]
+
+
+def sum_instance(
+    values: np.ndarray, *, semiring: Semiring = REAL_FIELD
+) -> SupportedInstance:
+    """A row of inputs times a column of ones; ``X[0, 0]`` is the sum.
+
+    Each computer ``j`` initially holds ``a_j`` (as ``A[0, j]``... the
+    ``balanced`` ownership places one element per computer) — exactly the
+    distributed-sum task of Corollary 6.10.
+    """
+    values = np.asarray(values, dtype=semiring.dtype)
+    n = values.size
+    a = sp.csr_matrix((values, (np.zeros(n, dtype=np.int64), np.arange(n))), shape=(n, n))
+    ones = np.full(n, semiring.one, dtype=semiring.dtype)
+    b = sp.csr_matrix((ones, (np.arange(n), np.zeros(n, dtype=np.int64))), shape=(n, n))
+    x = sp.csr_matrix(([True], ([0], [0])), shape=(n, n), dtype=bool)
+    # hats are structural (the full row/column), independent of the values
+    full_row = sp.csr_matrix(
+        (np.ones(n, dtype=bool), (np.zeros(n, dtype=np.int64), np.arange(n))),
+        shape=(n, n),
+    )
+    full_col = sp.csr_matrix(
+        (np.ones(n, dtype=bool), (np.arange(n), np.zeros(n, dtype=np.int64))),
+        shape=(n, n),
+    )
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=full_row,
+        b_hat=full_col,
+        x_hat=x,
+        a=a,
+        b=b,
+        d=1,
+        distribution="balanced",
+    )
+
+
+def broadcast_instance(
+    value, n: int, *, semiring: Semiring = REAL_FIELD
+) -> SupportedInstance:
+    """A column of ones times a single entry ``b``; the requested first
+    column of ``X`` equals ``b`` everywhere — the broadcast task of
+    Lemma 6.13 (each computer must report one copy)."""
+    ones = np.full(n, semiring.one, dtype=semiring.dtype)
+    a = sp.csr_matrix((ones, (np.arange(n), np.zeros(n, dtype=np.int64))), shape=(n, n))
+    b = sp.csr_matrix(
+        (np.asarray([value], dtype=semiring.dtype), ([0], [0])), shape=(n, n)
+    )
+    x = sp.csr_matrix(
+        (np.ones(n, dtype=bool), (np.arange(n), np.zeros(n, dtype=np.int64))),
+        shape=(n, n),
+    )
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=a.astype(bool),
+        b_hat=b.astype(bool),
+        x_hat=x,
+        a=a,
+        b=b,
+        d=1,
+        distribution="rows",
+    )
+
+
+def solve_sum_via_mm(values: np.ndarray, algorithm="general", **kw):
+    """Run a matrix-multiplication algorithm on the SUM reduction; returns
+    ``(sum, rounds)``."""
+    from repro.algorithms.api import multiply
+
+    inst = sum_instance(np.asarray(values))
+    res = multiply(inst, algorithm=algorithm, **kw)
+    return float(res.x[0, 0]), res.rounds
+
+
+def solve_broadcast_via_mm(value: float, n: int, algorithm="general", **kw):
+    """Run a matrix-multiplication algorithm on the BROADCAST reduction;
+    returns ``(received_values, rounds)`` where ``received_values[i]`` is
+    what computer ``i`` reports."""
+    from repro.algorithms.api import multiply
+
+    inst = broadcast_instance(value, n)
+    res = multiply(inst, algorithm=algorithm, **kw)
+    received = res.x.toarray()[np.arange(n), 0]
+    return received, res.rounds

@@ -1,0 +1,141 @@
+"""Routing lower bounds (paper §6.3, Lemmas 6.21/6.23, Theorem 6.27).
+
+Both lemmas construct instances on which *some* computer must end up
+holding ``Omega(sqrt n)`` values it did not start with, for **any** fixed
+input/output assignment; Lemma 6.25's pigeonhole argument then converts
+"must receive k values" into "needs k rounds" (one ``O(log n)``-bit
+message per round).
+
+The certifiers below implement the papers' counting arguments exactly:
+given an arbitrary output assignment (and input holdings), they compute,
+per computer, how many distinct foreign values an adversarial choice of
+the free input bits forces it to receive — and return the maximum, which
+Theorem 6.27 lower-bounds by ``~sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.semirings import REAL_FIELD, Semiring
+from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "lemma_6_21_instance",
+    "lemma_6_23_instance",
+    "certify_received_values_6_21",
+    "certify_received_values_6_23",
+]
+
+
+def lemma_6_21_instance(
+    n: int, rng: np.random.Generator, *, semiring: Semiring = REAL_FIELD
+) -> SupportedInstance:
+    """``US(2) x GM = GM``: cyclic bidiagonal ``A`` (entries ``a[i, i]``
+    and ``a[i, (i mod n) + 1]``), dense ``B``, all of ``X`` requested."""
+    idx = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([idx, idx])
+    cols = np.concatenate([idx, (idx + 1) % n])
+    vals = semiring.random_values(rng, 2 * n)
+    a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    b_vals = semiring.random_values(rng, n * n).reshape(n, n)
+    b = sp.csr_matrix(b_vals)
+    x_hat = sp.csr_matrix(np.ones((n, n), dtype=bool))
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=a.astype(bool),
+        b_hat=b.astype(bool),
+        x_hat=x_hat,
+        a=a,
+        b=b,
+        d=2,
+        distribution="rows",
+    )
+
+
+def lemma_6_23_instance(
+    n: int, rng: np.random.Generator, *, semiring: Semiring = REAL_FIELD
+) -> SupportedInstance:
+    """``RS(1) x CS(1) = GM``: ``A`` one dense column, ``B`` one dense
+    row, all of ``X`` requested (a rank-one outer product)."""
+    idx = np.arange(n, dtype=np.int64)
+    zeros = np.zeros(n, dtype=np.int64)
+    a = sp.csr_matrix((semiring.random_values(rng, n), (idx, zeros)), shape=(n, n))
+    b = sp.csr_matrix((semiring.random_values(rng, n), (zeros, idx)), shape=(n, n))
+    x_hat = sp.csr_matrix(np.ones((n, n), dtype=bool))
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=a.astype(bool),
+        b_hat=b.astype(bool),
+        x_hat=x_hat,
+        a=a,
+        b=b,
+        d=1,
+        distribution="rows",
+    )
+
+
+def certify_received_values_6_21(
+    n: int,
+    owner_x: dict[tuple[int, int], int],
+    owner_b: dict[tuple[int, int], int],
+) -> np.ndarray:
+    """Per-computer lower bound on received values for the Lemma 6.21
+    instance, for an arbitrary fixed assignment.
+
+    With ``X[i, k] = a[i,i] b[i,k] + a[i,(i mod n)+1] b[(i mod n)+1, k]``
+    the adversary picks, per row ``i``, either ``(a[i,i], a[i,i+1]) =
+    (1, 0)`` (making ``X[i, .] = B[i, .]``) or ``(0, 1)`` (making
+    ``X[i, .] = B[i+1, .]``).  Computer ``v`` must then output verbatim
+    values of ``B``; every one it does not hold must be received
+    (Lemma 6.25).  The certificate sums, over rows, the *better* choice
+    for the adversary.
+    """
+    deficit = np.zeros(n, dtype=np.int64)
+    # outputs grouped by computer and row
+    need: dict[int, dict[int, list[int]]] = {}
+    for (i, k), v in owner_x.items():
+        need.setdefault(v, {}).setdefault(i, []).append(k)
+    for v, rows in need.items():
+        total = 0
+        for i, ks in rows.items():
+            opt = 0
+            for src_row in (i, (i + 1) % n):
+                missing = sum(1 for k in ks if owner_b.get((src_row, k)) != v)
+                opt = max(opt, missing)
+            total += opt
+        deficit[v] = total
+    return deficit
+
+
+def certify_received_values_6_23(
+    n: int,
+    owner_x: dict[tuple[int, int], int],
+    owner_a: dict[tuple[int, int], int],
+    owner_b: dict[tuple[int, int], int],
+) -> np.ndarray:
+    """Per-computer lower bound for the Lemma 6.23 instance.
+
+    ``X[i, k] = a[i, 0] * b[0, k]``.  Setting all ``b = 1`` makes the
+    outputs reveal ``a[i, 0]`` for every distinct output row ``i``;
+    setting all ``a = 1`` reveals ``b[0, k]`` for every distinct output
+    column.  A computer outputting ``t`` entries covers ``>= sqrt(t)``
+    distinct rows or columns, so some computer must receive
+    ``~sqrt(n)`` foreign values.
+    """
+    deficit = np.zeros(n, dtype=np.int64)
+    rows_of: dict[int, set[int]] = {}
+    cols_of: dict[int, set[int]] = {}
+    for (i, k), v in owner_x.items():
+        rows_of.setdefault(v, set()).add(i)
+        cols_of.setdefault(v, set()).add(k)
+    for v in range(n):
+        missing_rows = sum(
+            1 for i in rows_of.get(v, ()) if owner_a.get((i, 0)) != v
+        )
+        missing_cols = sum(
+            1 for k in cols_of.get(v, ()) if owner_b.get((0, k)) != v
+        )
+        deficit[v] = max(missing_rows, missing_cols)
+    return deficit

@@ -1,0 +1,120 @@
+"""Collective-operation helpers layered on the network primitives.
+
+The routing scheme of Lemma 3.1 repeatedly works with a *sorted triple
+array* distributed over consecutive computers: runs of equal ``(i, j)``
+pairs form segments, the first triple of a run is the *anchor*, and values
+are spread (broadcast) or aggregated (convergecast) along each run.  The
+helpers here turn a sorted key array into those segments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "broadcast_tree_rounds",
+    "segments_from_sorted",
+    "run_boundaries",
+]
+
+
+def broadcast_tree_rounds(max_segment: int) -> int:
+    """Rounds a binary doubling tree needs to cover ``max_segment`` nodes."""
+    if max_segment <= 1:
+        return 0
+    return math.ceil(math.log2(max_segment))
+
+
+def all_reduce(net, key, combine, *, label: str = "all-reduce") -> int:
+    """Combine the values held under ``key`` by all computers and leave
+    the result at every computer: convergecast + broadcast, ``2 ceil(log2
+    n)`` rounds.
+
+    The aggregation half is exactly the ``Omega(log n)``-hard SUM
+    primitive of Corollary 6.10; the distribution half is the broadcast of
+    Lemma 6.13 — so this is round-optimal up to the constant 2.
+    """
+    everyone = [list(range(net.n))]
+    used = net.segmented_convergecast(everyone, [key], combine, label=f"{label}/reduce")
+    used += net.segmented_broadcast(everyone, [key], label=f"{label}/bcast")
+    return used
+
+
+def prefix_scan(net, key, combine, *, label: str = "scan") -> int:
+    """Exclusive prefix combine: computer ``i`` ends holding
+    ``combine(v_0, ..., v_{i-1})`` under ``(key, "prefix")`` (computer 0
+    gets no prefix key).  Hillis-Steele doubling, ``ceil(log2 n)`` rounds,
+    each a legal one-in/one-out permutation.
+    """
+    import numpy as _np
+
+    from repro.model.network import Message
+
+    n = net.n
+    if n <= 1:
+        return 0
+    acc_key = (key, "__scan_acc__")
+    for comp in range(n):
+        net.write(comp, acc_key, net.read(comp, key), provenance=(key,))
+    used = 0
+    step = 1
+    while step < n:
+        batch = []
+        for src in range(n - step):
+            batch.append(Message(src, src + step, acc_key, (key, "__scan_in__")))
+        used += net.exchange(batch, label=f"{label}/step{step}")
+        for dst in range(step, n):
+            merged = combine(net.read(dst, (key, "__scan_in__")), net.read(dst, acc_key))
+            net.write(dst, acc_key, merged, provenance=(acc_key, (key, "__scan_in__")))
+            net.delete(dst, (key, "__scan_in__"))
+        step <<= 1
+    # the inclusive accumulator at i covers v_0..v_i; shift to exclusive
+    batch = [Message(i, i + 1, acc_key, (key, "prefix")) for i in range(n - 1)]
+    # can't reuse acc_key once shifted: send the value of v_0..v_{i} to i+1
+    used += net.exchange(batch, label=f"{label}/shift")
+    for comp in range(n):
+        net.delete(comp, acc_key)
+    return used
+
+
+def run_boundaries(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Start indices and lengths of maximal runs of equal values in a sorted
+    1-D array."""
+    sorted_keys = np.asarray(sorted_keys)
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    change = np.empty(sorted_keys.size, dtype=bool)
+    change[0] = True
+    change[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(change).astype(np.int64)
+    lengths = np.diff(np.append(starts, sorted_keys.size)).astype(np.int64)
+    return starts, lengths
+
+
+def segments_from_sorted(
+    sorted_keys: np.ndarray, slot_to_computer: np.ndarray
+) -> list[np.ndarray]:
+    """Group *array slots* holding the same key into computer segments.
+
+    ``slot_to_computer[s]`` is the computer responsible for slot ``s`` of a
+    sorted triple array.  Within one run of equal keys, several consecutive
+    slots may live on the same computer; the segment lists each computer
+    once (a computer spreads a value to its own slots locally for free).
+
+    Returns a list of integer arrays; the first entry of each is the anchor
+    computer ``q(i, j)`` of the run (paper, proof of Lemma 3.1).
+    """
+    slot_to_computer = np.asarray(slot_to_computer, dtype=np.int64)
+    starts, lengths = run_boundaries(sorted_keys)
+    segments: list[np.ndarray] = []
+    for s, l in zip(starts, lengths):
+        comps = slot_to_computer[s : s + l]
+        # consecutive unique (slots are sorted, computers are monotone)
+        keep = np.empty(comps.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = comps[1:] != comps[:-1]
+        segments.append(comps[keep])
+    return segments

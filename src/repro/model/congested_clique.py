@@ -1,0 +1,158 @@
+"""The congested clique, simulated on the low-bandwidth model (paper §1.5).
+
+In the congested clique, each of the ``n`` computers sends one
+``O(log n)``-bit word to *every* other computer per round (``n - 1`` out,
+``n - 1`` in).  The paper observes that any ``T``-round congested-clique
+algorithm runs in ``n T`` low-bandwidth rounds: a clique round decomposes
+into ``n - 1`` *rotations* — in rotation ``r`` every computer ``i`` sends
+its word for ``(i + r) mod n`` — and each rotation is a permutation, i.e.
+a legal low-bandwidth round.
+
+:class:`CongestedCliqueNetwork` executes exactly that simulation on a
+backing :class:`LowBandwidthNetwork` (empty rotations are skipped, so the
+measured cost is ``<= (n-1) T`` and usually less), which lets
+congested-clique algorithms be expressed naturally while their
+low-bandwidth cost is measured by execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.network import Key, LowBandwidthNetwork, Message, NetworkError
+
+__all__ = ["CongestedCliqueNetwork"]
+
+
+class CongestedCliqueNetwork:
+    """A congested-clique facade over a low-bandwidth network."""
+
+    def __init__(self, n: int, *, strict: bool = False, lb: LowBandwidthNetwork | None = None):
+        self.lb = lb if lb is not None else LowBandwidthNetwork(n, strict=strict)
+        if self.lb.n != n:
+            raise ValueError("backing network size mismatch")
+        self.n = n
+        self.cc_rounds = 0
+
+    # -- memory passthrough --------------------------------------------- #
+    def deal(self, comp: int, key: Key, value) -> None:
+        """Place an input value (delegates to the backing network)."""
+        self.lb.deal(comp, key, value)
+
+    def read(self, comp: int, key: Key):
+        """Read a value from a computer's memory."""
+        return self.lb.read(comp, key)
+
+    def write(self, comp: int, key: Key, value, *, provenance=()) -> None:
+        """Local computation at a computer (free, like the base model)."""
+        self.lb.write(comp, key, value, provenance=provenance)
+
+    @property
+    def lb_rounds(self) -> int:
+        return self.lb.rounds
+
+    # -- communication ---------------------------------------------------- #
+    def exchange(self, messages: Sequence[Message], *, label: str = "cc") -> int:
+        """Deliver a batch under the congested-clique constraint.
+
+        Per clique round, each *ordered pair* of computers carries at most
+        one word, so a batch whose max pair multiplicity is ``mu`` takes
+        ``mu`` clique rounds.  Each clique round is executed as its
+        (nonempty) rotations on the backing low-bandwidth network; returns
+        the number of clique rounds used.
+        """
+        if not messages:
+            return 0
+        # clique-round index of each message = its rank within its ordered
+        # pair
+        rank: dict[tuple[int, int], int] = {}
+        cc_round_of = []
+        for m in messages:
+            if m.src == m.dst:
+                cc_round_of.append(-1)  # local, free
+                continue
+            pair = (m.src, m.dst)
+            r = rank.get(pair, 0)
+            rank[pair] = r + 1
+            cc_round_of.append(r)
+        total_cc = max(cc_round_of) + 1 if any(r >= 0 for r in cc_round_of) else 0
+
+        for cc_r in range(total_cc):
+            # rotations: offset (dst - src) mod n
+            rotations: dict[int, list[Message]] = {}
+            for m, r in zip(messages, cc_round_of):
+                if r != cc_r:
+                    continue
+                offset = (m.dst - m.src) % self.n
+                rotations.setdefault(offset, []).append(m)
+            for offset in sorted(rotations):
+                batch = rotations[offset]
+                # a rotation is a partial permutation: srcs distinct by
+                # construction (one word per ordered pair per clique round,
+                # and a fixed offset makes dst a function of src)
+                self.lb._execute_lockstep(batch, label=f"{label}/rot{offset}")
+        # local messages still deliver
+        for m, r in zip(messages, cc_round_of):
+            if r == -1:
+                value = self.lb.read(m.src, m.src_key)
+                self.lb.write(m.dst, m.dst_key, value, provenance=(m.src_key,))
+        self.cc_rounds += total_cc
+        return total_cc
+
+    def route(self, messages: Sequence[Message], *, label: str = "cc-route") -> int:
+        """Balanced two-hop routing (Lenzen-style): deliver a batch whose
+        per-computer totals are ``S`` sent / ``R`` received in
+        ``O((S + R)/n + 1)`` clique rounds, regardless of per-pair
+        multiplicity.
+
+        Each message travels via an intermediate chosen round-robin from
+        its source (hop 1), then to its destination (hop 2).  Direct
+        ``exchange`` would instead pay the max *pair* multiplicity —
+        ruinous for block transfers, which is exactly why the clique
+        algorithms the paper cites use routing indirection.
+        """
+        if not messages:
+            return 0
+        counter = getattr(self, "_route_counter", 0)
+        seq_per_src: dict[int, int] = {}
+        hop1: list[Message] = []
+        hop2: list[Message] = []
+        for m in messages:
+            if m.src == m.dst:
+                hop1.append(m)  # local; exchange() delivers for free
+                continue
+            s = seq_per_src.get(m.src, 0)
+            seq_per_src[m.src] = s + 1
+            inter = (m.src + 1 + s) % self.n
+            tmp = ("__ccr__", counter)
+            counter += 1
+            hop1.append(Message(m.src, inter, m.src_key, tmp))
+            hop2.append(Message(inter, m.dst, tmp, m.dst_key))
+        self._route_counter = counter
+        used = self.exchange(hop1, label=f"{label}/hop1")
+        used += self.exchange(hop2, label=f"{label}/hop2")
+        # clear the relay buffers at the intermediates
+        for m in hop2:
+            self.lb.delete(m.src, m.src_key)
+        return used
+
+    def broadcast(self, src: int, key: Key, *, label: str = "cc-bcast") -> int:
+        """One computer sends one word to everyone: a single clique round."""
+        messages = [
+            Message(src, dst, key, key) for dst in range(self.n) if dst != src
+        ]
+        return self.exchange(messages, label=label)
+
+    def gather(self, dst: int, keys: Sequence[Key], *, label: str = "cc-gather") -> int:
+        """Every computer sends one word to ``dst``: a single clique round.
+
+        ``keys[i]`` is the key computer ``i`` contributes.
+        """
+        messages = [
+            Message(src, dst, keys[src], keys[src])
+            for src in range(self.n)
+            if src != dst
+        ]
+        return self.exchange(messages, label=label)

@@ -1,0 +1,388 @@
+"""Round-counting execution engine for the low-bandwidth model.
+
+The network holds, per computer, a key-value memory (``mem[c][key]``).  An
+algorithm is a sequence of
+
+* *local phases* — computers transform their own memory (free: the model
+  grants unlimited local computation, paper Definition 6.3), and
+* *communication phases* — batches of point-to-point messages that the
+  engine schedules into rounds (see :mod:`repro.model.scheduling`) and
+  executes.  ``network.rounds`` advances only here.
+
+Two execution modes:
+
+``strict=True``
+    Every phase is re-executed round by round.  The engine asserts the
+    model's constraints: at most one message sent and one received per
+    computer per round; a sender possesses the value it sends (provenance —
+    values can only originate from the input distribution or from local
+    writes justified by values already held); payloads are single machine
+    words.  Used by the test-suite on small instances.
+
+``strict=False``
+    Identical schedules and round counts, bulk value movement.  Used for
+    benchmark sweeps.
+
+The *supported setting* (paper §2.1) allows arbitrary preprocessing that
+depends only on the sparsity structure: all schedules, anchor arrays, and
+tree shapes in this codebase are functions of the indicator matrices alone,
+never of the numeric values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.model.scheduling import (
+    greedy_two_sided_schedule,
+    schedule_makespan,
+    validate_schedule,
+)
+
+__all__ = ["LowBandwidthNetwork", "Message", "NetworkError", "PhaseRecord"]
+
+Key = Hashable
+
+
+class NetworkError(RuntimeError):
+    """A violation of the low-bandwidth model's rules."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message: ``src`` sends its value under ``src_key``
+    to ``dst``, stored there under ``dst_key``."""
+
+    src: int
+    dst: int
+    src_key: Key
+    dst_key: Key
+
+
+@dataclass
+class PhaseRecord:
+    """Accounting entry for one executed phase."""
+
+    label: str
+    rounds: int
+    messages: int
+
+
+_SCALAR_TYPES = (int, float, bool, np.generic)
+
+
+def _is_word(value: Any) -> bool:
+    """A payload must fit in one O(log n)-bit message: a single semiring
+    element (scalar).  Arrays and containers are rejected."""
+    if isinstance(value, _SCALAR_TYPES):
+        return True
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return True
+    return False
+
+
+class LowBandwidthNetwork:
+    """A network of ``n`` computers in the (supported) low-bandwidth model."""
+
+    def __init__(self, n: int, *, strict: bool = False, track_memory: bool = False):
+        if n <= 0:
+            raise ValueError("need at least one computer")
+        self.n = int(n)
+        self.strict = bool(strict)
+        self.rounds = 0
+        self.mem: list[dict[Key, Any]] = [dict() for _ in range(self.n)]
+        self.phases: list[PhaseRecord] = []
+        self.messages_sent = 0
+        # peak number of keys simultaneously held per computer (the model's
+        # space bound: computers hold O(d) input/output elements plus the
+        # algorithm's working set).  Sampled on writes/deliveries when
+        # track_memory is on.
+        self.track_memory = bool(track_memory)
+        self._peak_mem = np.zeros(self.n, dtype=np.int64) if track_memory else None
+
+    def _sample_memory(self, comp: int) -> None:
+        if self._peak_mem is not None:
+            size = len(self.mem[comp])
+            if size > self._peak_mem[comp]:
+                self._peak_mem[comp] = size
+
+    def peak_memory(self) -> np.ndarray:
+        """Per-computer peak key counts (requires ``track_memory=True``)."""
+        if self._peak_mem is None:
+            raise RuntimeError("construct the network with track_memory=True")
+        current = np.fromiter((len(m) for m in self.mem), dtype=np.int64, count=self.n)
+        return np.maximum(self._peak_mem, current)
+
+    # ------------------------------------------------------------------ #
+    # Memory / local computation
+    # ------------------------------------------------------------------ #
+    def deal(self, comp: int, key: Key, value: Any) -> None:
+        """Place an *input* value at a computer (part of the instance, not a
+        computation step)."""
+        self.mem[comp][key] = value
+        self._sample_memory(comp)
+
+    def read(self, comp: int, key: Key) -> Any:
+        """Read a value a computer holds; NetworkError if absent."""
+        try:
+            return self.mem[comp][key]
+        except KeyError as exc:
+            raise NetworkError(f"computer {comp} does not hold {key!r}") from exc
+
+    def holds(self, comp: int, key: Key) -> bool:
+        """Does the computer currently hold ``key``?"""
+        return key in self.mem[comp]
+
+    def write(self, comp: int, key: Key, value: Any, *, provenance: Iterable[Key] = ()) -> None:
+        """Local computation at ``comp``: derive ``value`` from values the
+        computer already holds.  In strict mode the provenance keys must be
+        present in ``comp``'s memory."""
+        if self.strict:
+            missing = [k for k in provenance if k not in self.mem[comp]]
+            if missing:
+                raise NetworkError(
+                    f"local write at computer {comp} uses values it does not hold: {missing!r}"
+                )
+        self.mem[comp][key] = value
+        self._sample_memory(comp)
+
+    def delete(self, comp: int, key: Key) -> None:
+        """Drop a value from local memory (frees working-set space)."""
+        self.mem[comp].pop(key, None)
+
+    # ------------------------------------------------------------------ #
+    # Communication phases
+    # ------------------------------------------------------------------ #
+    def exchange(self, messages: Sequence[Message], *, label: str = "exchange") -> int:
+        """Execute a batch of messages; returns the number of rounds used.
+
+        The batch is edge-coloured greedily, giving at most
+        ``max_send_degree + max_recv_degree - 1`` rounds.
+        """
+        if not messages:
+            return 0
+        src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
+        dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
+        return self._exchange_raw(
+            src,
+            dst,
+            [m.src_key for m in messages],
+            [m.dst_key for m in messages],
+            label=label,
+        )
+
+    def exchange_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: Sequence[Key],
+        dst_keys: Sequence[Key] | None = None,
+        *,
+        label: str = "exchange",
+    ) -> int:
+        """Array-friendly form of :meth:`exchange` (no per-message objects;
+        the path the algorithms use for large batches)."""
+        if dst_keys is None:
+            dst_keys = src_keys
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        return self._exchange_raw(src, dst, list(src_keys), list(dst_keys), label=label)
+
+    def _exchange_raw(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list,
+        dst_keys: list,
+        *,
+        label: str,
+    ) -> int:
+        if src.size == 0:
+            return 0
+        if not (src.size == dst.size == len(src_keys) == len(dst_keys)):
+            raise ValueError("message component lengths differ")
+        self._check_ids(src, dst)
+        rounds_arr = greedy_two_sided_schedule(src, dst)
+        total = schedule_makespan(rounds_arr)
+
+        if self.strict:
+            validate_schedule(src, dst, rounds_arr)
+            order = np.argsort(rounds_arr, kind="stable")
+            for i in order:
+                i = int(i)
+                self._deliver_checked(
+                    Message(int(src[i]), int(dst[i]), src_keys[i], dst_keys[i])
+                )
+        else:
+            mem = self.mem
+            sample = self._sample_memory if self.track_memory else None
+            for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
+                mem_src = mem[s]
+                if sk not in mem_src:
+                    raise NetworkError(f"computer {s} cannot send {sk!r}: not held")
+                mem[d][dk] = mem_src[sk]
+                if sample is not None:
+                    sample(d)
+
+        self.rounds += total
+        self.messages_sent += src.size
+        self.phases.append(PhaseRecord(label, total, int(src.size)))
+        return total
+
+    def segmented_broadcast(
+        self,
+        segments: Sequence[Sequence[int]],
+        keys: Sequence[Key],
+        *,
+        label: str = "broadcast",
+    ) -> int:
+        """Broadcast, within each segment, the value held by the segment's
+        first computer to all other computers of the segment — in parallel
+        across segments, via binary doubling trees (paper Lemma 3.1).
+
+        Segments must be pairwise disjoint (each computer participates in at
+        most one tree), which is what makes the parallel doubling rounds
+        legal.  Rounds used: ``ceil(log2(max segment size))``.
+        """
+        segments = [list(map(int, seg)) for seg in segments if len(seg) > 0]
+        if not segments:
+            return 0
+        if len(keys) != len(segments):
+            raise ValueError("one key per segment required")
+        if self.strict:
+            seen: set[int] = set()
+            for seg in segments:
+                for c in seg:
+                    if c in seen:
+                        raise NetworkError(
+                            "broadcast segments overlap; parallel trees illegal"
+                        )
+                    seen.add(c)
+        max_len = max(len(seg) for seg in segments)
+        total = 0
+        t = 0
+        while (1 << t) < max_len:
+            step = 1 << t
+            batch: list[Message] = []
+            for seg, key in zip(segments, keys):
+                l = len(seg)
+                for p in range(min(step, max(l - step, 0))):
+                    batch.append(Message(seg[p], seg[p + step], key, key))
+            if batch:
+                total += self._execute_lockstep(batch, label=f"{label}/doubling")
+            t += 1
+        return total
+
+    def segmented_convergecast(
+        self,
+        segments: Sequence[Sequence[int]],
+        keys: Sequence[Key],
+        combine: Callable[[Any, Any], Any],
+        *,
+        label: str = "convergecast",
+    ) -> int:
+        """Aggregate, within each segment, the values held under ``key`` by
+        all members into the first computer, using ``combine`` (an
+        associative, commutative operation — semiring addition).  Binary
+        halving trees, ``ceil(log2(max segment size))`` rounds.
+        """
+        segments = [list(map(int, seg)) for seg in segments if len(seg) > 0]
+        if not segments:
+            return 0
+        if len(keys) != len(segments):
+            raise ValueError("one key per segment required")
+        max_len = max(len(seg) for seg in segments)
+        if max_len <= 1:
+            return 0
+        total = 0
+        # highest power of two below max_len
+        t = 1
+        while (t << 1) < max_len:
+            t <<= 1
+        while t >= 1:
+            batch: list[Message] = []
+            combos: list[tuple[int, Key, Any]] = []
+            for seg, key in zip(segments, keys):
+                l = len(seg)
+                for p in range(t, min(2 * t, l)):
+                    tmp_key = ("__cc__", key, seg[p])
+                    batch.append(Message(seg[p], seg[p - t], key, tmp_key))
+                    combos.append((seg[p - t], key, tmp_key))
+            if batch:
+                total += self._execute_lockstep(batch, label=f"{label}/halving")
+                for comp, key, tmp_key in combos:
+                    acc = combine(self.mem[comp][key], self.mem[comp][tmp_key])
+                    self.write(comp, key, acc, provenance=(key, tmp_key))
+                    self.delete(comp, tmp_key)
+            t >>= 1
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _execute_lockstep(self, messages: Sequence[Message], *, label: str) -> int:
+        """Execute a batch that must fit in exactly one round."""
+        src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
+        dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
+        self._check_ids(src, dst)
+        if self.strict:
+            if np.unique(src).size != src.size:
+                raise NetworkError(f"{label}: computer sends twice in one round")
+            if np.unique(dst).size != dst.size:
+                raise NetworkError(f"{label}: computer receives twice in one round")
+            for msg in messages:
+                self._deliver_checked(msg)
+        else:
+            for msg in messages:
+                mem_src = self.mem[msg.src]
+                if msg.src_key not in mem_src:
+                    raise NetworkError(
+                        f"computer {msg.src} cannot send {msg.src_key!r}: not held"
+                    )
+                self.mem[msg.dst][msg.dst_key] = mem_src[msg.src_key]
+                self._sample_memory(msg.dst)
+        self.rounds += 1
+        self.messages_sent += len(messages)
+        self.phases.append(PhaseRecord(label, 1, len(messages)))
+        return 1
+
+    def _deliver_checked(self, msg: Message) -> None:
+        if msg.src_key not in self.mem[msg.src]:
+            raise NetworkError(
+                f"computer {msg.src} cannot send {msg.src_key!r}: not held"
+            )
+        value = self.mem[msg.src][msg.src_key]
+        if not _is_word(value):
+            raise NetworkError(
+                f"payload {value!r} does not fit in one O(log n)-bit word"
+            )
+        self.mem[msg.dst][msg.dst_key] = value
+        self._sample_memory(msg.dst)
+
+    def _check_ids(self, src: np.ndarray, dst: np.ndarray) -> None:
+        if src.size and (
+            src.min() < 0 or dst.min() < 0 or src.max() >= self.n or dst.max() >= self.n
+        ):
+            raise NetworkError("message endpoint outside the network")
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def phase_summary(self) -> dict[str, tuple[int, int]]:
+        """Aggregate (rounds, messages) by phase label prefix."""
+        out: dict[str, tuple[int, int]] = {}
+        for rec in self.phases:
+            base = rec.label.split("/")[0]
+            r, m = out.get(base, (0, 0))
+            out[base] = (r + rec.rounds, m + rec.messages)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LowBandwidthNetwork(n={self.n}, rounds={self.rounds}, "
+            f"messages={self.messages_sent}, strict={self.strict})"
+        )

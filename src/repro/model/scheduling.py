@@ -1,0 +1,140 @@
+"""Message scheduling for the low-bandwidth model.
+
+A *communication phase* is a multiset of point-to-point messages
+``(src, dst)``.  The model allows each computer to send at most one and
+receive at most one message per round, so delivering a phase is exactly a
+proper edge colouring of the bipartite multigraph (senders x receivers):
+each colour class is one round.
+
+The paper (proof of Lemma 3.1) observes that a phase whose max send-degree is
+``s`` and max receive-degree is ``r`` can be delivered in ``O(s + r)`` rounds.
+:func:`greedy_two_sided_schedule` realizes that bound constructively with at
+most ``s + r - 1`` rounds: process messages in any order and give each the
+first round in which both its endpoints are free.  (This is the classic
+greedy bound ``deg(u) + deg(v) - 1`` for edge colouring; Konig's theorem
+would give the optimum ``max(s, r)`` but the greedy bound already matches
+the paper's asymptotics and is what we execute.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "greedy_two_sided_schedule",
+    "schedule_makespan",
+    "validate_schedule",
+]
+
+
+def greedy_two_sided_schedule(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Assign a round number to each message of a phase.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of equal length; ``src[i]`` sends message ``i`` to
+        ``dst[i]``.  Self-messages (``src == dst``) are local and get round
+        ``-1`` (they cost nothing).
+
+    Returns
+    -------
+    rounds:
+        ``rounds[i]`` is the 0-based round in which message ``i`` travels.
+        The number of rounds used is ``rounds.max() + 1`` and is at most
+        ``s + r - 1`` where ``s``/``r`` are the max send/receive degrees.
+
+    Notes
+    -----
+    Messages are processed grouped by sender so each sender emits in
+    consecutive-ish rounds; receivers are tracked with "first free round"
+    pointers plus a per-receiver set of occupied rounds.  Worst-case cost is
+    ``O(M * (s + r))`` but in practice near-linear.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src/dst length mismatch")
+    m = src.size
+    rounds = np.full(m, -1, dtype=np.int64)
+    if m == 0:
+        return rounds
+    remote = src != dst
+    if not remote.any():
+        return rounds
+
+    # First-fit on BOTH endpoints: each message takes the earliest round
+    # in which neither its sender nor its receiver is busy.  At assignment
+    # time at most (deg(s) - 1) + (deg(d) - 1) rounds are blocked for the
+    # edge, so first-fit lands within deg(s) + deg(d) - 1 <= s + r - 1 —
+    # the documented guarantee.  (A monotone per-sender pointer is NOT
+    # sufficient: skipping a sender's earlier free slots can push the
+    # makespan past the bound; found by the property tests.)
+    idx = np.lexsort((dst[remote].ravel(), src[remote].ravel()))
+    r_src = src[remote][idx]
+    r_dst = dst[remote][idx]
+
+    send_busy: dict[int, set[int]] = {}
+    send_ptr: dict[int, int] = {}
+    recv_busy: dict[int, set[int]] = {}
+    recv_ptr: dict[int, int] = {}
+
+    assigned = np.empty(r_src.size, dtype=np.int64)
+    for k in range(r_src.size):
+        s = int(r_src[k])
+        d = int(r_dst[k])
+        occ_s = send_busy.setdefault(s, set())
+        occ_d = recv_busy.setdefault(d, set())
+        t = max(send_ptr.get(s, 0), recv_ptr.get(d, 0))
+        while t in occ_s or t in occ_d:
+            t += 1
+        assigned[k] = t
+        occ_s.add(t)
+        occ_d.add(t)
+        # advance the first-free pointers past their dense prefixes
+        ptr = send_ptr.get(s, 0)
+        while ptr in occ_s:
+            ptr += 1
+        send_ptr[s] = ptr
+        ptr = recv_ptr.get(d, 0)
+        while ptr in occ_d:
+            ptr += 1
+        recv_ptr[d] = ptr
+
+    out_remote = np.empty(r_src.size, dtype=np.int64)
+    out_remote[idx] = assigned
+    rounds[remote] = out_remote
+    return rounds
+
+
+def schedule_makespan(rounds: np.ndarray) -> int:
+    """Number of communication rounds a schedule occupies."""
+    rounds = np.asarray(rounds)
+    if rounds.size == 0:
+        return 0
+    mx = int(rounds.max())
+    return mx + 1 if mx >= 0 else 0
+
+
+def validate_schedule(src: np.ndarray, dst: np.ndarray, rounds: np.ndarray) -> None:
+    """Raise ``ValueError`` unless the schedule is a proper edge colouring.
+
+    Checks, per round, that no computer sends more than one message and no
+    computer receives more than one message — the defining constraint of the
+    low-bandwidth model.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    rounds = np.asarray(rounds, dtype=np.int64)
+    remote = src != dst
+    if not remote.any():
+        return
+    s, d, r = src[remote], dst[remote], rounds[remote]
+    if (r < 0).any():
+        raise ValueError("remote message without a round assignment")
+    send_keys = r.astype(np.int64) * (s.max() + d.max() + 2) + s
+    recv_keys = r.astype(np.int64) * (s.max() + d.max() + 2) + d
+    if np.unique(send_keys).size != send_keys.size:
+        raise ValueError("a computer sends two messages in one round")
+    if np.unique(recv_keys).size != recv_keys.size:
+        raise ValueError("a computer receives two messages in one round")

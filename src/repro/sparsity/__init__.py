@@ -1,0 +1,77 @@
+"""Sparsity structure: families, degeneracy, generators.
+
+The paper's six notions of sparsity (§1.3)::
+
+    US(d)  uniformly sparse   — at most d nonzeros per row and per column
+    RS(d)  row-sparse         — at most d nonzeros per row
+    CS(d)  column-sparse      — at most d nonzeros per column
+    BD(d)  bounded degeneracy — recursively delete a row/column with <= d nonzeros
+    AS(d)  average-sparse     — at most d*n nonzeros in total
+    GM     general matrices
+
+with the lattice ``US <= RS, CS <= BD <= AS <= GM``.
+"""
+
+from repro.sparsity.families import (
+    Family,
+    US,
+    RS,
+    CS,
+    BD,
+    AS,
+    GM,
+    family_contains,
+    classify_tightest,
+)
+from repro.sparsity.degeneracy import (
+    degeneracy,
+    elimination_order,
+    split_rs_cs,
+)
+from repro.sparsity.arboricity import (
+    arboricity_bounds,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    forest_decomposition,
+)
+from repro.sparsity.generators import (
+    random_pattern,
+    rmat_pattern,
+    random_uniformly_sparse,
+    random_row_sparse,
+    random_col_sparse,
+    random_degenerate,
+    random_average_sparse,
+    dense_pattern,
+    product_support,
+    restrict_support,
+)
+
+__all__ = [
+    "Family",
+    "US",
+    "RS",
+    "CS",
+    "BD",
+    "AS",
+    "GM",
+    "family_contains",
+    "classify_tightest",
+    "degeneracy",
+    "elimination_order",
+    "split_rs_cs",
+    "random_pattern",
+    "random_uniformly_sparse",
+    "random_row_sparse",
+    "random_col_sparse",
+    "random_degenerate",
+    "random_average_sparse",
+    "dense_pattern",
+    "product_support",
+    "restrict_support",
+    "rmat_pattern",
+    "arboricity_bounds",
+    "arboricity_lower_bound",
+    "arboricity_upper_bound",
+    "forest_decomposition",
+]

@@ -1,0 +1,131 @@
+"""Degeneracy of the bipartite graph of a sparsity pattern.
+
+A pattern is in ``BD(d)`` when it can be *recursively eliminated*: at each
+step delete a row or a column with at most ``d`` remaining nonzeros
+(paper §1.3).  Interpreting the matrix as a bipartite graph — one node per
+row, one per column, an edge per nonzero — this is exactly graph
+``d``-degeneracy.
+
+The paper's structural fact (§1.3): any ``A in BD(d)`` splits as
+``A = X + Y`` with ``X in RS(d)`` and ``Y in CS(d)``: during elimination,
+a deleted *row*'s remaining nonzeros go to the row-sparse part, a deleted
+*column*'s to the column-sparse part.  :func:`split_rs_cs` realizes that
+decomposition; Theorem 5.11's algorithm relies on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparsity.families import as_csr
+
+__all__ = ["degeneracy", "elimination_order", "split_rs_cs", "EliminationStep"]
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One elimination step: the deleted node and its remaining nonzeros."""
+
+    kind: str  # "row" or "col"
+    index: int
+    entries: tuple[tuple[int, int], ...]  # (i, j) matrix coordinates removed
+
+
+def _bipartite_lists(mat: sp.csr_matrix):
+    csr = mat
+    csc = mat.tocsc()
+    n_rows, n_cols = mat.shape
+    row_adj = [csr.indices[csr.indptr[i] : csr.indptr[i + 1]].tolist() for i in range(n_rows)]
+    col_adj = [csc.indices[csc.indptr[j] : csc.indptr[j + 1]].tolist() for j in range(n_cols)]
+    return row_adj, col_adj
+
+
+def elimination_order(pattern) -> list[EliminationStep]:
+    """Greedy minimum-degree elimination of the bipartite graph.
+
+    Always deletes a node of currently-minimum degree (standard degeneracy
+    peeling).  The degeneracy equals the maximum degree seen at deletion
+    time across the whole order.
+    """
+    mat = as_csr(pattern)
+    n_rows, n_cols = mat.shape
+    row_adj, col_adj = _bipartite_lists(mat)
+    row_deg = np.array([len(a) for a in row_adj], dtype=np.int64)
+    col_deg = np.array([len(a) for a in col_adj], dtype=np.int64)
+    alive_row = np.ones(n_rows, dtype=bool)
+    alive_col = np.ones(n_cols, dtype=bool)
+
+    heap: list[tuple[int, int, int]] = []  # (degree, kind_flag, index); kind 0=row, 1=col
+    for i in range(n_rows):
+        heap.append((int(row_deg[i]), 0, i))
+    for j in range(n_cols):
+        heap.append((int(col_deg[j]), 1, j))
+    heapq.heapify(heap)
+
+    steps: list[EliminationStep] = []
+    removed_edges: set[tuple[int, int]] = set()
+
+    while heap:
+        deg, kind, idx = heapq.heappop(heap)
+        if kind == 0:
+            if not alive_row[idx] or deg != row_deg[idx]:
+                continue
+            alive_row[idx] = False
+            entries = [
+                (idx, j) for j in row_adj[idx] if alive_col[j] and (idx, j) not in removed_edges
+            ]
+            for (i, j) in entries:
+                removed_edges.add((i, j))
+                col_deg[j] -= 1
+                heapq.heappush(heap, (int(col_deg[j]), 1, j))
+            steps.append(EliminationStep("row", idx, tuple(entries)))
+        else:
+            if not alive_col[idx] or deg != col_deg[idx]:
+                continue
+            alive_col[idx] = False
+            entries = [
+                (i, idx) for i in col_adj[idx] if alive_row[i] and (i, idx) not in removed_edges
+            ]
+            for (i, j) in entries:
+                removed_edges.add((i, j))
+                row_deg[i] -= 1
+                heapq.heappush(heap, (int(row_deg[i]), 0, i))
+            steps.append(EliminationStep("col", idx, tuple(entries)))
+    return steps
+
+
+def degeneracy(pattern) -> int:
+    """The least ``d`` such that ``pattern in BD(d)``."""
+    steps = elimination_order(pattern)
+    if not steps:
+        return 0
+    return max(len(s.entries) for s in steps)
+
+
+def split_rs_cs(pattern) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Split ``A in BD(d)`` into ``A = X + Y``, ``X in RS(d)``, ``Y in CS(d)``.
+
+    ``d`` here is ``degeneracy(pattern)``; the split is disjoint (each
+    nonzero lands in exactly one part).
+    """
+    mat = as_csr(pattern)
+    steps = elimination_order(mat)
+    rs_entries: list[tuple[int, int]] = []
+    cs_entries: list[tuple[int, int]] = []
+    for step in steps:
+        (rs_entries if step.kind == "row" else cs_entries).extend(step.entries)
+
+    def build(entries: list[tuple[int, int]]) -> sp.csr_matrix:
+        if not entries:
+            return sp.csr_matrix(mat.shape, dtype=bool)
+        arr = np.asarray(entries, dtype=np.int64)
+        data = np.ones(arr.shape[0], dtype=bool)
+        return sp.csr_matrix((data, (arr[:, 0], arr[:, 1])), shape=mat.shape)
+
+    x = build(rs_entries)
+    y = build(cs_entries)
+    return x, y

@@ -1,0 +1,253 @@
+"""Random instance generators for every sparsity family.
+
+These drive tests and benchmarks; each generator returns a boolean CSR
+pattern guaranteed to lie in the requested family at parameter ``d``.  The
+``BD`` generator deliberately produces *skewed* degree distributions (a few
+very heavy rows/columns) so that the instances are genuinely outside
+``US(d)`` — that gap is the paper's Contribution 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparsity.families import Family, as_csr
+
+__all__ = [
+    "random_pattern",
+    "random_uniformly_sparse",
+    "random_row_sparse",
+    "random_col_sparse",
+    "random_degenerate",
+    "random_average_sparse",
+    "dense_pattern",
+    "product_support",
+    "restrict_support",
+]
+
+
+def _coo(n: int, rows: np.ndarray, cols: np.ndarray) -> sp.csr_matrix:
+    data = np.ones(rows.size, dtype=bool)
+    mat = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    mat.sum_duplicates()
+    return mat
+
+
+def random_uniformly_sparse(n: int, d: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """US(d): union of ``d`` random permutation matrices.
+
+    Every row and column receives at most ``d`` nonzeros (duplicates merge,
+    so degrees can be below ``d``).
+    """
+    rows = np.tile(np.arange(n, dtype=np.int64), d)
+    cols = np.concatenate([rng.permutation(n) for _ in range(d)]).astype(np.int64)
+    return _coo(n, rows, cols)
+
+
+def random_row_sparse(n: int, d: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """RS(d): each row draws ``d`` column indices uniformly (columns may be
+    heavy, so the pattern is typically not CS/US)."""
+    rows = np.repeat(np.arange(n, dtype=np.int64), d)
+    cols = rng.integers(0, n, size=n * d).astype(np.int64)
+    return _coo(n, rows, cols)
+
+
+def random_col_sparse(n: int, d: int, rng: np.random.Generator) -> sp.csr_matrix:
+    """CS(d): transpose construction of :func:`random_row_sparse`."""
+    return sp.csr_matrix(random_row_sparse(n, d, rng).T)
+
+
+def random_degenerate(
+    n: int, d: int, rng: np.random.Generator, *, hub_fraction: float = 0.05
+) -> sp.csr_matrix:
+    """BD(d) with heavy hubs: build by *reverse elimination*.
+
+    Nodes (rows and columns interleaved, random order) arrive one at a
+    time; each new node connects to at most ``d`` already-present nodes of
+    the opposite side, chosen preferentially from a small hub set.  The
+    construction order is a valid elimination order in reverse, so the
+    result is ``d``-degenerate, while hubs accumulate degree far above
+    ``d`` — the pattern lies in ``BD(d)`` but not in ``US(d)``/``RS(d)``/
+    ``CS(d)`` for realistic parameters.
+    """
+    order = rng.permutation(2 * n)  # node id v: row v if v < n else column v-n
+    present_rows: list[int] = []
+    present_cols: list[int] = []
+    hub_rows: list[int] = []
+    hub_cols: list[int] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    for v in order:
+        if v < n:
+            pool_main, pool_hub = present_cols, hub_cols
+        else:
+            pool_main, pool_hub = present_rows, hub_rows
+        pool = pool_hub if (pool_hub and rng.random() < 0.7) else pool_main
+        if pool:
+            k = min(d, len(pool))
+            picks = rng.choice(len(pool), size=k, replace=False)
+            for p in picks:
+                u = pool[p]
+                if v < n:
+                    rows.append(int(v))
+                    cols.append(int(u))
+                else:
+                    rows.append(int(u))
+                    cols.append(int(v) - n)
+        if v < n:
+            present_rows.append(int(v))
+            if rng.random() < hub_fraction:
+                hub_rows.append(int(v))
+        else:
+            present_cols.append(int(v) - n)
+            if rng.random() < hub_fraction:
+                hub_cols.append(int(v) - n)
+    if not rows:
+        return sp.csr_matrix((n, n), dtype=bool)
+    return _coo(n, np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64))
+
+
+def random_average_sparse(
+    n: int, d: int, rng: np.random.Generator, *, skew: float = 1.2
+) -> sp.csr_matrix:
+    """AS(d): exactly ``<= d*n`` nonzeros with Zipf-skewed row sizes.
+
+    A handful of rows are nearly dense while most are nearly empty — the
+    regime where uniform sparsity utterly fails but average sparsity holds.
+    """
+    budget = d * n
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-skew)
+    weights /= weights.sum()
+    sizes = np.minimum(n, np.ceil(weights * budget).astype(np.int64))
+    # trim to budget
+    overshoot = int(sizes.sum()) - budget
+    i = 0
+    while overshoot > 0 and i < n:
+        take = min(overshoot, int(sizes[i]))
+        if sizes[n - 1 - i] > 0:
+            take = min(overshoot, int(sizes[n - 1 - i]))
+            sizes[n - 1 - i] -= take
+            overshoot -= take
+        i += 1
+    row_order = rng.permutation(n)
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    for r, size in zip(row_order, sizes):
+        if size <= 0:
+            continue
+        cols_r = rng.choice(n, size=int(size), replace=False)
+        rows_list.append(np.full(int(size), r, dtype=np.int64))
+        cols_list.append(cols_r.astype(np.int64))
+    if not rows_list:
+        return sp.csr_matrix((n, n), dtype=bool)
+    return _coo(n, np.concatenate(rows_list), np.concatenate(cols_list))
+
+
+def rmat_pattern(
+    n: int,
+    nnz: int,
+    rng: np.random.Generator,
+    *,
+    probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+) -> sp.csr_matrix:
+    """R-MAT / Kronecker pattern — the classic skewed HPC graph workload.
+
+    Each nonzero's coordinates are drawn by recursively descending a 2x2
+    quadrant distribution; the result has heavy-tailed row/column degrees
+    (typically ``AS``-but-not-``US`` at realistic parameters), which is
+    exactly the regime where the paper's generalized sparsity classes
+    matter.  ``n`` is rounded up to a power of two internally and entries
+    are clipped back.
+    """
+    if nnz <= 0:
+        return sp.csr_matrix((n, n), dtype=bool)
+    levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    p = np.asarray(probs, dtype=np.float64)
+    p = p / p.sum()
+    rows = np.zeros(nnz, dtype=np.int64)
+    cols = np.zeros(nnz, dtype=np.int64)
+    for _ in range(levels):
+        quad = rng.choice(4, size=nnz, p=p)
+        rows = rows * 2 + (quad >= 2)
+        cols = cols * 2 + (quad % 2)
+    rows = rows % n
+    cols = cols % n
+    return _coo(n, rows, cols)
+
+
+def dense_pattern(n: int) -> sp.csr_matrix:
+    """GM: the all-ones pattern."""
+    return sp.csr_matrix(np.ones((n, n), dtype=bool))
+
+
+def random_pattern(
+    family: Family, n: int, d: int, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """Dispatch: a random pattern guaranteed to lie in ``family(d)``."""
+    if family is Family.US:
+        return random_uniformly_sparse(n, d, rng)
+    if family is Family.RS:
+        return random_row_sparse(n, d, rng)
+    if family is Family.CS:
+        return random_col_sparse(n, d, rng)
+    if family is Family.BD:
+        return random_degenerate(n, d, rng)
+    if family is Family.AS:
+        return random_average_sparse(n, d, rng)
+    if family is Family.GM:
+        return dense_pattern(n)
+    raise ValueError(f"unknown family {family}")
+
+
+def product_support(a_hat, b_hat) -> sp.csr_matrix:
+    """Support of the product: ``(A_hat @ B_hat) != 0`` as boolean CSR."""
+    prod = as_csr(a_hat).astype(np.int64) @ as_csr(b_hat).astype(np.int64)
+    return as_csr(prod)
+
+
+def restrict_support(
+    support, family: Family, d: int, rng: np.random.Generator
+) -> sp.csr_matrix:
+    """Prune a product support to a member of ``family(d)``.
+
+    The supported model computes only a *requested part* ``X_hat`` of the
+    product (paper §2.1), so pruning is legitimate: we simply request fewer
+    entries.  Pruning is randomized but deterministic given ``rng``.
+    """
+    mat = as_csr(support)
+    if family is Family.GM:
+        return mat
+    coo = mat.tocoo()
+    order = rng.permutation(coo.nnz)
+    rows, cols = coo.row[order].astype(np.int64), coo.col[order].astype(np.int64)
+    n = mat.shape[0]
+    keep_rows: list[int] = []
+    keep_cols: list[int] = []
+
+    if family is Family.AS:
+        budget = d * n
+        keep = slice(0, min(budget, rows.size))
+        return _coo(n, rows[keep], cols[keep])
+
+    row_cnt = np.zeros(n, dtype=np.int64)
+    col_cnt = np.zeros(n, dtype=np.int64)
+    for i, j in zip(rows, cols):
+        ok = True
+        if family in (Family.US, Family.RS) and row_cnt[i] >= d:
+            ok = False
+        if family in (Family.US, Family.CS) and col_cnt[j] >= d:
+            ok = False
+        if family is Family.BD:
+            # greedy: cap both degrees at d, a sufficient condition for
+            # d-degeneracy (a US(d) pattern is d-degenerate)
+            if row_cnt[i] >= d or col_cnt[j] >= d:
+                ok = False
+        if ok:
+            keep_rows.append(int(i))
+            keep_cols.append(int(j))
+            row_cnt[i] += 1
+            col_cnt[j] += 1
+    if not keep_rows:
+        return sp.csr_matrix((n, n), dtype=bool)
+    return _coo(n, np.asarray(keep_rows, dtype=np.int64), np.asarray(keep_cols, dtype=np.int64))

@@ -1,0 +1,33 @@
+"""The supported setting: indicator matrices, instances, triangles, clusters.
+
+In the supported model (paper §2.1) the sparsity structure — indicator
+matrices ``A_hat``, ``B_hat``, ``X_hat`` — is known in advance and arbitrary
+preprocessing may depend on it; the numeric values are revealed at run time
+and may only move through messages.
+"""
+
+from repro.supported.instance import SupportedInstance, make_instance
+from repro.supported.triangles import (
+    TriangleSet,
+    enumerate_triangles,
+)
+from repro.supported.clustering import (
+    Cluster,
+    find_dense_cluster,
+    find_dense_cluster_sampled,
+    extract_clustering,
+)
+from repro.supported.io import save_instance, load_instance
+
+__all__ = [
+    "SupportedInstance",
+    "make_instance",
+    "TriangleSet",
+    "enumerate_triangles",
+    "Cluster",
+    "find_dense_cluster",
+    "find_dense_cluster_sampled",
+    "extract_clustering",
+    "save_instance",
+    "load_instance",
+]

@@ -1,0 +1,348 @@
+"""A supported matrix-multiplication instance and its data distribution.
+
+``X = A B`` for ``n x n`` matrices on ``n`` computers.  The *support*
+(indicator matrices) is public; the numeric values are private inputs dealt
+to their owner computers.  Ownership maps are part of the support-dependent
+preprocessing:
+
+* ``rows`` distribution (the default of the prior work): computer ``v``
+  holds row ``v`` of ``A``, row ``v`` of ``B`` and reports row ``v`` of
+  ``X`` — natural for uniformly sparse instances.
+* ``balanced`` distribution: nonzeros are dealt round-robin in sorted
+  order, at most ``ceil(nnz / n)`` per computer — the paper's convention
+  for average-sparse instances ("each computer holds at most d elements",
+  §2).  The paper notes input/output can be permuted between conventions
+  in ``O(d)`` extra rounds, so either is equivalent for the bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.model.network import LowBandwidthNetwork
+from repro.semirings import Semiring, REAL_FIELD
+from repro.sparsity.families import Family, as_csr
+from repro.sparsity.generators import product_support, random_pattern, restrict_support
+from repro.supported.triangles import TriangleSet
+
+__all__ = ["SupportedInstance", "make_instance", "lookup_values"]
+
+
+def lookup_values(mat: sp.csr_matrix, rows: np.ndarray, cols: np.ndarray, sr: Semiring) -> np.ndarray:
+    """Vectorized lookup of ``mat[rows[t], cols[t]]`` (zero when absent).
+
+    Works on the sorted key array of the matrix's nonzeros — O((nnz + q) log
+    nnz) instead of per-element sparse ``__getitem__``.
+    """
+    coo = sp.coo_matrix(mat)
+    n_cols = mat.shape[1]
+    keys = coo.row.astype(np.int64) * n_cols + coo.col.astype(np.int64)
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+    sorted_vals = np.asarray(coo.data, dtype=sr.dtype)[order]
+    q = np.asarray(rows, dtype=np.int64) * n_cols + np.asarray(cols, dtype=np.int64)
+    pos = np.searchsorted(sorted_keys, q)
+    pos_clipped = np.minimum(pos, max(sorted_keys.size - 1, 0))
+    out = sr.zeros(q.size)
+    if sorted_keys.size:
+        hit = sorted_keys[pos_clipped] == q
+        out[hit] = sorted_vals[pos_clipped[hit]]
+    return out
+
+
+def _owner_map_rows(pattern: sp.csr_matrix, axis: int) -> dict[tuple[int, int], int]:
+    """Row-owner (axis=0) or column-owner (axis=1) assignment."""
+    coo = as_csr(pattern).tocoo()
+    if axis == 0:
+        return {(int(i), int(j)): int(i) for i, j in zip(coo.row, coo.col)}
+    return {(int(i), int(j)): int(j) for i, j in zip(coo.row, coo.col)}
+
+
+def _owner_map_balanced(pattern: sp.csr_matrix, n: int) -> dict[tuple[int, int], int]:
+    coo = as_csr(pattern).tocoo()
+    order = np.lexsort((coo.col, coo.row))
+    per = -(-coo.nnz // n) if coo.nnz else 1  # ceil
+    owners = {}
+    for slot, idx in enumerate(order):
+        owners[(int(coo.row[idx]), int(coo.col[idx]))] = slot // per
+    return owners
+
+
+@dataclass
+class SupportedInstance:
+    """One instance: support + values + ownership.
+
+    Attributes
+    ----------
+    semiring:
+        Algebra the product is computed over.
+    a_hat, b_hat, x_hat:
+        Indicator matrices (boolean CSR) — *public* support.
+    a, b:
+        Value matrices (CSR over ``semiring.dtype``), supported on
+        ``a_hat`` / ``b_hat`` — *private* inputs.
+    d:
+        The sparsity parameter the instance was generated at (metadata).
+    """
+
+    semiring: Semiring
+    a_hat: sp.csr_matrix
+    b_hat: sp.csr_matrix
+    x_hat: sp.csr_matrix
+    a: sp.csr_matrix
+    b: sp.csr_matrix
+    d: int = 0
+    distribution: str = "rows"
+
+    def __post_init__(self):
+        self.a_hat = as_csr(self.a_hat)
+        self.b_hat = as_csr(self.b_hat)
+        self.x_hat = as_csr(self.x_hat)
+        self.a = sp.csr_matrix(self.a, dtype=self.semiring.dtype)
+        self.b = sp.csr_matrix(self.b, dtype=self.semiring.dtype)
+
+    @property
+    def n(self) -> int:
+        return self.a_hat.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Ownership (support-dependent preprocessing)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def owner_a(self) -> dict[tuple[int, int], int]:
+        if self.distribution == "balanced":
+            return _owner_map_balanced(self.a_hat, self.n)
+        return _owner_map_rows(self.a_hat, axis=0)
+
+    @cached_property
+    def owner_b(self) -> dict[tuple[int, int], int]:
+        if self.distribution == "balanced":
+            return _owner_map_balanced(self.b_hat, self.n)
+        return _owner_map_rows(self.b_hat, axis=0)
+
+    @cached_property
+    def owner_x(self) -> dict[tuple[int, int], int]:
+        if self.distribution == "balanced":
+            return _owner_map_balanced(self.x_hat, self.n)
+        return _owner_map_rows(self.x_hat, axis=0)
+
+    def max_local_elements(self) -> int:
+        """Largest number of input/output elements at any single computer."""
+        load = np.zeros(self.n, dtype=np.int64)
+        for owners in (self.owner_a, self.owner_b, self.owner_x):
+            for comp in owners.values():
+                load[comp] += 1
+        return int(load.max()) if load.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Dense views (absent entries become the semiring zero, which matters
+    # for tropical semirings where "absent" means +inf, not 0.0)
+    # ------------------------------------------------------------------ #
+    def _densify(self, mat: sp.csr_matrix) -> np.ndarray:
+        out = self.semiring.zeros(mat.shape)
+        coo = mat.tocoo()
+        out[coo.row, coo.col] = np.asarray(coo.data, dtype=self.semiring.dtype)
+        return out
+
+    def dense_a(self) -> np.ndarray:
+        """Dense view of A with semiring zeros at absent positions."""
+        return self._densify(self.a)
+
+    def dense_b(self) -> np.ndarray:
+        """Dense view of B with semiring zeros at absent positions."""
+        return self._densify(self.b)
+
+    # ------------------------------------------------------------------ #
+    # Triangles
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def triangles(self) -> TriangleSet:
+        return TriangleSet.from_instance(self.a_hat, self.b_hat, self.x_hat)
+
+    # ------------------------------------------------------------------ #
+    # Dealing inputs / collecting outputs
+    # ------------------------------------------------------------------ #
+    def deal_into(self, net: LowBandwidthNetwork) -> None:
+        """Place input values at their owner computers."""
+        if net.n != self.n:
+            raise ValueError("network size must equal matrix dimension")
+        zero = self.semiring.scalar(self.semiring.zero)
+        # Iterate the support (ownership) rather than the stored values:
+        # the support only upper-bounds the nonzeros, so hat positions with
+        # no (or an explicit zero) value are dealt as the semiring zero.
+        for prefix, mat, owners in (
+            ("A", self.a, self.owner_a),
+            ("B", self.b, self.owner_b),
+        ):
+            coo = mat.tocoo()
+            values = {
+                (int(i), int(j)): v
+                for i, j, v in zip(coo.row, coo.col, coo.data)
+            }
+            extra = {
+                p
+                for p in set(values) - set(owners)
+                if not self.semiring.close(values[p], zero)
+            }
+            if extra:
+                raise ValueError(
+                    f"matrix {prefix} stores nonzero values outside its indicator support: {sorted(extra)[:3]}"
+                )
+            for (i, j), comp in owners.items():
+                net.deal(comp, (prefix, i, j), values.get((i, j), zero))
+
+    def collect_result(self, net: LowBandwidthNetwork) -> sp.csr_matrix:
+        """Read the computed ``X`` values from their owner computers."""
+        coo = self.x_hat.tocoo()
+        data = np.empty(coo.nnz, dtype=self.semiring.dtype)
+        for idx, (i, k) in enumerate(zip(coo.row, coo.col)):
+            comp = self.owner_x[(int(i), int(k))]
+            data[idx] = net.read(comp, ("X", int(i), int(k)))
+        mat = sp.csr_matrix((data, (coo.row, coo.col)), shape=self.x_hat.shape)
+        return mat
+
+    # ------------------------------------------------------------------ #
+    # Ground truth
+    # ------------------------------------------------------------------ #
+    def ground_truth(self) -> sp.csr_matrix:
+        """Reference product on the requested support, computed locally by
+        semiring-summing over the triangle set (the defining equation)."""
+        sr = self.semiring
+        x_coo = self.x_hat.tocoo()
+        n = self.n
+        x_keys = x_coo.row.astype(np.int64) * n + x_coo.col.astype(np.int64)
+        order = np.argsort(x_keys)
+        sorted_keys = x_keys[order]
+
+        tri = self.triangles.triangles
+        values = sr.zeros(x_coo.nnz)
+        if tri.shape[0]:
+            av = lookup_values(self.a, tri[:, 0], tri[:, 1], sr)
+            bv = lookup_values(self.b, tri[:, 1], tri[:, 2], sr)
+            prods = sr.mul(av, bv)
+            keys = tri[:, 0] * n + tri[:, 2]
+            pos = order[np.searchsorted(sorted_keys, keys)]
+            acc = sr.segment_sum(prods, pos, x_coo.nnz)
+            values = acc
+        mat = sp.csr_matrix((values, (x_coo.row, x_coo.col)), shape=self.x_hat.shape)
+        return mat
+
+    def verify(self, result: sp.csr_matrix) -> bool:
+        """Does ``result`` equal the ground truth on the requested support?"""
+        truth = self.ground_truth()
+        a = sp.csr_matrix(result, dtype=self.semiring.dtype)
+        # compare on the support of x_hat
+        coo = self.x_hat.tocoo()
+        lhs = np.asarray(a[coo.row, coo.col]).ravel()
+        rhs = np.asarray(truth[coo.row, coo.col]).ravel()
+        return self.semiring.close(lhs, rhs)
+
+
+def make_hard_instance(
+    n: int,
+    d: int,
+    rng: np.random.Generator,
+    *,
+    semiring: Semiring = REAL_FIELD,
+    density: float = 1.0,
+) -> SupportedInstance:
+    """Worst-case-style ``[US:US:US]`` instance (triangle-rich).
+
+    Random uniformly sparse matrices have very few triangles, so the
+    trivial algorithm is far below its ``Theta(d^2)`` worst case on them.
+    The hard instances here realize the worst case: indices are grouped
+    into ``n/d`` blocks of size ``d`` (under independent random
+    permutations of the three ground sets, consistently across ``A``,
+    ``B`` and ``X``), and each aligned block triple is filled with density
+    ``density`` — every node then touches ``~density^2 d^2`` triangles,
+    which is the regime Theorem 4.2's clustering phase is built for.
+    ``density < 1`` moves mass toward the residual-phase regime.
+    """
+    if d < 1 or d > n:
+        raise ValueError("need 1 <= d <= n")
+    perm_i = rng.permutation(n)
+    perm_j = rng.permutation(n)
+    perm_k = rng.permutation(n)
+
+    def block_pattern(rows_perm, cols_perm) -> sp.csr_matrix:
+        rows, cols = [], []
+        for b in range(n // d):
+            r_idx = rows_perm[b * d : (b + 1) * d]
+            c_idx = cols_perm[b * d : (b + 1) * d]
+            keep = rng.random((d, d)) < density
+            rr, cc = np.nonzero(keep)
+            rows.append(r_idx[rr])
+            cols.append(c_idx[cc])
+        if not rows:
+            return sp.csr_matrix((n, n), dtype=bool)
+        rows = np.concatenate(rows)
+        cols = np.concatenate(cols)
+        return sp.csr_matrix(
+            (np.ones(rows.size, dtype=bool), (rows, cols)), shape=(n, n)
+        )
+
+    a_hat = block_pattern(perm_i, perm_j)
+    b_hat = block_pattern(perm_j, perm_k)
+    x_hat = block_pattern(perm_i, perm_k)
+
+    def values_on(pattern: sp.csr_matrix) -> sp.csr_matrix:
+        coo = pattern.tocoo()
+        vals = semiring.random_values(rng, coo.nnz)
+        return sp.csr_matrix((vals, (coo.row, coo.col)), shape=pattern.shape)
+
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=a_hat,
+        b_hat=b_hat,
+        x_hat=x_hat,
+        a=values_on(a_hat),
+        b=values_on(b_hat),
+        d=d,
+        distribution="rows",
+    )
+
+
+def make_instance(
+    families: tuple[Family, Family, Family],
+    n: int,
+    d: int,
+    rng: np.random.Generator,
+    *,
+    semiring: Semiring = REAL_FIELD,
+    distribution: str | None = None,
+) -> SupportedInstance:
+    """Generate a random supported instance of type ``[X : Y : Z]``.
+
+    ``families = (fam_A, fam_B, fam_X)``.  The output support is the product
+    support pruned into ``fam_X(d)`` (requesting a sparse part of the
+    product is exactly what the supported model permits).
+    """
+    fam_a, fam_b, fam_x = families
+    a_hat = random_pattern(fam_a, n, d, rng)
+    b_hat = random_pattern(fam_b, n, d, rng)
+    support = product_support(a_hat, b_hat)
+    x_hat = restrict_support(support, fam_x, d, rng)
+
+    def values_on(pattern: sp.csr_matrix) -> sp.csr_matrix:
+        coo = pattern.tocoo()
+        vals = semiring.random_values(rng, coo.nnz)
+        return sp.csr_matrix((vals, (coo.row, coo.col)), shape=pattern.shape)
+
+    if distribution is None:
+        distribution = "rows" if fam_a in (Family.US, Family.RS) and fam_b in (Family.US, Family.RS) else "balanced"
+
+    return SupportedInstance(
+        semiring=semiring,
+        a_hat=a_hat,
+        b_hat=b_hat,
+        x_hat=x_hat,
+        a=values_on(a_hat),
+        b=values_on(b_hat),
+        d=d,
+        distribution=distribution,
+    )

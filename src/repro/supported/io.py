@@ -1,0 +1,70 @@
+"""Save/load supported instances (.npz) for reproducible experiments.
+
+Benchmark sweeps regenerate instances from seeds, but shipped artifacts
+and cross-machine comparisons want the exact instance bytes; this module
+round-trips a :class:`SupportedInstance` through a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import semirings
+from repro.supported.instance import SupportedInstance
+
+__all__ = ["save_instance", "load_instance"]
+
+_SEMIRING_BY_NAME = {s.name: s for s in semirings.ALL_SEMIRINGS}
+
+
+def _pack(prefix: str, mat: sp.spmatrix, store: dict) -> None:
+    coo = sp.coo_matrix(mat)
+    store[f"{prefix}_row"] = coo.row.astype(np.int64)
+    store[f"{prefix}_col"] = coo.col.astype(np.int64)
+    store[f"{prefix}_data"] = coo.data
+    store[f"{prefix}_shape"] = np.asarray(coo.shape, dtype=np.int64)
+
+
+def _unpack(prefix: str, store, dtype=None) -> sp.csr_matrix:
+    data = store[f"{prefix}_data"]
+    if dtype is not None:
+        data = data.astype(dtype)
+    return sp.csr_matrix(
+        (data, (store[f"{prefix}_row"], store[f"{prefix}_col"])),
+        shape=tuple(store[f"{prefix}_shape"]),
+    )
+
+
+def save_instance(inst: SupportedInstance, path) -> None:
+    """Write the instance (support, values, metadata) to ``path``."""
+    store: dict = {}
+    _pack("a_hat", inst.a_hat, store)
+    _pack("b_hat", inst.b_hat, store)
+    _pack("x_hat", inst.x_hat, store)
+    _pack("a", inst.a, store)
+    _pack("b", inst.b, store)
+    store["meta_d"] = np.asarray([inst.d], dtype=np.int64)
+    store["meta_semiring"] = np.asarray([inst.semiring.name])
+    store["meta_distribution"] = np.asarray([inst.distribution])
+    np.savez_compressed(path, **store)
+
+
+def load_instance(path) -> SupportedInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    with np.load(path, allow_pickle=False) as store:
+        name = str(store["meta_semiring"][0])
+        try:
+            sr = _SEMIRING_BY_NAME[name]
+        except KeyError:
+            raise ValueError(f"unknown semiring {name!r} in {path}") from None
+        return SupportedInstance(
+            semiring=sr,
+            a_hat=_unpack("a_hat", store).astype(bool),
+            b_hat=_unpack("b_hat", store).astype(bool),
+            x_hat=_unpack("x_hat", store).astype(bool),
+            a=_unpack("a", store, dtype=sr.dtype),
+            b=_unpack("b", store, dtype=sr.dtype),
+            d=int(store["meta_d"][0]),
+            distribution=str(store["meta_distribution"][0]),
+        )

@@ -1,0 +1,143 @@
+"""Triangles of a supported instance (paper §2.2).
+
+A *triangle* is a triple ``{i, j, k}`` with ``A_hat[i, j] != 0``,
+``B_hat[j, k] != 0`` and ``X_hat[i, k] != 0``.  Processing triangle
+``{i, j, k}`` means adding ``A[i, j] * B[j, k]`` into ``X[i, k]``;
+processing *all* triangles computes every requested entry of the product.
+
+Indices live in three disjoint ground sets ``I``, ``J``, ``K`` of size
+``n``; we store triangles as integer triples ``(i, j, k)`` with each
+component in ``[0, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparsity.families import as_csr
+
+__all__ = ["TriangleSet", "enumerate_triangles"]
+
+
+def enumerate_triangles(a_hat, b_hat, x_hat) -> np.ndarray:
+    """All triangles of the instance, as an ``(m, 3)`` int64 array.
+
+    Vectorized per middle index ``j``: candidates are the cross product of
+    ``A_hat``'s column ``j`` with ``B_hat``'s row ``j``, filtered by
+    membership in ``X_hat``.
+    """
+    a = as_csr(a_hat).tocsc()
+    b = as_csr(b_hat)
+    x = as_csr(x_hat)
+    n = x.shape[0]
+
+    # sorted key set of X_hat for membership filtering
+    x_coo = x.tocoo()
+    x_keys = np.sort(x_coo.row.astype(np.int64) * n + x_coo.col.astype(np.int64))
+    if x_keys.size == 0:
+        return np.empty((0, 3), dtype=np.int64)
+
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    out_k: list[np.ndarray] = []
+    for j in range(a.shape[1]):
+        rows_j = a.indices[a.indptr[j] : a.indptr[j + 1]].astype(np.int64)
+        cols_j = b.indices[b.indptr[j] : b.indptr[j + 1]].astype(np.int64)
+        if rows_j.size == 0 or cols_j.size == 0:
+            continue
+        ii = np.repeat(rows_j, cols_j.size)
+        kk = np.tile(cols_j, rows_j.size)
+        keys = ii * n + kk
+        pos = np.searchsorted(x_keys, keys)
+        ok = (pos < x_keys.size) & (x_keys[np.minimum(pos, x_keys.size - 1)] == keys)
+        if not ok.any():
+            continue
+        ii, kk = ii[ok], kk[ok]
+        out_i.append(ii)
+        out_j.append(np.full(ii.size, j, dtype=np.int64))
+        out_k.append(kk)
+    if not out_i:
+        return np.empty((0, 3), dtype=np.int64)
+    return np.stack(
+        [np.concatenate(out_i), np.concatenate(out_j), np.concatenate(out_k)], axis=1
+    )
+
+
+@dataclass(frozen=True)
+class TriangleSet:
+    """A set of triangles over ground sets of size ``n``, with the node /
+    pair statistics the paper's lemmas are stated in terms of."""
+
+    triangles: np.ndarray  # (m, 3) int64, columns (i, j, k)
+    n: int
+
+    def __post_init__(self):
+        t = np.asarray(self.triangles, dtype=np.int64).reshape(-1, 3)
+        object.__setattr__(self, "triangles", t)
+
+    def __len__(self) -> int:
+        return self.triangles.shape[0]
+
+    @classmethod
+    def from_instance(cls, a_hat, b_hat, x_hat) -> "TriangleSet":
+        tri = enumerate_triangles(a_hat, b_hat, x_hat)
+        return cls(tri, as_csr(x_hat).shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Node statistics (t(v) in the paper)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def counts_i(self) -> np.ndarray:
+        return np.bincount(self.triangles[:, 0], minlength=self.n)
+
+    @cached_property
+    def counts_j(self) -> np.ndarray:
+        return np.bincount(self.triangles[:, 1], minlength=self.n)
+
+    @cached_property
+    def counts_k(self) -> np.ndarray:
+        return np.bincount(self.triangles[:, 2], minlength=self.n)
+
+    def max_node_count(self) -> int:
+        """max over nodes v of t(v) = number of triangles containing v."""
+        if len(self) == 0:
+            return 0
+        return int(
+            max(self.counts_i.max(), self.counts_j.max(), self.counts_k.max())
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pair statistics (the 'm' of Lemma 3.1)
+    # ------------------------------------------------------------------ #
+    def max_pair_count(self) -> int:
+        """max over node pairs {u, v} of the number of triangles containing
+        both — the multiplicity parameter ``m`` of Lemma 3.1."""
+        if len(self) == 0:
+            return 0
+        t = self.triangles
+        n = self.n
+        best = 0
+        for a, b in ((0, 1), (1, 2), (0, 2)):
+            keys = t[:, a] * n + t[:, b]
+            best = max(best, int(np.bincount(np.unique(keys, return_inverse=True)[1]).max()))
+        return best
+
+    # ------------------------------------------------------------------ #
+    def subset(self, mask: np.ndarray) -> "TriangleSet":
+        """The triangles selected by a boolean mask."""
+        return TriangleSet(self.triangles[mask], self.n)
+
+    def induced_by(self, i_set: np.ndarray, j_set: np.ndarray, k_set: np.ndarray) -> np.ndarray:
+        """Boolean mask of triangles fully inside ``I' x J' x K'``."""
+        i_mask = np.zeros(self.n, dtype=bool)
+        j_mask = np.zeros(self.n, dtype=bool)
+        k_mask = np.zeros(self.n, dtype=bool)
+        i_mask[np.asarray(i_set, dtype=np.int64)] = True
+        j_mask[np.asarray(j_set, dtype=np.int64)] = True
+        k_mask[np.asarray(k_set, dtype=np.int64)] = True
+        t = self.triangles
+        return i_mask[t[:, 0]] & j_mask[t[:, 1]] & k_mask[t[:, 2]]

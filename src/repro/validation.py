@@ -1,0 +1,79 @@
+"""End-to-end self-check harness.
+
+Runs a compact matrix of instances (families x semirings x distributions)
+through every applicable algorithm on the *strict* simulator and reports
+pass/fail per cell — the one-command health check behind
+``python -m repro selfcheck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.api import ALGORITHMS, multiply
+from repro.semirings import BOOLEAN, GF2, INTEGER_RING, MIN_PLUS, REAL_FIELD, VITERBI
+from repro.sparsity.families import AS, BD, GM, US
+from repro.supported.instance import make_hard_instance, make_instance
+
+__all__ = ["SelfCheckResult", "run_selfcheck"]
+
+
+@dataclass
+class SelfCheckResult:
+    """One cell of the self-check matrix."""
+
+    description: str
+    algorithm: str
+    ok: bool
+    rounds: int
+    error: str = ""
+
+
+def _cases():
+    yield "[US:US:US] real", (US, US, US), REAL_FIELD, "rows", ["naive", "general", "two_phase", "two_phase_field"]
+    yield "[US:US:US] boolean", (US, US, US), BOOLEAN, "rows", ["naive", "general", "two_phase"]
+    yield "[US:US:AS] min-plus", (US, US, AS), MIN_PLUS, "rows", ["general", "two_phase"]
+    yield "[US:AS:GM] viterbi", (US, AS, GM), VITERBI, "balanced", ["general", "us_as_gm"]
+    yield "[BD:AS:AS] integer", (BD, AS, AS), INTEGER_RING, "balanced", ["general", "bd_as_as"]
+    yield "[GM:GM:GM] gf2", (GM, GM, GM), GF2, "rows", ["dense_3d", "strassen", "gather_all"]
+
+
+def run_selfcheck(*, n: int = 16, d: int = 2, seed: int = 0, strict: bool = True) -> list[SelfCheckResult]:
+    """Execute the self-check matrix; returns one result per cell.
+
+    Also runs a worst-case hard instance through the full two-phase
+    pipeline (both kernels).
+    """
+    results: list[SelfCheckResult] = []
+    for description, fams, sr, dist, algos in _cases():
+        for algo in algos:
+            rng = np.random.default_rng(seed)
+            nn = n if GM not in fams else max(8, n // 2)
+            inst = make_instance(fams, nn, d, rng, semiring=sr, distribution=dist)
+            try:
+                res = multiply(inst, algorithm=algo, strict=strict)
+                ok = inst.verify(res.x)
+                results.append(
+                    SelfCheckResult(description, algo, ok, res.rounds)
+                )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                results.append(SelfCheckResult(description, algo, False, -1, repr(exc)))
+
+    for kernel in ("3d", "strassen"):
+        rng = np.random.default_rng(seed)
+        inst = make_hard_instance(8 * max(d * 2, 4), max(d * 2, 4), rng)
+        try:
+            from repro.algorithms.twophase import multiply_two_phase
+
+            res = multiply_two_phase(inst, kernel=kernel, strict=strict)
+            ok = inst.verify(res.x)
+            results.append(
+                SelfCheckResult(f"hard blocks (kernel={kernel})", "two_phase", ok, res.rounds)
+            )
+        except Exception as exc:  # pragma: no cover
+            results.append(
+                SelfCheckResult(f"hard blocks (kernel={kernel})", "two_phase", False, -1, repr(exc))
+            )
+    return results

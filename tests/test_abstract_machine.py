@@ -1,0 +1,187 @@
+"""Tests for the abstract low-bandwidth machine (Definition 6.3) and the
+executable degree invariant of Lemma 6.5."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.abstract_machine import (
+    SILENT,
+    Protocol,
+    ProtocolError,
+    max_partition_degree,
+    partition_classes,
+    run_protocol,
+    silence_broadcast_protocol,
+    tree_or_protocol,
+    verify_degree_invariant,
+)
+
+
+# ------------------------------------------------------------------ #
+# interpreter semantics
+# ------------------------------------------------------------------ #
+def test_run_protocol_input_length():
+    p = tree_or_protocol(4)
+    with pytest.raises(ValueError):
+        run_protocol(p, [0, 1], 1)
+
+
+def test_receive_collision_detected():
+    # two computers always send to computer 0 -> model violation
+    p = Protocol(
+        n=3,
+        init=lambda i, x: x,
+        transition=lambda i, s, r: s,
+        message=lambda i, s: 1,
+        address=lambda i, s: 0 if i != 0 else SILENT,
+        output=lambda i, s: s,
+    )
+    with pytest.raises(ProtocolError):
+        run_protocol(p, [0, 0, 0], 1)
+
+
+def test_silent_protocol_runs():
+    p = Protocol(
+        n=2,
+        init=lambda i, x: x,
+        transition=lambda i, s, r: s,
+        message=lambda i, s: SILENT,
+        address=lambda i, s: SILENT,
+        output=lambda i, s: s,
+    )
+    states = run_protocol(p, [1, 0], 3)
+    assert states == [1, 0]
+
+
+# ------------------------------------------------------------------ #
+# the tree-OR protocol
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_tree_or_computes_or(n):
+    p = tree_or_protocol(n)
+    rounds = math.ceil(math.log2(n))
+    for mask in range(1 << n):
+        bits = [(mask >> i) & 1 for i in range(n)]
+        states = run_protocol(p, bits, rounds)
+        assert p.output(0, states[0]) == (1 if any(bits) else 0), bits
+
+
+def test_tree_or_needs_log_rounds():
+    """One round too few and computer 0 misses some inputs — consistent
+    with deg(OR_n) = n requiring ceil(log2 n) rounds."""
+    n = 8
+    p = tree_or_protocol(n)
+    rounds = math.ceil(math.log2(n)) - 1
+    wrong = 0
+    for mask in range(1 << n):
+        bits = [(mask >> i) & 1 for i in range(n)]
+        states = run_protocol(p, bits, rounds)
+        if p.output(0, states[0]) != (1 if any(bits) else 0):
+            wrong += 1
+    assert wrong > 0
+
+
+# ------------------------------------------------------------------ #
+# knowledge partitions and the degree invariant
+# ------------------------------------------------------------------ #
+def test_partition_classes_cover_all_inputs():
+    p = tree_or_protocol(4)
+    classes = partition_classes(p, 2)
+    for c in range(4):
+        covered = sorted(m for masks in classes[c].values() for m in masks)
+        assert covered == list(range(16))
+
+
+def test_initial_partition_degree_is_one():
+    """deg(G(0)) = 1: initially a computer knows exactly its own bit
+    (Lemma 6.5 proof, part (a))."""
+    p = tree_or_protocol(4)
+    assert max_partition_degree(p, 0) == 1
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_degree_invariant_tree_or(n):
+    """deg(G(t)) <= 2^t along the whole tree-OR run (Lemma 6.5 part (c));
+    the final degree is exactly n at the root, matching deg(OR_n) = n."""
+    p = tree_or_protocol(n)
+    rounds = math.ceil(math.log2(n))
+    degrees = verify_degree_invariant(p, rounds)
+    assert degrees[0] == 1
+    assert degrees[-1] == n  # the root's classes separate OR exactly
+
+
+def test_degree_invariant_silence_protocol():
+    """Information by silence also respects the 2^t bound — the subtle
+    case of the proof."""
+    p = silence_broadcast_protocol(3)
+    degrees = verify_degree_invariant(p, 2)
+    assert all(d <= 2**t for t, d in enumerate(degrees))
+
+
+def test_silence_transfers_information():
+    p = silence_broadcast_protocol(2)
+    for x0 in (0, 1):
+        states = run_protocol(p, [x0, 0], 1)
+        assert p.output(1, states[1]) == x0  # learned without a 0-message
+
+
+def test_degree_doubles_at_most_per_round():
+    p = tree_or_protocol(8)
+    prev = max_partition_degree(p, 0)
+    for t in range(1, 4):
+        cur = max_partition_degree(p, t)
+        assert cur <= 2 * prev  # Lemma 6.5 part (b)
+        prev = cur
+
+
+# ------------------------------------------------------------------ #
+# ternary broadcast: Lemma 6.13 is tight
+# ------------------------------------------------------------------ #
+def test_ternary_broadcast_correct():
+    from repro.lowerbounds.abstract_machine import ternary_broadcast_protocol
+    from repro.lowerbounds.broadcast import broadcast_lower_bound_rounds
+
+    for n in (2, 3, 5, 9, 20, 27, 50):
+        p = ternary_broadcast_protocol(n)
+        rounds = broadcast_lower_bound_rounds(n)  # ceil(log3 n)
+        for bit in (0, 1):
+            states = run_protocol(p, [bit] + [0] * (n - 1), rounds)
+            got = [p.output(i, states[i]) for i in range(n)]
+            assert got == [bit] * n, (n, bit, got)
+
+
+def test_ternary_broadcast_matches_log3_exactly():
+    """One round fewer than ceil(log3 n) and someone stays undecided —
+    the protocol is exactly at the Lemma 6.13 bound."""
+    from repro.lowerbounds.abstract_machine import SILENT, ternary_broadcast_protocol
+    from repro.lowerbounds.broadcast import broadcast_lower_bound_rounds
+
+    n = 27
+    p = ternary_broadcast_protocol(n)
+    rounds = broadcast_lower_bound_rounds(n) - 1
+    states = run_protocol(p, [1] + [0] * (n - 1), rounds)
+    undecided = [i for i in range(n) if p.output(i, states[i]) is SILENT]
+    assert undecided, "ceil(log3 n) - 1 rounds cannot inform everyone"
+
+
+def test_ternary_broadcast_affected_set_triples():
+    """After t rounds exactly min(n, 3^t) computers know the bit."""
+    from repro.lowerbounds.abstract_machine import SILENT, ternary_broadcast_protocol
+
+    n = 40
+    p = ternary_broadcast_protocol(n)
+    for t in range(0, 5):
+        states = run_protocol(p, [1] + [0] * (n - 1), t)
+        informed = sum(1 for i in range(n) if p.output(i, states[i]) is not SILENT)
+        assert informed == min(n, 3**t), (t, informed)
+
+
+def test_ternary_broadcast_degree_invariant_holds():
+    """Even silence-exploiting protocols obey Lemma 6.5's 2^t bound."""
+    from repro.lowerbounds.abstract_machine import ternary_broadcast_protocol
+
+    p = ternary_broadcast_protocol(6)
+    degrees = verify_degree_invariant(p, 2)
+    assert all(d <= 2**t for t, d in enumerate(degrees))

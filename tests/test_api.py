@@ -1,0 +1,103 @@
+"""Tests for the public multiply() entry point and algorithm selection."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.algorithms.api import ALGORITHMS, multiply, select_algorithm
+from repro.semirings import BOOLEAN, REAL_FIELD
+from repro.sparsity.families import AS, BD, GM, US
+from repro.supported.instance import make_instance
+
+
+def test_public_reexport():
+    rng = np.random.default_rng(0)
+    inst = repro.make_instance((repro.US, repro.US, repro.US), 12, 2, rng)
+    res = repro.multiply(inst)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("name", sorted(set(ALGORITHMS) - {"us_as_gm", "bd_as_as", "strassen"}))
+def test_every_algorithm_runs_on_us_instance(name):
+    rng = np.random.default_rng(1)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    res = multiply(inst, algorithm=name)
+    assert inst.verify(res.x)
+
+
+def test_unknown_algorithm():
+    rng = np.random.default_rng(2)
+    inst = make_instance((US, US, US), 8, 1, rng)
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        multiply(inst, algorithm="bogus")
+
+
+def test_select_dense_field_goes_strassen():
+    rng = np.random.default_rng(3)
+    inst = make_instance((GM, GM, GM), 8, 8, rng, distribution="rows")
+    assert select_algorithm(inst) == "strassen"
+
+
+def test_select_dense_semiring_goes_3d():
+    rng = np.random.default_rng(4)
+    inst = make_instance((GM, GM, GM), 8, 8, rng, semiring=BOOLEAN, distribution="rows")
+    assert select_algorithm(inst) == "dense_3d"
+
+
+def test_select_sparse_goes_two_phase_or_general():
+    rng = np.random.default_rng(5)
+    inst = make_instance((US, US, US), 30, 3, rng)
+    assert select_algorithm(inst) in ("two_phase", "general")
+
+
+def test_auto_runs_correctly_on_varied_instances():
+    cases = [
+        ((US, US, US), 20, 3, "rows"),
+        ((US, US, AS), 20, 2, "rows"),
+        ((US, AS, GM), 20, 2, "balanced"),
+        ((BD, AS, AS), 20, 2, "balanced"),
+        ((GM, GM, GM), 8, 8, "rows"),
+    ]
+    for fams, n, d, dist in cases:
+        rng = np.random.default_rng(6)
+        inst = make_instance(fams, n, d, rng, distribution=dist)
+        res = multiply(inst)
+        assert inst.verify(res.x), (fams, res.algorithm)
+        assert res.details["selected"] in ALGORITHMS
+
+
+def test_strict_mode_via_api():
+    rng = np.random.default_rng(7)
+    inst = make_instance((US, US, US), 12, 2, rng)
+    res = multiply(inst, strict=True)
+    assert res.network.strict
+    assert inst.verify(res.x)
+
+
+def test_select_uses_classification_for_routing_class():
+    """A [RS:CS:GM]-shaped sparse instance lands in the ROUTING class and
+    must route to the dense/sparse-3D fallback, not the triangle engine."""
+    from repro.lowerbounds.routing_lb import lemma_6_23_instance
+
+    rng = np.random.default_rng(8)
+    inst = lemma_6_23_instance(16, rng)
+    choice = select_algorithm(inst)
+    assert choice in ("sparse_3d", "dense_3d", "strassen")
+    res = multiply(inst)
+    assert inst.verify(res.x)
+
+
+def test_select_degenerate_d_goes_dense():
+    rng = np.random.default_rng(9)
+    inst = make_instance((GM, GM, GM), 10, 10, rng, distribution="rows")
+    assert select_algorithm(inst) in ("strassen", "dense_3d")
+
+
+def test_select_outlier_goes_general():
+    from repro.sparsity.families import US as US_, GM as GM_
+
+    rng = np.random.default_rng(10)
+    inst = make_instance((US_, US_, GM_), 40, 2, rng)
+    choice = select_algorithm(inst)
+    res = multiply(inst, algorithm=choice)
+    assert inst.verify(res.x)

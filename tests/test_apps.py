@@ -1,0 +1,193 @@
+"""Tests for the application layer: triangle detection/counting, distance
+products, graph generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.graphs import (
+    adjacency_pattern,
+    planted_triangles_adjacency,
+    powerlaw_adjacency,
+    random_regular_adjacency,
+)
+from repro.apps.shortest_paths import two_hop_distances
+from repro.apps.triangles import count_triangles, detect_triangles, triangle_instance
+
+
+# ------------------------------------------------------------------ #
+# graph generators
+# ------------------------------------------------------------------ #
+def test_adjacency_symmetric():
+    g = nx.path_graph(5)
+    adj = adjacency_pattern(g)
+    assert (adj != adj.T).nnz == 0
+    assert adj.nnz == 8  # 4 undirected edges
+
+
+def test_regular_adjacency_degree():
+    adj = random_regular_adjacency(20, 4, seed=1)
+    degs = np.diff(adj.indptr)
+    assert (degs == 4).all()
+
+
+def test_powerlaw_has_hubs_and_low_degeneracy():
+    adj = powerlaw_adjacency(100, 2, seed=2)
+    from repro.sparsity.degeneracy import degeneracy
+
+    degs = np.diff(adj.indptr)
+    assert degs.max() > 8  # hubs
+    assert degeneracy(adj) <= 4  # BA(m) graphs have degeneracy <= 2m-ish
+
+
+# ------------------------------------------------------------------ #
+# triangle counting
+# ------------------------------------------------------------------ #
+def nx_triangle_count(adj):
+    g = nx.from_scipy_sparse_array(adj)
+    return sum(nx.triangles(g).values()) // 3
+
+
+def test_count_triangles_on_known_graphs():
+    k4 = adjacency_pattern(nx.complete_graph(4))
+    report = count_triangles(k4)
+    assert report.count == 4
+    c5 = adjacency_pattern(nx.cycle_graph(5))
+    assert count_triangles(c5).count == 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_count_matches_networkx(seed):
+    rng = np.random.default_rng(seed)
+    adj = planted_triangles_adjacency(30, 3, 5, rng)
+    report = count_triangles(adj)
+    assert report.count == nx_triangle_count(adj)
+
+
+def test_count_on_regular_graph():
+    adj = random_regular_adjacency(24, 5, seed=3)
+    report = count_triangles(adj)
+    assert report.count == nx_triangle_count(adj)
+    assert report.total_rounds == report.multiply_rounds + report.aggregate_rounds
+    assert report.aggregate_rounds >= np.ceil(np.log2(24))
+
+
+def test_detect_triangles():
+    tri = adjacency_pattern(nx.complete_graph(3))
+    found, rounds = detect_triangles(tri)
+    assert found and rounds > 0
+    square = adjacency_pattern(nx.cycle_graph(4))
+    found, _ = detect_triangles(square)
+    assert not found
+
+
+def test_triangle_instance_structure():
+    adj = random_regular_adjacency(12, 3, seed=4)
+    inst = triangle_instance(adj)
+    assert inst.d == 3
+    assert (inst.a_hat != inst.b_hat).nnz == 0
+    assert (inst.a_hat != inst.x_hat).nnz == 0
+
+
+def test_powerlaw_triangles_via_bd_machinery():
+    """The BD workload: power-law graph, counted through the general
+    O(d^2 + log n) path."""
+    adj = powerlaw_adjacency(60, 2, seed=5)
+    report = count_triangles(adj, algorithm="general")
+    assert report.count == nx_triangle_count(adj)
+
+
+# ------------------------------------------------------------------ #
+# distance products
+# ------------------------------------------------------------------ #
+def test_two_hop_distances_path():
+    # path a-b-c with weights 2, 3: dist(a, c) = 5 via two hops
+    w = sp.csr_matrix(np.array([[0, 2, 0], [2, 0, 3], [0, 3, 0]], dtype=float))
+    dist, rounds, algo = two_hop_distances(w)
+    assert dist[0, 2] == 5.0
+    assert dist[0, 1] == 2.0
+    assert dist[0, 0] == 0.0
+    assert rounds > 0
+
+
+def test_two_hop_matches_networkx():
+    g = nx.gnm_random_graph(15, 30, seed=6)
+    for u, v in g.edges():
+        g[u][v]["weight"] = float((u + v) % 5 + 1)
+    adj = nx.to_scipy_sparse_array(g, weight="weight", format="csr")
+    dist, _, _ = two_hop_distances(sp.csr_matrix(adj))
+    # reference: min over <=2-hop paths
+    full = nx.to_numpy_array(g, nonedge=np.inf, weight="weight")
+    np.fill_diagonal(full, 0.0)
+    ref = np.minimum(full, np.min(full[:, None, :] + full[None, :, :].transpose(0, 2, 1), axis=2).T)
+    # check on the requested support
+    coo = dist.tocoo()
+    n = full.shape[0]
+    two_hop = np.full((n, n), np.inf)
+    for i in range(n):
+        for k in range(n):
+            best = full[i, k]
+            for j in range(n):
+                best = min(best, full[i, j] + full[j, k])
+            two_hop[i, k] = best
+    for i, k, v in zip(coo.row, coo.col, coo.data):
+        assert v == pytest.approx(two_hop[i, k]), (i, k)
+
+
+# ------------------------------------------------------------------ #
+# triangle listing (extension)
+# ------------------------------------------------------------------ #
+def test_list_triangles_complete():
+    from repro.apps.triangles import list_triangles
+
+    adj = adjacency_pattern(nx.complete_graph(5))
+    listed, rounds, load = list_triangles(adj)
+    assert len(listed) == 10  # C(5, 3)
+    assert rounds > 0
+    assert load.sum() > 0
+
+
+def test_list_triangles_matches_networkx():
+    from repro.apps.triangles import list_triangles
+
+    rng = np.random.default_rng(9)
+    adj = planted_triangles_adjacency(25, 3, 4, rng)
+    listed, _, load = list_triangles(adj)
+    g = nx.from_scipy_sparse_array(adj)
+    ref = {tuple(sorted(t)) for t in nx.enumerate_all_cliques(g) if len(t) == 3}
+    assert set(listed) == ref
+    # the listing load is balanced: nobody holds much more than |T|/n
+    total = load.sum()
+    if total:
+        assert load.max() <= max(6 * total // adj.shape[0] + 6, 6)
+
+
+# ------------------------------------------------------------------ #
+# APSP by repeated squaring (extension)
+# ------------------------------------------------------------------ #
+def test_apsp_matches_networkx():
+    from repro.apps.shortest_paths import apsp
+
+    g = nx.random_regular_graph(3, 16, seed=11)
+    rng = np.random.default_rng(11)
+    for u, v in g.edges():
+        g[u][v]["weight"] = float(rng.integers(1, 6))
+    w = sp.csr_matrix(nx.to_scipy_sparse_array(g, weight="weight"))
+    dist, rounds, per_iter = apsp(w)
+    assert rounds == sum(per_iter) and rounds > 0
+    ref = dict(nx.all_pairs_dijkstra_path_length(g))
+    for u in g.nodes():
+        for v in g.nodes():
+            assert dist[u, v] == pytest.approx(ref[u][v]), (u, v)
+
+
+def test_apsp_disconnected_stays_inf():
+    from repro.apps.shortest_paths import apsp
+
+    w = sp.lil_matrix((4, 4))
+    w[0, 1] = 1.0
+    w[1, 0] = 1.0
+    dist, _, _ = apsp(sp.csr_matrix(w))
+    assert dist[0, 1] == 1.0
+    assert np.isinf(dist[0, 2])

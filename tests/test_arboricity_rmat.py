@@ -1,0 +1,163 @@
+"""Tests for arboricity bounds and the R-MAT workload generator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.arboricity import (
+    arboricity_bounds,
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    forest_decomposition,
+)
+from repro.sparsity.degeneracy import degeneracy
+from repro.sparsity.families import AS, US, classify_tightest, family_contains
+from repro.sparsity.generators import (
+    random_degenerate,
+    random_uniformly_sparse,
+    rmat_pattern,
+)
+
+
+def pattern(rows, cols, n):
+    return sp.csr_matrix(
+        (np.ones(len(rows), dtype=bool), (rows, cols)), shape=(n, n)
+    )
+
+
+# ------------------------------------------------------------------ #
+# arboricity
+# ------------------------------------------------------------------ #
+def test_empty_graph():
+    mat = sp.csr_matrix((4, 4), dtype=bool)
+    assert arboricity_bounds(mat) == (0, 0)
+
+
+def test_single_edge():
+    mat = pattern([0], [0], 3)
+    lo, up = arboricity_bounds(mat)
+    assert lo == 1 and up == 1
+
+
+def test_tree_pattern_arboricity_one():
+    # a path in the bipartite graph: r0-c0-r1-c1-r2
+    mat = pattern([0, 1, 1, 2], [0, 0, 1, 1], 3)
+    lo, up = arboricity_bounds(mat)
+    assert lo == 1
+    assert up == 1
+
+
+def test_complete_bipartite():
+    n = 4
+    mat = sp.csr_matrix(np.ones((n, n), dtype=bool))
+    lo, up = arboricity_bounds(mat)
+    # K_{4,4}: 16 edges, 8 nodes: density ceil(16/7) = 3; degeneracy 4
+    assert lo >= 3
+    assert up == degeneracy(mat) == 4
+    assert lo <= up
+
+
+def test_forest_decomposition_is_forests():
+    rng = np.random.default_rng(0)
+    mat = random_degenerate(20, 3, rng)
+    # verify=True asserts every part is a forest
+    up = arboricity_upper_bound(mat, verify=True)
+    assert up == degeneracy(mat)
+
+
+def test_forest_decomposition_covers_all_edges():
+    rng = np.random.default_rng(1)
+    mat = random_uniformly_sparse(15, 3, rng)
+    forests = forest_decomposition(mat)
+    assert sum(len(f) for f in forests) == mat.nnz
+
+
+@given(st.integers(2, 12), st.integers(1, 3), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_arboricity_sandwich_property(n, d, seed):
+    """arboricity_lower <= arboricity <= degeneracy <= 2*arboricity - 1:
+    our bounds must satisfy lower <= upper and upper <= 2*lower - 1 fails
+    only when lower underestimates; assert the sound direction."""
+    rng = np.random.default_rng(seed)
+    mat = random_degenerate(n, d, rng)
+    if mat.nnz == 0:
+        return
+    lo, up = arboricity_bounds(mat)
+    assert 1 <= lo <= up
+    assert up == degeneracy(mat)
+    # degeneracy <= 2*arboricity - 1 and arboricity >= lo:
+    assert up <= 2 * max(lo, (up + 1) // 2) - 1 or up == 1
+
+
+# ------------------------------------------------------------------ #
+# R-MAT
+# ------------------------------------------------------------------ #
+def test_rmat_empty():
+    rng = np.random.default_rng(0)
+    assert rmat_pattern(8, 0, rng).nnz == 0
+
+
+def test_rmat_shape_and_budget():
+    rng = np.random.default_rng(1)
+    n, nnz = 64, 256
+    mat = rmat_pattern(n, nnz, rng)
+    assert mat.shape == (n, n)
+    assert 0 < mat.nnz <= nnz  # duplicates merge
+
+
+def test_rmat_is_skewed():
+    """Default R-MAT parameters give heavy-tailed degrees: AS-but-not-US
+    at the average-degree parameter."""
+    rng = np.random.default_rng(2)
+    n = 256
+    d = 4
+    mat = rmat_pattern(n, d * n, rng)
+    assert family_contains(AS, mat, d)
+    assert not family_contains(US, mat, d)
+    from repro.sparsity.families import row_degrees
+
+    assert row_degrees(mat).max() > 3 * d
+
+
+def test_rmat_uniform_probs_are_not_skewed():
+    rng = np.random.default_rng(3)
+    n = 256
+    mat = rmat_pattern(n, 4 * n, rng, probs=(0.25, 0.25, 0.25, 0.25))
+    from repro.sparsity.families import row_degrees
+
+    assert row_degrees(mat).max() <= 16  # ER-like, concentrated
+
+
+def test_rmat_multiplies_correctly():
+    from repro.algorithms.api import multiply
+    from repro.semirings import REAL_FIELD
+    from repro.sparsity.generators import product_support, restrict_support
+    from repro.supported.instance import SupportedInstance
+
+    rng = np.random.default_rng(4)
+    n, d = 40, 3
+    a_hat = rmat_pattern(n, d * n, rng)
+    b_hat = rmat_pattern(n, d * n, rng)
+    x_hat = restrict_support(product_support(a_hat, b_hat), AS, d, rng)
+
+    def values(pat):
+        coo = pat.tocoo()
+        return sp.csr_matrix(
+            (REAL_FIELD.random_values(rng, coo.nnz), (coo.row, coo.col)),
+            shape=pat.shape,
+        )
+
+    inst = SupportedInstance(
+        semiring=REAL_FIELD,
+        a_hat=a_hat,
+        b_hat=b_hat,
+        x_hat=x_hat,
+        a=values(a_hat),
+        b=values(b_hat),
+        d=d,
+        distribution="balanced",
+    )
+    res = multiply(inst)
+    assert inst.verify(res.x)

@@ -1,0 +1,124 @@
+"""Tests for the polynomial-degree method (Lemmas 6.4-6.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.boolean_degree import (
+    BooleanFunction,
+    and_function,
+    constant_function,
+    degree_lower_bound_rounds,
+    dictator_function,
+    or_function,
+    parity_function,
+)
+
+
+def test_or_degree_is_n():
+    """Corollary 6.8's engine: deg(OR_n) = n."""
+    for n in range(1, 8):
+        assert or_function(n).degree() == n
+
+
+def test_and_degree_is_n():
+    for n in range(1, 8):
+        assert and_function(n).degree() == n
+
+
+def test_parity_degree_is_n():
+    for n in range(1, 8):
+        assert parity_function(n).degree() == n
+
+
+def test_constant_degree_zero():
+    assert constant_function(4, 0).degree() == 0
+    assert constant_function(4, 1).degree() == 0
+
+
+def test_dictator_degree_one():
+    for i in range(3):
+        assert dictator_function(3, i).degree() == 1
+
+
+def test_or_polynomial_explicit():
+    """OR_2 = x0 + x1 - x0 x1."""
+    coef = or_function(2).coefficients()
+    assert coef[0b00] == 0
+    assert coef[0b01] == 1
+    assert coef[0b10] == 1
+    assert coef[0b11] == -1
+
+
+def test_polynomial_reproduces_truth_table():
+    rng = np.random.default_rng(0)
+    n = 4
+    table = rng.integers(0, 2, size=1 << n)
+    f = BooleanFunction(n, table)
+    for x_mask in range(1 << n):
+        x = [(x_mask >> i) & 1 for i in range(n)]
+        assert f.evaluate_polynomial(x) == table[x_mask]
+
+
+def test_lemma_6_4_and_bound():
+    f = or_function(3)
+    g = parity_function(3)
+    assert (f & g).degree() <= f.degree() + g.degree()
+
+
+def test_lemma_6_4_or_bound():
+    f = dictator_function(3, 0)
+    g = dictator_function(3, 1)
+    assert (f | g).degree() <= f.degree() + g.degree()
+
+
+def test_lemma_6_4_negation_preserves_degree():
+    f = or_function(4)
+    assert (~f).degree() == f.degree()
+
+
+def test_lemma_6_4_disjoint_or_max_degree():
+    # f and g with f & g == 0: deg(f | g) <= max(deg f, deg g)
+    n = 3
+    f = BooleanFunction.from_callable(n, lambda x: x[0] and not x[1])
+    g = BooleanFunction.from_callable(n, lambda x: x[1] and not x[0])
+    assert ((f & g).table == 0).all()
+    assert (f | g).degree() <= max(f.degree(), g.degree())
+
+
+def test_degree_lower_bound_rounds():
+    """Omega(log n) for OR_n (Corollary 6.8)."""
+    import math
+
+    for n in (2, 4, 8, 16):
+        assert degree_lower_bound_rounds(or_function(n)) == math.ceil(math.log2(n))
+    assert degree_lower_bound_rounds(constant_function(3, 1)) == 0
+    assert degree_lower_bound_rounds(dictator_function(3, 0)) == 0
+
+
+def test_bad_truth_table():
+    with pytest.raises(ValueError):
+        BooleanFunction(2, np.array([0, 1, 2, 0]))
+    with pytest.raises(ValueError):
+        BooleanFunction(2, np.array([0, 1]))
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(0, 2**16 - 1))
+@settings(max_examples=60, deadline=None)
+def test_degree_at_most_n_property(n, seed):
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 2, size=1 << n)
+    f = BooleanFunction(n, table)
+    assert 0 <= f.degree() <= n
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(0, 2**16 - 1))
+@settings(max_examples=40, deadline=None)
+def test_polynomial_evaluation_property(n, seed):
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 2, size=1 << n)
+    f = BooleanFunction(n, table)
+    x_mask = int(rng.integers(0, 1 << n))
+    x = [(x_mask >> i) & 1 for i in range(n)]
+    assert f.evaluate_polynomial(x) == table[x_mask]

@@ -1,0 +1,60 @@
+"""Tests for the congested-clique 3D algorithm and the §1.5 simulation
+relationship."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cc_dense import cc_dense_3d
+from repro.algorithms.dense import dense_3d
+from repro.semirings import BOOLEAN, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import GM, US
+from repro.supported.instance import make_instance
+
+
+def gm_instance(n, seed=0, sr=REAL_FIELD):
+    rng = np.random.default_rng(seed)
+    return make_instance((GM, GM, GM), n, n, rng, semiring=sr, distribution="rows")
+
+
+@pytest.mark.parametrize("sr", [REAL_FIELD, BOOLEAN, MIN_PLUS], ids=lambda s: s.name)
+def test_cc_dense_correct(sr):
+    inst = gm_instance(8, seed=1, sr=sr)
+    res, cc_rounds = cc_dense_3d(inst, strict=True)
+    assert inst.verify(res.x)
+    assert cc_rounds >= 1
+
+
+def test_matches_native_low_bandwidth_3d():
+    inst = gm_instance(9, seed=2)
+    res_cc, _ = cc_dense_3d(inst)
+    inst2 = gm_instance(9, seed=2)
+    res_lb = dense_3d(inst2)
+    assert np.allclose(res_cc.x.toarray(), res_lb.x.toarray())
+
+
+def test_simulation_round_accounting():
+    """T clique rounds simulate in <= (n-1) T low-bandwidth rounds."""
+    inst = gm_instance(16, seed=3)
+    res, cc_rounds = cc_dense_3d(inst)
+    assert inst.verify(res.x)
+    assert res.rounds <= (inst.n - 1) * cc_rounds
+
+
+def test_cc_rounds_scale_sublinearly():
+    """The clique-side cost of the 3D pattern is O(n^{1/3})-ish: far
+    below linear growth in n."""
+    rounds = []
+    for n in (8, 27, 64):
+        inst = gm_instance(n, seed=n)
+        res, cc_rounds = cc_dense_3d(inst)
+        assert inst.verify(res.x)
+        rounds.append(cc_rounds)
+    # 8x growth in n must give far less than 8x growth in clique rounds
+    assert rounds[-1] < 4 * rounds[0], rounds
+
+
+def test_sparse_instance_through_cc():
+    rng = np.random.default_rng(4)
+    inst = make_instance((US, US, US), 27, 3, rng)
+    res, cc_rounds = cc_dense_3d(inst, strict=True)
+    assert inst.verify(res.x)

@@ -1,0 +1,136 @@
+"""Tests for the Table 2 classification engine."""
+
+import pytest
+
+from repro.analysis.classification import Classification, classification_table, classify
+from repro.sparsity.families import AS, BD, CS, GM, RS, US
+
+
+def cls_of(*fams):
+    return classify(tuple(fams)).cls
+
+
+# ------------------------------------------------------------------ #
+# the paper's explicit examples (abstract + §1.3)
+# ------------------------------------------------------------------ #
+def test_us_us_us_fast():
+    assert cls_of(US, US, US) == "FAST"
+
+
+def test_us_us_as_fast():
+    assert cls_of(US, US, AS) == "FAST"
+
+
+def test_us_us_gm_outlier():
+    c = classify((US, US, GM))
+    assert c.cls == "OUTLIER"
+    assert "d^4" in c.upper_bound
+    assert not c.complete
+
+
+def test_us_bd_bd_general():
+    c = classify((US, BD, BD))
+    assert c.cls == "GENERAL"
+    assert "d^2 + log n" in c.upper_bound
+    assert any("log n" in lb for lb in c.lower_bounds)
+
+
+def test_us_as_gm_general():
+    assert cls_of(US, AS, GM) == "GENERAL"
+
+
+def test_bd_bd_bd_general():
+    assert cls_of(BD, BD, BD) == "GENERAL"
+
+
+def test_bd_as_as_general():
+    assert cls_of(BD, AS, AS) == "GENERAL"
+
+
+def test_us_gm_gm_routing():
+    c = classify((US, GM, GM))
+    assert c.cls == "ROUTING"
+    assert any("sqrt" in lb for lb in c.lower_bounds)
+
+
+def test_bd_bd_gm_routing():
+    assert cls_of(BD, BD, GM) == "ROUTING"
+
+
+def test_gm_gm_gm_routing():
+    assert cls_of(GM, GM, GM) == "ROUTING"
+
+
+def test_as_as_as_conditional():
+    c = classify((AS, AS, AS))
+    assert c.cls == "CONDITIONAL"
+    assert "Theorem 6.19" in c.lower_provenance
+
+
+def test_rs_cs_gm_routing_dagger():
+    """Theorem 6.27 explicitly covers RS x CS = GM."""
+    assert cls_of(RS, CS, GM) == "ROUTING"
+
+
+def test_rs_rs_gm_open():
+    """...but not RS x RS = GM — a genuine gap in the near-complete
+    classification."""
+    assert cls_of(RS, RS, GM) == "OPEN"
+
+
+# ------------------------------------------------------------------ #
+# structural properties
+# ------------------------------------------------------------------ #
+def test_order_invariance():
+    for perm in [(US, AS, GM), (GM, US, AS), (AS, GM, US)]:
+        assert classify(perm).cls == "GENERAL"
+
+
+def test_rs_cs_behave_like_bd_in_most_cases():
+    assert cls_of(US, RS, CS) == "GENERAL"
+    assert cls_of(RS, AS, AS) == "GENERAL"
+    assert cls_of(CS, CS, BD) == "GENERAL"
+
+
+def test_table_covers_all_base_triples():
+    table = classification_table()
+    # 4 families, multisets of size 3: C(4+2, 3) = 20
+    assert len(table) == 20
+    assert all(isinstance(c, Classification) for c in table)
+    # every class that Table 2 names must appear
+    classes = {c.cls for c in table}
+    assert {"FAST", "GENERAL", "ROUTING", "CONDITIONAL", "OUTLIER"} <= classes
+
+
+def test_table_with_rs_cs():
+    table = classification_table(include_rs_cs=True)
+    # 6 families: C(6+2, 3) = 56 multisets
+    assert len(table) == 56
+    opens = [c for c in table if c.cls == "OPEN"]
+    # gaps exist but are few ("near-complete")
+    assert 0 < len(opens) <= 6
+
+
+def test_paper_table2_rows_verbatim():
+    """Every example row the paper's Table 2 prints, in order."""
+    expectations = [
+        ((US, US, US), "FAST"),
+        ((US, US, AS), "FAST"),
+        ((US, US, GM), "OUTLIER"),
+        ((US, BD, BD), "GENERAL"),
+        ((US, AS, GM), "GENERAL"),
+        ((BD, BD, BD), "GENERAL"),
+        ((BD, AS, AS), "GENERAL"),
+        ((US, GM, GM), "ROUTING"),
+        ((GM, GM, GM), "ROUTING"),
+        ((BD, BD, GM), "ROUTING"),
+        ((AS, AS, AS), "CONDITIONAL"),
+    ]
+    for fams, expected in expectations:
+        assert classify(fams).cls == expected, fams
+
+
+def test_every_classification_has_provenance():
+    for c in classification_table(include_rs_cs=True):
+        assert c.upper_provenance
+        assert len(c.lower_bounds) == len(c.lower_provenance)

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_classify(capsys):
+    assert main(["classify"]) == 0
+    out = capsys.readouterr().out
+    assert "[US:US:US" in out
+    assert "FAST" in out and "ROUTING" in out
+
+
+def test_classify_rs_cs(capsys):
+    assert main(["classify", "--rs-cs"]) == 0
+    out = capsys.readouterr().out
+    assert "RS" in out and "CS" in out
+
+
+def test_schedule_semiring(capsys):
+    assert main(["schedule"]) == 0
+    out = capsys.readouterr().out
+    assert "0.1067" in out  # Table 3 step 1 epsilon (paper: 0.10672)
+
+
+def test_schedule_field(capsys):
+    assert main(["schedule", "--algebra", "field"]) == 0
+    out = capsys.readouterr().out
+    assert "0.1350" in out  # Table 4 step 1 epsilon (paper: 0.13505)
+
+
+def test_run_default(capsys):
+    assert main(["run", "--n", "24", "--d", "2", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "correct: True" in out
+
+
+def test_run_hard(capsys):
+    assert main(["run", "--hard", "--n", "32", "--d", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "hard [US:US:US]" in out
+
+
+def test_run_families(capsys):
+    assert main(["run", "--families", "US:AS:GM", "--n", "24", "--d", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "correct: True" in out
+
+
+def test_run_bad_families(capsys):
+    assert main(["run", "--families", "US:AS"]) == 2
+
+
+def test_landscape(capsys):
+    assert main(["landscape"]) == 0
+    out = capsys.readouterr().out
+    assert "d^1.867" in out

@@ -1,0 +1,156 @@
+"""Tests for the collective extensions (all-reduce, prefix scan),
+instance serialization, and the ordered (dagger) classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classification import (
+    bracket_permutations,
+    classify,
+    ordered_routing_bound_proven,
+)
+from repro.model.collectives import all_reduce, prefix_scan
+from repro.model.network import LowBandwidthNetwork
+from repro.semirings import BOOLEAN, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import AS, BD, CS, GM, RS, US
+from repro.supported.instance import make_instance
+from repro.supported.io import load_instance, save_instance
+
+
+# ------------------------------------------------------------------ #
+# all-reduce / prefix scan
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("n", [1, 2, 5, 8, 13])
+def test_all_reduce_sum(n):
+    net = LowBandwidthNetwork(n, strict=True)
+    for c in range(n):
+        net.deal(c, "v", c + 1)
+    used = all_reduce(net, "v", lambda a, b: a + b)
+    expect = n * (n + 1) // 2
+    for c in range(n):
+        assert net.read(c, "v") == expect
+    if n > 1:
+        assert used <= 2 * int(np.ceil(np.log2(n)))
+
+
+def test_all_reduce_max():
+    net = LowBandwidthNetwork(6, strict=True)
+    for c in range(6):
+        net.deal(c, "v", (c * 7) % 5)
+    all_reduce(net, "v", max)
+    for c in range(6):
+        assert net.read(c, "v") == 4
+
+
+@pytest.mark.parametrize("n", [2, 3, 7, 8, 16])
+def test_prefix_scan_sum(n):
+    net = LowBandwidthNetwork(n, strict=True)
+    vals = [(c * 3 + 1) for c in range(n)]
+    for c in range(n):
+        net.deal(c, "v", vals[c])
+    used = prefix_scan(net, "v", lambda a, b: a + b)
+    for c in range(1, n):
+        assert net.read(c, ("v", "prefix")) == sum(vals[:c]), c
+    assert not net.holds(0, ("v", "prefix"))
+    assert used <= int(np.ceil(np.log2(n))) + 1
+
+
+def test_prefix_scan_single_computer():
+    net = LowBandwidthNetwork(1, strict=True)
+    net.deal(0, "v", 3)
+    assert prefix_scan(net, "v", lambda a, b: a + b) == 0
+
+
+def test_prefix_scan_min():
+    net = LowBandwidthNetwork(6, strict=True)
+    vals = [5, 3, 8, 1, 9, 2]
+    for c, v in enumerate(vals):
+        net.deal(c, "v", v)
+    prefix_scan(net, "v", min)
+    for c in range(1, 6):
+        assert net.read(c, ("v", "prefix")) == min(vals[:c])
+
+
+# ------------------------------------------------------------------ #
+# serialization
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("sr", [REAL_FIELD, BOOLEAN, MIN_PLUS], ids=lambda s: s.name)
+def test_instance_roundtrip(tmp_path, sr):
+    rng = np.random.default_rng(0)
+    inst = make_instance((US, US, AS), 20, 3, rng, semiring=sr)
+    path = tmp_path / "inst.npz"
+    save_instance(inst, path)
+    loaded = load_instance(path)
+    assert loaded.semiring is sr
+    assert loaded.d == inst.d
+    assert loaded.distribution == inst.distribution
+    assert (loaded.a_hat != inst.a_hat).nnz == 0
+    assert (loaded.x_hat != inst.x_hat).nnz == 0
+    assert sr.close(loaded.a.toarray(), inst.a.toarray())
+
+
+def test_loaded_instance_multiplies(tmp_path):
+    from repro.algorithms.api import multiply
+
+    rng = np.random.default_rng(1)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    path = tmp_path / "i.npz"
+    save_instance(inst, path)
+    loaded = load_instance(path)
+    res = multiply(loaded)
+    assert loaded.verify(res.x)
+    # identical instance -> identical round count
+    res2 = multiply(inst, algorithm=res.details["selected"])
+    assert res2.rounds == res.rounds
+
+
+# ------------------------------------------------------------------ #
+# ordered (dagger) classification
+# ------------------------------------------------------------------ #
+def test_proven_base_patterns():
+    assert ordered_routing_bound_proven(US, GM, GM)
+    assert ordered_routing_bound_proven(GM, US, GM)
+    assert ordered_routing_bound_proven(RS, CS, GM)
+
+
+def test_monotone_upward():
+    # BD x BD = GM proven (BD contains both RS and CS)
+    assert ordered_routing_bound_proven(BD, BD, GM)
+    assert ordered_routing_bound_proven(GM, GM, GM)
+    assert ordered_routing_bound_proven(AS, AS, GM)
+
+
+def test_open_permutations():
+    # the paper's explicit future-work cases
+    assert not ordered_routing_bound_proven(GM, GM, US)  # GM x GM = US
+    assert not ordered_routing_bound_proven(BD, GM, BD)  # BD x GM = BD
+    assert not ordered_routing_bound_proven(GM, BD, BD)
+    assert not ordered_routing_bound_proven(RS, RS, GM)  # RS x RS = GM
+
+
+def test_bracket_permutations_us_gm_gm():
+    perms = bracket_permutations((US, GM, GM))
+    proven = {p for p, ok in perms if ok}
+    open_ = {p for p, ok in perms if not ok}
+    assert (US, GM, GM) in proven
+    assert (GM, US, GM) in proven
+    assert (GM, GM, US) in open_  # the §6.3.1 future-work case
+
+
+def test_bracket_permutations_bd_bd_gm():
+    perms = bracket_permutations((BD, BD, GM))
+    by = dict(perms)
+    assert by[(BD, BD, GM)] is True
+    assert by[(BD, GM, BD)] is False
+    assert by[(GM, BD, BD)] is False
+
+
+def test_routing_class_has_some_proven_permutation():
+    """Every ROUTING-class bracket must have at least one proven
+    permutation (otherwise it would not be in the class)."""
+    from repro.analysis.classification import classification_table
+
+    for c in classification_table(include_rs_cs=True):
+        if c.cls == "ROUTING":
+            perms = bracket_permutations(c.families)
+            assert any(ok for _, ok in perms), c.families

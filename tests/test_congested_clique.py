@@ -1,0 +1,152 @@
+"""Tests for the congested-clique simulation layer (paper §1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.model.congested_clique import CongestedCliqueNetwork
+from repro.model.network import LowBandwidthNetwork, Message, NetworkError
+
+
+def test_broadcast_one_clique_round():
+    n = 10
+    cc = CongestedCliqueNetwork(n, strict=True)
+    cc.deal(3, "v", 42)
+    used = cc.broadcast(3, "v")
+    assert used == 1
+    assert cc.cc_rounds == 1
+    for c in range(n):
+        assert cc.read(c, "v") == 42
+    # simulation cost: at most n - 1 low-bandwidth rounds
+    assert cc.lb_rounds <= n - 1
+
+
+def test_gather_one_clique_round():
+    n = 8
+    cc = CongestedCliqueNetwork(n, strict=True)
+    for c in range(n):
+        cc.deal(c, ("x", c), c * c)
+    used = cc.gather(0, [("x", c) for c in range(n)])
+    assert used == 1
+    for c in range(n):
+        assert cc.read(0, ("x", c)) == c * c
+
+
+def test_pair_multiplicity_costs_extra_rounds():
+    cc = CongestedCliqueNetwork(4, strict=True)
+    cc.deal(0, "a", 1)
+    cc.deal(0, "b", 2)
+    cc.deal(0, "c", 3)
+    msgs = [
+        Message(0, 1, "a", "a"),
+        Message(0, 1, "b", "b"),
+        Message(0, 1, "c", "c"),
+    ]
+    used = cc.exchange(msgs)
+    assert used == 3  # one word per ordered pair per clique round
+    assert cc.read(1, "b") == 2
+
+
+def test_local_messages_free():
+    cc = CongestedCliqueNetwork(3, strict=True)
+    cc.deal(1, "k", 9)
+    used = cc.exchange([Message(1, 1, "k", "k2")])
+    assert used == 0
+    assert cc.read(1, "k2") == 9
+    assert cc.lb_rounds == 0
+
+
+def test_simulation_bound_nT():
+    """The paper's simulation claim: T clique rounds cost <= (n-1) T
+    low-bandwidth rounds."""
+    n = 12
+    rng = np.random.default_rng(0)
+    cc = CongestedCliqueNetwork(n, strict=True)
+    msgs = []
+    for t in range(60):
+        s, d = rng.integers(0, n, size=2)
+        key = ("m", t)
+        cc.deal(int(s), key, t)
+        msgs.append(Message(int(s), int(d), key, ("out", t)))
+    cc_used = cc.exchange(msgs)
+    assert cc.lb_rounds <= (n - 1) * cc_used
+
+
+def test_all_to_all_single_round():
+    """A full all-to-all (every ordered pair one word) is one clique round
+    = exactly n - 1 rotations."""
+    n = 6
+    cc = CongestedCliqueNetwork(n, strict=True)
+    msgs = []
+    for s in range(n):
+        for d in range(n):
+            if s != d:
+                cc.deal(s, ("w", s, d), s * n + d)
+                msgs.append(Message(s, d, ("w", s, d), ("w", s, d)))
+    used = cc.exchange(msgs)
+    assert used == 1
+    assert cc.lb_rounds == n - 1
+    for s in range(n):
+        for d in range(n):
+            if s != d:
+                assert cc.read(d, ("w", s, d)) == s * n + d
+
+
+def test_backing_network_mismatch():
+    lb = LowBandwidthNetwork(4)
+    with pytest.raises(ValueError):
+        CongestedCliqueNetwork(5, lb=lb)
+
+
+def test_route_beats_direct_on_pair_heavy_batch():
+    """Two-hop routing pays total load / n, not pair multiplicity."""
+    n = 16
+    heavy = 32  # one ordered pair carries 32 words
+    cc_direct = CongestedCliqueNetwork(n, strict=True)
+    msgs = []
+    for t in range(heavy):
+        cc_direct.deal(0, ("w", t), t)
+        msgs.append(Message(0, 1, ("w", t), ("out", t)))
+    direct_rounds = cc_direct.exchange(msgs)
+    assert direct_rounds == heavy
+
+    cc_routed = CongestedCliqueNetwork(n, strict=True)
+    msgs = []
+    for t in range(heavy):
+        cc_routed.deal(0, ("w", t), t)
+        msgs.append(Message(0, 1, ("w", t), ("out", t)))
+    routed_rounds = cc_routed.route(msgs)
+    assert routed_rounds < direct_rounds
+    for t in range(heavy):
+        assert cc_routed.read(1, ("out", t)) == t
+
+
+def test_route_delivers_everything():
+    n = 10
+    rng = np.random.default_rng(0)
+    cc = CongestedCliqueNetwork(n, strict=True)
+    msgs = []
+    for t in range(80):
+        s, d = rng.integers(0, n, size=2)
+        cc.deal(int(s), ("m", t), 100 + t)
+        msgs.append(Message(int(s), int(d), ("m", t), ("got", t)))
+    cc.route(msgs)
+    for t, m in enumerate(msgs):
+        assert cc.read(m.dst, ("got", t)) == 100 + t
+
+
+def test_route_empty():
+    cc = CongestedCliqueNetwork(4)
+    assert cc.route([]) == 0
+
+
+def test_route_cleans_relay_buffers():
+    n = 6
+    cc = CongestedCliqueNetwork(n, strict=True)
+    cc.deal(0, "k", 5)
+    cc.route([Message(0, 3, "k", "k2")])
+    # no __ccr__ temp keys linger anywhere
+    for comp in range(n):
+        assert not any(
+            isinstance(key, tuple) and key and key[0] == "__ccr__"
+            for key in cc.lb.mem[comp]
+        )

@@ -1,0 +1,121 @@
+"""Tests for degeneracy computation and the RS+CS split of BD matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.degeneracy import degeneracy, elimination_order, split_rs_cs
+from repro.sparsity.families import CS, RS, as_csr, family_contains
+from repro.sparsity.generators import random_degenerate, random_uniformly_sparse
+
+
+def pattern(rows, cols, n):
+    data = np.ones(len(rows), dtype=bool)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def test_empty_matrix_degeneracy_zero():
+    assert degeneracy(sp.csr_matrix((5, 5), dtype=bool)) == 0
+
+
+def test_permutation_degeneracy_one():
+    mat = pattern([0, 1, 2], [2, 0, 1], 3)
+    assert degeneracy(mat) == 1
+
+
+def test_dense_row_degeneracy_one():
+    # a single dense row can be eliminated column-by-column: each column has
+    # one nonzero
+    n = 8
+    mat = pattern([0] * n, list(range(n)), n)
+    assert degeneracy(mat) == 1
+
+
+def test_cross_degeneracy_one():
+    n = 6
+    rows = [0] * n + list(range(1, n))
+    cols = list(range(n)) + [0] * (n - 1)
+    assert degeneracy(pattern(rows, cols, n)) == 1
+
+
+def test_full_matrix_degeneracy():
+    # complete bipartite K_{n,n} has degeneracy n
+    n = 5
+    mat = sp.csr_matrix(np.ones((n, n), dtype=bool))
+    assert degeneracy(mat) == n
+
+
+def test_block_diagonal_of_dense_blocks():
+    # two disjoint K_{3,3}s: degeneracy 3
+    n = 6
+    rows, cols = [], []
+    for i in range(3):
+        for j in range(3):
+            rows += [i, i + 3]
+            cols += [j, j + 3]
+    assert degeneracy(pattern(rows, cols, n)) == 3
+
+
+def test_elimination_order_is_complete():
+    rng = np.random.default_rng(0)
+    mat = random_uniformly_sparse(12, 3, rng)
+    steps = elimination_order(mat)
+    removed = sum(len(s.entries) for s in steps)
+    assert removed == as_csr(mat).nnz
+    assert len(steps) == 24  # every row and column eliminated exactly once
+    kinds = [(s.kind, s.index) for s in steps]
+    assert len(set(kinds)) == len(kinds)
+
+
+def test_split_rs_cs_partitions_entries():
+    rng = np.random.default_rng(1)
+    mat = random_degenerate(15, 2, rng)
+    x, y = split_rs_cs(mat)
+    total = as_csr(mat)
+    # disjoint cover: x + y == mat, no overlap
+    overlap = x.multiply(y)
+    assert overlap.nnz == 0
+    recon = as_csr((x + y).astype(bool))
+    assert (recon != total).nnz == 0
+
+
+def test_split_rs_cs_respects_degree_bounds():
+    rng = np.random.default_rng(2)
+    mat = random_degenerate(20, 3, rng)
+    d = degeneracy(mat)
+    x, y = split_rs_cs(mat)
+    assert family_contains(RS, x, d)
+    assert family_contains(CS, y, d)
+
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=3), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_generated_degenerate_within_bound(n, d, seed):
+    rng = np.random.default_rng(seed)
+    mat = random_degenerate(n, d, rng)
+    assert degeneracy(mat) <= d
+
+
+@given(st.integers(min_value=2, max_value=10), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_split_property(n, seed):
+    rng = np.random.default_rng(seed)
+    mat = random_degenerate(n, 2, rng)
+    d = degeneracy(mat)
+    x, y = split_rs_cs(mat)
+    assert family_contains(RS, x, d)
+    assert family_contains(CS, y, d)
+    assert x.multiply(y).nnz == 0
+    assert as_csr((x + y).astype(bool)).nnz == as_csr(mat).nnz
+
+
+def test_degeneracy_monotone_under_subpattern():
+    rng = np.random.default_rng(3)
+    mat = random_degenerate(15, 3, rng).tocoo()
+    keep = rng.random(mat.nnz) < 0.5
+    sub = sp.csr_matrix(
+        (mat.data[keep], (mat.row[keep], mat.col[keep])), shape=mat.shape
+    )
+    assert degeneracy(sub) <= degeneracy(mat)

@@ -1,0 +1,175 @@
+"""Tests for the dense distributed algorithms (3D, sparse 3D, Strassen)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dense import (
+    _block_bounds,
+    _block_of,
+    _grid_side,
+    dense_3d,
+    dense_strassen,
+    sparse_3d,
+)
+from repro.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    FIELD_LIKE,
+    GF2,
+    INTEGER_RING,
+    MIN_PLUS,
+    REAL_FIELD,
+)
+from repro.sparsity.families import GM, US
+from repro.supported.instance import make_instance
+
+SR_IDS = [s.name for s in ALL_SEMIRINGS]
+FIELD_IDS = [s.name for s in FIELD_LIKE]
+
+
+def gm_instance(seed=0, n=9, sr=REAL_FIELD):
+    rng = np.random.default_rng(seed)
+    return make_instance((GM, GM, GM), n, n, rng, semiring=sr, distribution="rows")
+
+
+# --------------------------------------------------------------------- #
+# grid helpers
+# --------------------------------------------------------------------- #
+def test_grid_side():
+    assert _grid_side(1) == 1
+    assert _grid_side(8) == 2
+    assert _grid_side(27) == 3
+    assert _grid_side(26) == 2
+    assert _grid_side(64) == 4
+
+
+def test_block_bounds_cover():
+    bounds = _block_bounds(10, 3)
+    assert bounds[0] == 0 and bounds[-1] == 10
+    idx = np.arange(10)
+    blocks = _block_of(idx, bounds)
+    assert blocks.min() == 0 and blocks.max() == 2
+    # monotone
+    assert (np.diff(blocks) >= 0).all()
+
+
+# --------------------------------------------------------------------- #
+# dense 3D
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_dense_3d_correct(sr):
+    inst = gm_instance(seed=1, n=8, sr=sr)
+    res = dense_3d(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("n", [4, 9, 16])
+def test_dense_3d_sizes(n):
+    inst = gm_instance(seed=2, n=n)
+    res = dense_3d(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_dense_3d_rounds_subquadratic():
+    """O(n^{4/3}) must beat the trivial O(n^2) once n is large enough."""
+    from repro.algorithms.trivial import gather_all
+
+    inst = gm_instance(seed=3, n=27)
+    r_3d = dense_3d(inst).rounds
+    inst2 = gm_instance(seed=3, n=27)
+    r_gather = gather_all(inst2).rounds
+    assert r_3d < r_gather
+
+
+# --------------------------------------------------------------------- #
+# sparse 3D
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_sparse_3d_correct(sr):
+    rng = np.random.default_rng(4)
+    inst = make_instance((US, US, US), 27, 3, rng, semiring=sr)
+    res = sparse_3d(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_sparse_3d_cheaper_than_dense_3d_on_sparse_input():
+    rng = np.random.default_rng(5)
+    inst = make_instance((US, US, US), 64, 3, rng)
+    r_sparse = sparse_3d(inst).rounds
+    rng = np.random.default_rng(5)
+    inst2 = make_instance((US, US, US), 64, 3, rng)
+    r_dense = dense_3d(inst2).rounds
+    assert r_sparse < r_dense
+
+
+# --------------------------------------------------------------------- #
+# Strassen
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("sr", FIELD_LIKE, ids=FIELD_IDS)
+def test_strassen_correct_fields(sr):
+    inst = gm_instance(seed=6, n=8, sr=sr)
+    res = dense_strassen(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 12, 16])
+def test_strassen_various_sizes(n):
+    inst = gm_instance(seed=7, n=n)
+    res = dense_strassen(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_strassen_rejects_semirings():
+    inst = gm_instance(seed=8, n=4, sr=BOOLEAN)
+    with pytest.raises(ValueError, match="requires a ring/field"):
+        dense_strassen(inst)
+    inst2 = gm_instance(seed=8, n=4, sr=MIN_PLUS)
+    with pytest.raises(ValueError):
+        dense_strassen(inst2)
+
+
+def test_strassen_sparse_input():
+    rng = np.random.default_rng(9)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    res = dense_strassen(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_strassen_explicit_levels():
+    inst = gm_instance(seed=10, n=8)
+    res0 = dense_strassen(inst, levels=0)  # degenerates to a local product
+    assert inst.verify(res0.x)
+    inst1 = gm_instance(seed=10, n=8)
+    res1 = dense_strassen(inst1, levels=1)
+    assert inst1.verify(res1.x)
+
+
+def test_strassen_level_cost_model_is_sane():
+    """The auto-chosen recursion depth must never lose to the best fixed
+    depth by more than a modest factor.
+
+    (Empirical reproduction finding, recorded in EXPERIMENTS.md: at
+    simulable sizes the per-level Strassen gain of 4/7^(2/3) ~ 1.09x is
+    swamped by redistribution overhead, so the cost model legitimately
+    picks shallow recursions; the field-vs-semiring exponent gap
+    2-2/omega_0 = 1.287 < 4/3 is a strictly asymptotic statement.)
+    """
+    n = 32
+    rounds_by_level = []
+    for lvl in range(0, 3):
+        inst = gm_instance(seed=11, n=n)
+        rounds_by_level.append(dense_strassen(inst, levels=lvl).rounds)
+    inst = gm_instance(seed=11, n=n)
+    auto = dense_strassen(inst).rounds
+    assert auto <= 1.2 * min(rounds_by_level), (auto, rounds_by_level)
+
+
+def test_strassen_same_ballpark_as_3d():
+    """Strassen with the hybrid 3D base must stay within a small constant
+    of the 3D algorithm (it degenerates to 3D-plus-relayout at level 0)."""
+    n = 27
+    inst_a = gm_instance(seed=12, n=n)
+    r_strassen = dense_strassen(inst_a).rounds
+    inst_b = gm_instance(seed=12, n=n)
+    r_3d = dense_3d(inst_b).rounds
+    assert r_strassen <= 4 * r_3d, (r_strassen, r_3d)

@@ -1,0 +1,113 @@
+"""Failure-injection tests: the strict validator must catch deliberately
+broken "algorithms" that the fast mode would wave through.
+
+These tests encode the model's whole point — an implementation that
+teleports values, over-subscribes a round, or oversizes a payload is not
+a low-bandwidth algorithm, and the simulator must say so."""
+
+import numpy as np
+import pytest
+
+from repro.model.network import LowBandwidthNetwork, Message, NetworkError
+from repro.model.scheduling import validate_schedule
+
+
+def test_teleporting_value_caught_by_provenance():
+    """A 'free lunch' algorithm writes another computer's input into its
+    own memory without a message.  Strict provenance rejects it."""
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, ("A", 0, 0), 3.5)
+    with pytest.raises(NetworkError, match="does not hold"):
+        # computer 1 claims to derive from a value it never received
+        net.write(1, ("X", 0, 0), 3.5, provenance=(("A", 0, 0),))
+
+
+def test_fast_mode_does_not_catch_teleport():
+    """Sanity: the same cheat slips through fast mode — which is why the
+    test-suite runs strict mode on every algorithm."""
+    net = LowBandwidthNetwork(2, strict=False)
+    net.deal(0, ("A", 0, 0), 3.5)
+    net.write(1, ("X", 0, 0), 3.5, provenance=(("A", 0, 0),))
+    assert net.read(1, ("X", 0, 0)) == 3.5
+
+
+def test_bulk_payload_rejected():
+    """Shipping a whole row in one message violates the O(log n)-bit
+    word size."""
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, "row", np.arange(16.0))
+    with pytest.raises(NetworkError, match="word"):
+        net.exchange([Message(0, 1, "row", "row")])
+
+
+def test_overloaded_round_rejected_in_lockstep():
+    """Two messages into one computer cannot share a round."""
+    net = LowBandwidthNetwork(3, strict=True)
+    net.deal(0, "a", 1)
+    net.deal(1, "b", 2)
+    with pytest.raises(NetworkError, match="receives twice"):
+        net._execute_lockstep(
+            [Message(0, 2, "a", "a"), Message(1, 2, "b", "b")], label="bad"
+        )
+
+
+def test_double_send_rejected_in_lockstep():
+    net = LowBandwidthNetwork(3, strict=True)
+    net.deal(0, "a", 1)
+    net.deal(0, "b", 2)
+    with pytest.raises(NetworkError, match="sends twice"):
+        net._execute_lockstep(
+            [Message(0, 1, "a", "a"), Message(0, 2, "b", "b")], label="bad"
+        )
+
+
+def test_forged_schedule_rejected():
+    """An adversarial scheduler that crams a fan-in into one round fails
+    validation."""
+    src = np.array([0, 1, 2])
+    dst = np.array([3, 3, 3])
+    forged = np.array([0, 0, 0])
+    with pytest.raises(ValueError):
+        validate_schedule(src, dst, forged)
+
+
+def test_sending_ghost_value_rejected_both_modes():
+    for strict in (True, False):
+        net = LowBandwidthNetwork(2, strict=strict)
+        with pytest.raises(NetworkError, match="not held"):
+            net.exchange([Message(0, 1, "ghost", "ghost")])
+
+
+def test_cheating_broadcast_overlap_rejected():
+    """Running two broadcast trees over overlapping computers would
+    exceed one message per computer per round."""
+    net = LowBandwidthNetwork(4, strict=True)
+    net.deal(0, "a", 1)
+    net.deal(1, "b", 2)
+    with pytest.raises(NetworkError, match="overlap"):
+        net.segmented_broadcast([[0, 1, 2], [1, 3]], ["a", "b"])
+
+
+def test_endpoint_out_of_network():
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, "k", 1)
+    with pytest.raises(NetworkError, match="outside"):
+        net.exchange([Message(0, 7, "k", "k")])
+
+
+def test_corrupted_algorithm_detected_end_to_end():
+    """An algorithm that skips a routing phase produces wrong values and
+    verify() must fail."""
+    from repro.algorithms.base import init_outputs
+    from repro.sparsity.families import US
+    from repro.supported.instance import make_instance
+
+    rng = np.random.default_rng(0)
+    inst = make_instance((US, US, US), 12, 2, rng)
+    if len(inst.triangles) == 0:
+        pytest.skip("degenerate instance")
+    net = LowBandwidthNetwork(inst.n)
+    inst.deal_into(net)
+    init_outputs(net, inst)  # ... and never process any triangle
+    result = inst.collect_result(net)
+    assert not inst.verify(result)

@@ -1,0 +1,118 @@
+"""Tests for sparsity family membership and the containment lattice."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparsity.families import (
+    AS,
+    BD,
+    CS,
+    GM,
+    RS,
+    US,
+    Family,
+    as_csr,
+    classify_tightest,
+    col_degrees,
+    family_contains,
+    row_degrees,
+)
+
+
+def pattern(rows, cols, n):
+    data = np.ones(len(rows), dtype=bool)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def test_as_csr_dedups():
+    mat = pattern([0, 0], [1, 1], 3)
+    assert as_csr(mat).nnz == 1
+
+
+def test_degrees():
+    mat = pattern([0, 0, 1], [0, 1, 0], 3)
+    assert row_degrees(mat).tolist() == [2, 1, 0]
+    assert col_degrees(mat).tolist() == [2, 1, 0]
+
+
+def test_us_membership():
+    mat = pattern([0, 1, 2], [1, 2, 0], 3)  # permutation
+    assert family_contains(US, mat, 1)
+    heavy_row = pattern([0, 0, 0], [0, 1, 2], 3)
+    assert not family_contains(US, heavy_row, 1)
+    assert family_contains(RS, heavy_row, 3)
+    assert family_contains(CS, heavy_row, 1)
+
+
+def test_rs_cs_asymmetry():
+    heavy_col = pattern([0, 1, 2], [0, 0, 0], 3)
+    assert family_contains(CS, heavy_col, 3)
+    assert family_contains(RS, heavy_col, 1)
+    assert not family_contains(CS, heavy_col, 2)
+
+
+def test_as_membership_counts_total():
+    n = 4
+    mat = pattern([0, 0, 0, 0], [0, 1, 2, 3], n)  # 4 nonzeros, n = 4
+    assert family_contains(AS, mat, 1)
+    assert not family_contains(AS, pattern([0] * 4 + [1] * 4, list(range(4)) * 2, 4), 1)
+
+
+def test_gm_always_contains():
+    mat = sp.csr_matrix(np.ones((5, 5), dtype=bool))
+    assert family_contains(GM, mat, 0)
+
+
+def test_bd_cross_shape():
+    # one dense row + one dense column: degeneracy 1 (classic BD example)
+    n = 6
+    rows = [0] * n + list(range(n))
+    cols = list(range(n)) + [0] * n
+    mat = pattern(rows, cols, n)
+    assert family_contains(BD, mat, 1)
+    assert not family_contains(US, mat, n - 1)
+
+
+def test_empty_pattern_in_everything():
+    mat = sp.csr_matrix((4, 4), dtype=bool)
+    for fam in Family:
+        assert family_contains(fam, mat, 0)
+
+
+def test_lattice_order():
+    assert US < RS and US < CS and US < BD and US < AS and US < GM
+    assert RS < BD and CS < BD and BD < AS and AS < GM
+    assert not (RS <= CS) and not (CS <= RS)
+    assert US <= US
+    assert not (GM <= AS)
+
+
+def test_lattice_rank_consistency():
+    # If fam1 <= fam2 then membership is monotone on random patterns, up to
+    # the factor-2 slack in the BD -> AS step: a d-degenerate bipartite
+    # graph on n + n nodes has at most 2*d*n edges, so BD(d) is contained
+    # in AS(2d) exactly (the paper's containment chain is up to constants
+    # in d, as usual for O(.)-style sparsity classes).
+    rng = np.random.default_rng(0)
+    n, d = 20, 3
+    from repro.sparsity.generators import random_pattern
+
+    for fam_small in (US, RS, CS, BD, AS):
+        mat = random_pattern(fam_small, n, d, rng)
+        for fam_big in Family:
+            if fam_small <= fam_big:
+                assert family_contains(fam_big, mat, 2 * d), (fam_small, fam_big)
+
+
+def test_classify_tightest_prefers_smallest():
+    perm = pattern([0, 1, 2], [1, 2, 0], 3)
+    assert classify_tightest(perm, 1) is US
+    dense = sp.csr_matrix(np.ones((4, 4), dtype=bool))
+    assert classify_tightest(dense, 1) is GM
+    assert classify_tightest(dense, 4) is US
+
+
+def test_unknown_family_raises():
+    with pytest.raises(ValueError):
+        family_contains("bogus", pattern([0], [0], 2), 1)  # type: ignore[arg-type]

@@ -1,0 +1,151 @@
+"""Tests for Lemma 3.1 (process_few_triangles) — the core new algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import init_outputs
+from repro.algorithms.fewtriangles import default_kappa, process_few_triangles
+from repro.model.network import LowBandwidthNetwork
+from repro.semirings import ALL_SEMIRINGS, REAL_FIELD
+from repro.sparsity.families import AS, GM, US
+from repro.supported.instance import make_instance
+
+SR_IDS = [s.name for s in ALL_SEMIRINGS]
+
+
+def run_lemma31(inst, kappa=None, strict=True, **kw):
+    net = LowBandwidthNetwork(inst.n, strict=strict)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    rounds = process_few_triangles(net, inst, inst.triangles.triangles, kappa, **kw)
+    return net, rounds
+
+
+def test_default_kappa():
+    assert default_kappa(0, 10) == 1
+    assert default_kappa(10, 10) == 1
+    assert default_kappa(11, 10) == 2
+    assert default_kappa(100, 7) == 15
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_correct_all_semirings(sr):
+    rng = np.random.default_rng(0)
+    inst = make_instance((US, US, US), 14, 2, rng, semiring=sr)
+    net, _ = run_lemma31(inst)
+    assert inst.verify(inst.collect_result(net))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_correct_random_us_instances(seed):
+    rng = np.random.default_rng(seed)
+    inst = make_instance((US, US, US), 20, 3, rng)
+    net, _ = run_lemma31(inst)
+    assert inst.verify(inst.collect_result(net))
+
+
+@pytest.mark.parametrize("families", [(US, US, AS), (AS, AS, AS), (US, AS, GM)])
+def test_correct_other_families(families):
+    rng = np.random.default_rng(3)
+    inst = make_instance(families, 18, 2, rng, distribution="balanced")
+    net, _ = run_lemma31(inst)
+    assert inst.verify(inst.collect_result(net))
+
+
+def test_empty_triangles_zero_rounds():
+    rng = np.random.default_rng(4)
+    inst = make_instance((US, US, US), 10, 1, rng)
+    net = LowBandwidthNetwork(inst.n, strict=True)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    rounds = process_few_triangles(net, inst, np.empty((0, 3), dtype=np.int64))
+    assert rounds == 0
+
+
+def test_partial_triangle_set_accumulates():
+    """Processing T in two halves equals processing T at once."""
+    rng = np.random.default_rng(5)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    tri = inst.triangles.triangles
+    if tri.shape[0] < 2:
+        pytest.skip("instance too small")
+    net = LowBandwidthNetwork(inst.n, strict=True)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    half = tri.shape[0] // 2
+    process_few_triangles(net, inst, tri[:half])
+    process_few_triangles(net, inst, tri[half:])
+    assert inst.verify(inst.collect_result(net))
+
+
+@pytest.mark.parametrize("kappa", [1, 2, 5, 100])
+def test_any_kappa_correct(kappa):
+    rng = np.random.default_rng(6)
+    inst = make_instance((US, US, US), 15, 2, rng)
+    net, _ = run_lemma31(inst, kappa=kappa)
+    assert inst.verify(inst.collect_result(net))
+
+
+def test_ablation_no_virtual_nodes_correct():
+    rng = np.random.default_rng(7)
+    inst = make_instance((US, US, AS), 15, 2, rng, distribution="balanced")
+    net, _ = run_lemma31(inst, use_virtual_nodes=False)
+    assert inst.verify(inst.collect_result(net))
+
+
+def test_ablation_no_trees_correct():
+    rng = np.random.default_rng(8)
+    inst = make_instance((US, US, US), 15, 2, rng)
+    net, _ = run_lemma31(inst, use_trees=False)
+    assert inst.verify(inst.collect_result(net))
+
+
+def test_round_bound_kappa_d_logm():
+    """Lemma 3.1: O(kappa + d + log m) rounds, measured."""
+    rng = np.random.default_rng(9)
+    n, d = 80, 4
+    inst = make_instance((US, US, US), n, d, rng)
+    tri = inst.triangles
+    kappa = default_kappa(len(tri), n)
+    m = max(tri.max_pair_count(), 2)
+    net, rounds = run_lemma31(inst, strict=False)
+    bound = kappa + d + math.ceil(math.log2(m))
+    # generous constant covering the constant number of sub-phases
+    assert rounds <= 25 * bound, (rounds, bound)
+
+
+def test_balancing_beats_unbalanced_on_skewed_instance():
+    """Virtual-node balancing is the point of Lemma 3.1: on an instance
+    with one ultra-heavy node, the unbalanced variant pays ~t(v) rounds
+    while the balanced one pays ~|T|/n."""
+    rng = np.random.default_rng(10)
+    n, d = 120, 6
+    inst = make_instance((US, AS, GM), n, d, rng, distribution="balanced")
+    tri = inst.triangles
+    if tri.max_node_count() < 4 * default_kappa(len(tri), n):
+        pytest.skip("instance not skewed enough to show the effect")
+    net_bal = LowBandwidthNetwork(n)
+    inst.deal_into(net_bal)
+    init_outputs(net_bal, inst)
+    r_bal = process_few_triangles(net_bal, inst, tri.triangles)
+    net_unb = LowBandwidthNetwork(n)
+    inst.deal_into(net_unb)
+    init_outputs(net_unb, inst)
+    r_unb = process_few_triangles(net_unb, inst, tri.triangles, use_virtual_nodes=False)
+    assert inst.verify(inst.collect_result(net_bal))
+    assert inst.verify(inst.collect_result(net_unb))
+    assert r_bal < r_unb
+
+
+def test_rounds_scale_with_kappa_not_total():
+    """Doubling n at fixed |T| halves kappa and should not increase cost."""
+    rng = np.random.default_rng(11)
+    inst_small = make_instance((US, US, US), 30, 4, rng)
+    rng2 = np.random.default_rng(11)
+    inst_big = make_instance((US, US, US), 120, 4, rng2)
+    _, r_small = run_lemma31(inst_small, strict=False)
+    _, r_big = run_lemma31(inst_big, strict=False)
+    # bigger n, same d: kappa shrinks, rounds must not blow up
+    assert r_big <= 4 * max(r_small, 1)

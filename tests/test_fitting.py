@@ -1,0 +1,38 @@
+"""Tests for power-law exponent fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_exponent
+
+
+def test_exact_power_law():
+    xs = np.array([2.0, 4.0, 8.0, 16.0])
+    ys = 3.0 * xs**1.5
+    fit = fit_exponent(xs, ys)
+    assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+    assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_noisy_power_law():
+    rng = np.random.default_rng(0)
+    xs = np.array([4, 8, 16, 32, 64, 128], dtype=float)
+    ys = 2.0 * xs**1.87 * np.exp(rng.normal(0, 0.05, xs.size))
+    fit = fit_exponent(xs, ys)
+    assert fit.exponent == pytest.approx(1.87, abs=0.15)
+    assert fit.r_squared > 0.97
+
+
+def test_predict():
+    fit = fit_exponent([1.0, 2.0, 4.0], [5.0, 10.0, 20.0])
+    assert fit.predict(8.0) == pytest.approx(40.0, rel=1e-6)
+
+
+def test_rejects_bad_input():
+    with pytest.raises(ValueError):
+        fit_exponent([1.0], [2.0])
+    with pytest.raises(ValueError):
+        fit_exponent([1.0, -1.0], [2.0, 3.0])
+    with pytest.raises(ValueError):
+        fit_exponent([1.0, 2.0], [0.0, 3.0])

@@ -1,0 +1,85 @@
+"""Tests for Theorems 5.3 / 5.11 (general O(d^2 + log n) algorithms)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.general import (
+    multiply_bd_as_as,
+    multiply_general,
+    multiply_us_as_gm,
+)
+from repro.semirings import ALL_SEMIRINGS, REAL_FIELD
+from repro.sparsity.families import AS, BD, GM, US
+from repro.supported.instance import make_instance
+
+SR_IDS = [s.name for s in ALL_SEMIRINGS]
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_general_correct_all_semirings(sr):
+    rng = np.random.default_rng(0)
+    inst = make_instance((US, AS, AS), 16, 2, rng, semiring=sr, distribution="balanced")
+    res = multiply_general(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("families", [(US, AS, GM), (AS, US, GM), (US, US, GM)])
+def test_us_as_gm_theorem(families):
+    rng = np.random.default_rng(1)
+    inst = make_instance(families, 20, 2, rng, distribution="balanced")
+    res = multiply_us_as_gm(inst, strict=True)
+    assert inst.verify(res.x)
+    assert res.algorithm == "us_as_gm"
+
+
+def test_us_as_gm_rejects_too_many_triangles():
+    rng = np.random.default_rng(2)
+    inst = make_instance((GM, GM, GM), 12, 1, rng, distribution="balanced")
+    # dense instance at claimed d=1 has ~n^3 >> d^2 n triangles
+    with pytest.raises(ValueError, match="triangles exceed"):
+        multiply_us_as_gm(inst)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_bd_as_as_theorem(seed):
+    rng = np.random.default_rng(seed)
+    inst = make_instance((BD, AS, AS), 25, 2, rng, distribution="balanced")
+    res = multiply_bd_as_as(inst, strict=True, bd_operand="a")
+    assert inst.verify(res.x)
+    assert res.algorithm == "bd_as_as"
+
+
+def test_bd_as_as_operand_b():
+    rng = np.random.default_rng(5)
+    inst = make_instance((AS, BD, AS), 20, 2, rng, distribution="balanced")
+    res = multiply_bd_as_as(inst, strict=True, bd_operand="b")
+    assert inst.verify(res.x)
+
+
+def test_bd_as_as_bad_operand():
+    rng = np.random.default_rng(6)
+    inst = make_instance((BD, AS, AS), 12, 2, rng, distribution="balanced")
+    with pytest.raises(ValueError, match="bd_operand"):
+        multiply_bd_as_as(inst, bd_operand="x")
+
+
+def test_rounds_additive_log_n():
+    """Theorem 5.3 cost O(d^2 + log n): fixing d and growing n must grow
+    rounds at most logarithmically (plus scheduler noise)."""
+    d = 2
+    rounds = []
+    for n in (50, 200, 800):
+        rng = np.random.default_rng(7)
+        inst = make_instance((US, AS, GM), n, d, rng, distribution="balanced")
+        rounds.append(multiply_general(inst).rounds)
+    # 16x growth in n: allow a generous additive margin but rule out any
+    # polynomial blowup (naive scaling would give ~16x)
+    assert rounds[2] <= rounds[0] + 12 * np.log2(800 / 50) + 40, rounds
+
+
+def test_kappa_override():
+    rng = np.random.default_rng(8)
+    inst = make_instance((US, US, US), 15, 2, rng)
+    res = multiply_general(inst, strict=True, kappa=3)
+    assert inst.verify(res.x)
+    assert res.details["kappa"] == 3

@@ -1,0 +1,111 @@
+"""Tests for random pattern generators: every generator lands in its family."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.families import AS, BD, CS, GM, RS, US, Family, family_contains
+from repro.sparsity.generators import (
+    dense_pattern,
+    product_support,
+    random_average_sparse,
+    random_col_sparse,
+    random_degenerate,
+    random_pattern,
+    random_row_sparse,
+    random_uniformly_sparse,
+    restrict_support,
+)
+
+
+@pytest.mark.parametrize("fam", list(Family))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_pattern_in_family(fam, seed):
+    rng = np.random.default_rng(seed)
+    n, d = 30, 3
+    mat = random_pattern(fam, n, d, rng)
+    assert family_contains(fam, mat, d)
+    assert mat.shape == (n, n)
+
+
+def test_us_generator_degrees():
+    rng = np.random.default_rng(0)
+    mat = random_uniformly_sparse(40, 4, rng)
+    assert family_contains(US, mat, 4)
+    # most rows should be close to d nonzeros (permutations rarely collide)
+    assert mat.nnz >= 0.8 * 40 * 4
+
+
+def test_rs_generator_row_bound_only():
+    rng = np.random.default_rng(1)
+    mat = random_row_sparse(60, 3, rng)
+    assert family_contains(RS, mat, 3)
+
+
+def test_cs_generator_col_bound_only():
+    rng = np.random.default_rng(2)
+    mat = random_col_sparse(60, 3, rng)
+    assert family_contains(CS, mat, 3)
+
+
+def test_bd_generator_has_hubs():
+    """The BD generator must produce instances genuinely outside US(d)."""
+    rng = np.random.default_rng(3)
+    n, d = 150, 3
+    mat = random_degenerate(n, d, rng)
+    assert family_contains(BD, mat, d)
+    from repro.sparsity.families import col_degrees, row_degrees
+
+    max_deg = max(row_degrees(mat).max(), col_degrees(mat).max())
+    assert max_deg > 2 * d, "expected heavy hubs beyond the US(d) bound"
+
+
+def test_as_generator_budget_and_skew():
+    rng = np.random.default_rng(4)
+    n, d = 100, 4
+    mat = random_average_sparse(n, d, rng)
+    assert mat.nnz <= n * d
+    from repro.sparsity.families import row_degrees
+
+    rd = row_degrees(mat)
+    assert rd.max() > 3 * d, "expected skewed (non-uniform) rows"
+
+
+def test_dense_pattern_full():
+    mat = dense_pattern(7)
+    assert mat.nnz == 49
+
+
+def test_product_support_correct():
+    rng = np.random.default_rng(5)
+    a = random_uniformly_sparse(20, 2, rng)
+    b = random_uniformly_sparse(20, 2, rng)
+    supp = product_support(a, b)
+    ref = (a.astype(np.int64) @ b.astype(np.int64)).toarray() > 0
+    assert (supp.toarray() == ref).all()
+
+
+@pytest.mark.parametrize("fam", [US, RS, CS, BD, AS, GM])
+def test_restrict_support_lands_in_family(fam):
+    rng = np.random.default_rng(6)
+    a = random_row_sparse(40, 4, rng)
+    b = random_col_sparse(40, 4, rng)
+    supp = product_support(a, b)
+    d = 4
+    restricted = restrict_support(supp, fam, d, rng)
+    assert family_contains(fam, restricted, d)
+    # restricted support is a subset of the product support
+    extra = restricted.astype(np.int8) - restricted.multiply(supp).astype(np.int8)
+    assert extra.nnz == 0
+
+
+def test_restrict_support_gm_is_identity():
+    rng = np.random.default_rng(7)
+    a = random_uniformly_sparse(15, 2, rng)
+    supp = product_support(a, a)
+    assert (restrict_support(supp, GM, 2, rng) != supp).nnz == 0
+
+
+def test_generators_deterministic_given_rng():
+    m1 = random_uniformly_sparse(25, 3, np.random.default_rng(42))
+    m2 = random_uniformly_sparse(25, 3, np.random.default_rng(42))
+    assert (m1 != m2).nnz == 0

@@ -1,0 +1,62 @@
+"""Tests for the worst-case (triangle-rich) instance generator."""
+
+import numpy as np
+import pytest
+
+from repro.semirings import BOOLEAN, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import US, family_contains
+from repro.supported.instance import make_hard_instance
+
+
+def test_membership_us():
+    rng = np.random.default_rng(0)
+    inst = make_hard_instance(64, 4, rng)
+    assert family_contains(US, inst.a_hat, 4)
+    assert family_contains(US, inst.b_hat, 4)
+    assert family_contains(US, inst.x_hat, 4)
+
+
+def test_triangle_richness_full_density():
+    rng = np.random.default_rng(1)
+    n, d = 64, 4
+    inst = make_hard_instance(n, d, rng)
+    # one full d^3 block per d-group: d^2 * n triangles in total
+    assert len(inst.triangles) == d * d * n
+    assert inst.triangles.max_node_count() == d * d
+
+
+def test_density_scales_triangles():
+    rng = np.random.default_rng(2)
+    n, d = 64, 4
+    full = make_hard_instance(n, d, np.random.default_rng(2))
+    half = make_hard_instance(n, d, np.random.default_rng(2), density=0.5)
+    assert 0 < len(half.triangles) < len(full.triangles)
+
+
+def test_invalid_d():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ValueError):
+        make_hard_instance(8, 0, rng)
+    with pytest.raises(ValueError):
+        make_hard_instance(8, 9, rng)
+
+
+@pytest.mark.parametrize("sr", [REAL_FIELD, BOOLEAN, MIN_PLUS], ids=lambda s: s.name)
+def test_ground_truth_consistent(sr):
+    rng = np.random.default_rng(4)
+    inst = make_hard_instance(24, 3, rng, semiring=sr)
+    truth = inst.ground_truth()
+    dense = sr.matmul(inst.dense_a(), inst.dense_b())
+    coo = inst.x_hat.tocoo()
+    for i, k in zip(coo.row, coo.col):
+        assert sr.close(truth[int(i), int(k)], dense[int(i), int(k)])
+
+
+def test_permutations_hide_block_structure():
+    """Blocks must not sit on the diagonal (the generator permutes all
+    three ground sets) — otherwise clustering would be trivial."""
+    rng = np.random.default_rng(5)
+    inst = make_hard_instance(64, 4, rng)
+    coo = inst.a_hat.tocoo()
+    on_diag_block = np.abs(coo.row // 4 - coo.col // 4) == 0
+    assert not on_diag_block.all()

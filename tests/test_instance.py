@@ -1,0 +1,132 @@
+"""Tests for SupportedInstance: ownership, dealing, ground truth."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.model.network import LowBandwidthNetwork
+from repro.semirings import ALL_SEMIRINGS, BOOLEAN, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import AS, BD, GM, US, Family
+from repro.supported.instance import SupportedInstance, lookup_values, make_instance
+
+
+def small_instance(seed=0, semiring=REAL_FIELD, families=(US, US, US), n=12, d=2, **kw):
+    rng = np.random.default_rng(seed)
+    return make_instance(families, n, d, rng, semiring=semiring, **kw)
+
+
+def test_make_instance_families_respected():
+    inst = small_instance()
+    from repro.sparsity.families import family_contains
+
+    assert family_contains(US, inst.a_hat, inst.d)
+    assert family_contains(US, inst.b_hat, inst.d)
+    assert family_contains(US, inst.x_hat, inst.d)
+
+
+def test_values_supported_on_hats():
+    inst = small_instance(seed=1)
+    extra = inst.a.astype(bool).astype(np.int8) - inst.a.astype(bool).multiply(inst.a_hat).astype(np.int8)
+    assert extra.nnz == 0
+
+
+def test_rows_distribution_ownership():
+    inst = small_instance(seed=2)
+    for (i, j), comp in inst.owner_a.items():
+        assert comp == i
+    for (j, k), comp in inst.owner_b.items():
+        assert comp == j
+    for (i, k), comp in inst.owner_x.items():
+        assert comp == i
+
+
+def test_balanced_distribution_load():
+    inst = small_instance(seed=3, families=(AS, AS, AS), n=30, d=3, distribution="balanced")
+    loads = {}
+    for owners in (inst.owner_a, inst.owner_b, inst.owner_x):
+        per = -(-max(len(owners), 1) // inst.n)
+        counts = {}
+        for comp in owners.values():
+            counts[comp] = counts.get(comp, 0) + 1
+        if counts:
+            assert max(counts.values()) <= per
+
+
+def test_deal_into_places_values():
+    inst = small_instance(seed=4)
+    net = LowBandwidthNetwork(inst.n, strict=True)
+    inst.deal_into(net)
+    a_coo = inst.a.tocoo()
+    for i, j, v in zip(a_coo.row, a_coo.col, a_coo.data):
+        assert net.read(inst.owner_a[(int(i), int(j))], ("A", int(i), int(j))) == v
+
+
+def test_deal_into_wrong_network_size():
+    inst = small_instance(seed=5)
+    with pytest.raises(ValueError):
+        inst.deal_into(LowBandwidthNetwork(inst.n + 1))
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=[s.name for s in ALL_SEMIRINGS])
+def test_ground_truth_matches_dense_reference(sr):
+    inst = small_instance(seed=6, semiring=sr, n=10, d=2)
+    truth = inst.ground_truth()
+    dense = sr.matmul(inst.dense_a(), inst.dense_b())
+    coo = inst.x_hat.tocoo()
+    for i, k in zip(coo.row, coo.col):
+        assert sr.close(truth[int(i), int(k)], dense[int(i), int(k)])
+
+
+def test_ground_truth_zero_rows_where_no_triangles():
+    # an X entry requested but with no triangle gets the semiring zero
+    a = sp.csr_matrix((3, 3), dtype=bool)
+    b = sp.csr_matrix((3, 3), dtype=bool)
+    x = sp.csr_matrix(np.eye(3, dtype=bool))
+    inst = SupportedInstance(
+        semiring=REAL_FIELD,
+        a_hat=a,
+        b_hat=b,
+        x_hat=x,
+        a=sp.csr_matrix((3, 3)),
+        b=sp.csr_matrix((3, 3)),
+    )
+    truth = inst.ground_truth()
+    # requested entries are stored explicitly, with the semiring zero value
+    assert np.all(truth.data == 0.0)
+
+
+def test_verify_accepts_truth_rejects_garbage():
+    inst = small_instance(seed=7)
+    truth = inst.ground_truth()
+    assert inst.verify(truth)
+    if truth.nnz:
+        bad = truth.copy()
+        bad.data = bad.data + 1.0
+        assert not inst.verify(bad)
+
+
+def test_lookup_values():
+    mat = sp.csr_matrix(np.array([[0.0, 2.0], [3.0, 0.0]]))
+    rows = np.array([0, 0, 1, 1])
+    cols = np.array([0, 1, 0, 1])
+    vals = lookup_values(mat, rows, cols, REAL_FIELD)
+    assert vals.tolist() == [0.0, 2.0, 3.0, 0.0]
+
+
+def test_lookup_values_min_plus_absent_is_inf():
+    mat = sp.csr_matrix((2, 2))
+    vals = lookup_values(mat, np.array([0]), np.array([1]), MIN_PLUS)
+    assert np.isinf(vals[0])
+
+
+def test_max_local_elements_rows_distribution():
+    inst = small_instance(seed=8, n=15, d=2)
+    # rows distribution: each computer holds <= d (A) + d (B) + d (X)
+    assert inst.max_local_elements() <= 3 * inst.d
+
+
+def test_triangles_cached_property():
+    inst = small_instance(seed=9)
+    t1 = inst.triangles
+    t2 = inst.triangles
+    assert t1 is t2

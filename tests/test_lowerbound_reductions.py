@@ -1,0 +1,205 @@
+"""Tests for the executable lower-bound constructions (§6.1-6.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.broadcast import (
+    affected_set_trace,
+    broadcast_lower_bound_rounds,
+    verify_broadcast_run,
+)
+from repro.lowerbounds.comm_complexity import (
+    alice_bob_lower_bound,
+    fooling_pair_exists,
+)
+from repro.lowerbounds.packing import (
+    conditional_lower_bound_exponent,
+    pack_dense_into_average_sparse,
+)
+from repro.lowerbounds.reductions import (
+    broadcast_instance,
+    solve_broadcast_via_mm,
+    solve_sum_via_mm,
+    sum_instance,
+)
+from repro.lowerbounds.routing_lb import (
+    certify_received_values_6_21,
+    certify_received_values_6_23,
+    lemma_6_21_instance,
+    lemma_6_23_instance,
+)
+from repro.sparsity.families import BD, US, family_contains
+
+
+# ------------------------------------------------------------------ #
+# Lemma 6.1: SUM and BROADCAST reductions
+# ------------------------------------------------------------------ #
+def test_sum_instance_structure():
+    inst = sum_instance(np.arange(8, dtype=float))
+    # one dense row x one dense column: BD(1) x BD(1) = US(1)
+    assert family_contains(BD, inst.a_hat, 1)
+    assert family_contains(BD, inst.b_hat, 1)
+    assert family_contains(US, inst.x_hat, 1)
+
+
+def test_sum_via_mm_computes_sum():
+    values = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+    total, rounds = solve_sum_via_mm(values)
+    assert total == pytest.approx(values.sum())
+    assert rounds >= math.ceil(math.log2(values.size))  # Corollary 6.10
+
+
+def test_broadcast_via_mm_delivers_to_everyone():
+    received, rounds = solve_broadcast_via_mm(7.25, 16)
+    assert np.allclose(received, 7.25)
+    assert rounds >= broadcast_lower_bound_rounds(16)  # Lemma 6.13
+
+
+def test_broadcast_instance_structure():
+    inst = broadcast_instance(1.0, 10)
+    assert family_contains(BD, inst.a_hat, 1)
+    assert inst.b_hat.nnz == 1
+    assert inst.x_hat.nnz == 10
+
+
+# ------------------------------------------------------------------ #
+# Lemma 6.13: affected-set counting
+# ------------------------------------------------------------------ #
+def test_affected_set_triples():
+    trace = affected_set_trace(100, 5)
+    assert trace[0] == 1
+    for prev, cur in zip(trace, trace[1:]):
+        assert cur <= 3 * prev
+
+
+def test_broadcast_lower_bound_values():
+    assert broadcast_lower_bound_rounds(1) == 0
+    assert broadcast_lower_bound_rounds(3) == 1
+    assert broadcast_lower_bound_rounds(9) == 2
+    assert broadcast_lower_bound_rounds(10) == 3
+    assert broadcast_lower_bound_rounds(1000) == 7
+
+
+def test_verify_broadcast_run():
+    # our binary trees use ceil(log2 n) >= ceil(log3 n): always consistent
+    for n in (2, 8, 64, 1000):
+        assert verify_broadcast_run(n, math.ceil(math.log2(n)))
+        if n > 3:
+            assert not verify_broadcast_run(n, 1)
+
+
+# ------------------------------------------------------------------ #
+# Lemma 6.17 / Theorem 6.19: dense packing
+# ------------------------------------------------------------------ #
+def test_packing_computes_dense_product():
+    rng = np.random.default_rng(0)
+    m = 5
+    a = rng.normal(size=(m, m))
+    b = rng.normal(size=(m, m))
+    x, measured, simulated = pack_dense_into_average_sparse(a, b)
+    assert np.allclose(x, a @ b, atol=1e-8)
+    assert simulated == m * measured
+
+
+def test_packing_rejects_nonsquare():
+    with pytest.raises(ValueError):
+        pack_dense_into_average_sparse(np.ones((2, 3)), np.ones((3, 2)))
+
+
+def test_conditional_exponents():
+    assert conditional_lower_bound_exponent(4 / 3) == pytest.approx(1 / 6)
+    assert conditional_lower_bound_exponent(1.156671) == pytest.approx(0.0783, abs=1e-3)
+
+
+# ------------------------------------------------------------------ #
+# Lemmas 6.21 / 6.23: routing hardness
+# ------------------------------------------------------------------ #
+def test_lemma_6_21_instance_structure():
+    rng = np.random.default_rng(1)
+    inst = lemma_6_21_instance(9, rng)
+    assert family_contains(US, inst.a_hat, 2)
+    assert inst.b_hat.nnz == 81
+
+
+def test_lemma_6_21_certificate_rows_distribution():
+    rng = np.random.default_rng(2)
+    n = 16
+    inst = lemma_6_21_instance(n, rng)
+    deficit = certify_received_values_6_21(n, inst.owner_x, inst.owner_b)
+    assert deficit.max() >= math.isqrt(n)  # Theorem 6.27
+
+
+def test_lemma_6_21_certificate_any_distribution():
+    """The paper's bound holds for any fixed output assignment; spot-check
+    random ones."""
+    n = 25
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        owner_x = {
+            (int(i), int(k)): int(rng.integers(0, n))
+            for i in range(n)
+            for k in range(n)
+        }
+        owner_b = {
+            (int(j), int(k)): int(rng.integers(0, n))
+            for j in range(n)
+            for k in range(n)
+        }
+        deficit = certify_received_values_6_21(n, owner_x, owner_b)
+        assert deficit.max() >= math.isqrt(n)
+
+
+def test_lemma_6_23_certificate():
+    rng = np.random.default_rng(4)
+    n = 16
+    inst = lemma_6_23_instance(n, rng)
+    deficit = certify_received_values_6_23(n, inst.owner_x, inst.owner_a, inst.owner_b)
+    assert deficit.max() >= math.isqrt(n) - 1
+
+
+def test_lemma_6_23_random_assignments():
+    n = 25
+    rng = np.random.default_rng(5)
+    for _ in range(5):
+        owner_x = {
+            (int(i), int(k)): int(rng.integers(0, n))
+            for i in range(n)
+            for k in range(n)
+        }
+        owner_a = {(int(i), 0): int(rng.integers(0, n)) for i in range(n)}
+        owner_b = {(0, int(k)): int(rng.integers(0, n)) for k in range(n)}
+        deficit = certify_received_values_6_23(n, owner_x, owner_a, owner_b)
+        # some computer outputs >= n/n... at least n entries total spread on
+        # n computers: one computer has >= n outputs... >= sqrt(n) rows or
+        # columns, almost all foreign under a random assignment
+        assert deficit.max() >= math.isqrt(n) - 2
+
+
+def test_routing_instances_solvable_and_expensive():
+    """Running a real algorithm on the hard instance must cost at least
+    the certified number of rounds (sanity: upper >= lower)."""
+    from repro.algorithms.api import multiply
+
+    rng = np.random.default_rng(6)
+    n = 16
+    inst = lemma_6_23_instance(n, rng)
+    res = multiply(inst, algorithm="general")
+    assert inst.verify(res.x)
+    deficit = certify_received_values_6_23(n, inst.owner_x, inst.owner_a, inst.owner_b)
+    assert res.rounds >= deficit.max()
+
+
+# ------------------------------------------------------------------ #
+# Lemma 6.25
+# ------------------------------------------------------------------ #
+def test_alice_bob_bound():
+    assert alice_bob_lower_bound(10) == 10
+    assert alice_bob_lower_bound(0) == 0
+
+
+def test_fooling_pairs():
+    assert fooling_pair_exists(5, 4)
+    assert not fooling_pair_exists(5, 5)
+    assert fooling_pair_exists(10, 9, word_values=1024)

@@ -1,0 +1,78 @@
+"""Tests for per-computer memory accounting — the model's space bound.
+
+The paper assumes each computer holds ``O(d)`` input/output elements
+(§2); the algorithms' working sets must stay proportional to their round
+budgets (a computer can only ever accumulate what was dealt to it plus
+what it received)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import init_outputs
+from repro.algorithms.fewtriangles import default_kappa, process_few_triangles
+from repro.algorithms.trivial import naive_triangles
+from repro.model.network import LowBandwidthNetwork
+from repro.sparsity.families import US
+from repro.supported.instance import make_instance
+
+
+def test_peak_memory_requires_flag():
+    net = LowBandwidthNetwork(3)
+    with pytest.raises(RuntimeError):
+        net.peak_memory()
+
+
+def test_peak_memory_counts_keys():
+    net = LowBandwidthNetwork(3, track_memory=True)
+    net.deal(0, "a", 1)
+    net.deal(0, "b", 2)
+    net.deal(1, "c", 3)
+    assert net.peak_memory().tolist() == [2, 1, 0]
+
+
+def test_peak_memory_survives_deletion():
+    net = LowBandwidthNetwork(2, track_memory=True)
+    net.deal(0, "a", 1)
+    net.deal(0, "b", 2)
+    net.delete(0, "a")
+    net.delete(0, "b")
+    assert net.peak_memory()[0] == 2
+
+
+def test_peak_memory_tracks_deliveries():
+    from repro.model.network import Message
+
+    net = LowBandwidthNetwork(2, track_memory=True)
+    net.deal(0, "a", 1)
+    net.exchange([Message(0, 1, "a", "a2")])
+    assert net.peak_memory()[1] == 1
+
+
+def test_memory_bounded_by_communication():
+    """Invariant: a computer's peak memory never exceeds what it was
+    dealt plus the messages it received plus its local writes — and for
+    Lemma 3.1, the per-computer budget is O(d + kappa)."""
+    rng = np.random.default_rng(0)
+    n, d = 60, 4
+    inst = make_instance((US, US, US), n, d, rng)
+    net = LowBandwidthNetwork(n, track_memory=True)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    kappa = default_kappa(len(inst.triangles), n)
+    process_few_triangles(net, inst, inst.triangles.triangles, kappa)
+    assert inst.verify(inst.collect_result(net))
+    peak = net.peak_memory()
+    budget = 40 * (d + kappa) + 20  # generous constant over the 8 sub-phases
+    assert peak.max() <= budget, (peak.max(), budget)
+
+
+def test_naive_memory_bounded():
+    rng = np.random.default_rng(1)
+    n, d = 40, 3
+    inst = make_instance((US, US, US), n, d, rng)
+    net = LowBandwidthNetwork(n, track_memory=True)
+    res = naive_triangles(inst, net=net)
+    assert inst.verify(res.x)
+    # inputs 2d + outputs d + received values <= 2 per triangle at node
+    peak = net.peak_memory()
+    assert peak.max() <= 3 * d + 2 * inst.triangles.max_node_count() + 10

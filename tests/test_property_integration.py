@@ -1,0 +1,116 @@
+"""Property-based integration tests: every algorithm, on randomized
+instances drawn across families, sizes, semirings and distributions, must
+produce the exact semiring product on the requested support — and all
+algorithms must agree with each other."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.api import multiply
+from repro.semirings import (
+    BOOLEAN,
+    GF2,
+    INTEGER_RING,
+    MIN_PLUS,
+    REAL_FIELD,
+)
+from repro.sparsity.families import AS, BD, CS, GM, RS, US
+from repro.supported.instance import make_hard_instance, make_instance
+
+SEMIRINGS = [REAL_FIELD, INTEGER_RING, BOOLEAN, GF2, MIN_PLUS]
+FAMILY_TRIPLES = [
+    (US, US, US),
+    (US, US, AS),
+    (US, AS, GM),
+    (RS, CS, GM),
+    (BD, AS, AS),
+    (AS, AS, AS),
+]
+GENERAL_ALGOS = ["naive", "general", "two_phase", "gather_all"]
+
+
+@st.composite
+def instance_params(draw):
+    fams = draw(st.sampled_from(FAMILY_TRIPLES))
+    n = draw(st.integers(min_value=6, max_value=28))
+    d = draw(st.integers(min_value=1, max_value=min(4, n)))
+    sr = draw(st.sampled_from(SEMIRINGS))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    dist = draw(st.sampled_from(["rows", "balanced"]))
+    return fams, n, d, sr, seed, dist
+
+
+@given(params=instance_params(), algo=st.sampled_from(GENERAL_ALGOS))
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_algorithm_correct_on_random_instances(params, algo):
+    fams, n, d, sr, seed, dist = params
+    rng = np.random.default_rng(seed)
+    inst = make_instance(fams, n, d, rng, semiring=sr, distribution=dist)
+    res = multiply(inst, algorithm=algo)
+    assert inst.verify(res.x), (fams, n, d, sr.name, seed, dist, algo)
+
+
+@given(params=instance_params())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_algorithms_agree(params):
+    fams, n, d, sr, seed, dist = params
+    rng = np.random.default_rng(seed)
+    inst = make_instance(fams, n, d, rng, semiring=sr, distribution=dist)
+    results = {}
+    for algo in ("naive", "general", "two_phase"):
+        res = multiply(inst, algorithm=algo)
+        results[algo] = res.x.toarray()
+    base = results["naive"]
+    for algo, got in results.items():
+        assert sr.close(got, base), (algo, fams, seed)
+
+
+@given(
+    n_factor=st.integers(min_value=4, max_value=8),
+    d=st.integers(min_value=2, max_value=6),
+    density=st.floats(min_value=0.2, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_hard_instances_always_exact(n_factor, d, density, seed):
+    rng = np.random.default_rng(seed)
+    inst = make_hard_instance(n_factor * d, d, rng, density=density)
+    res = multiply(inst, algorithm="two_phase")
+    assert inst.verify(res.x), (n_factor, d, density, seed)
+
+
+@given(
+    d=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    sr=st.sampled_from([REAL_FIELD, INTEGER_RING, GF2]),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_field_kernel_exact_property(d, seed, sr):
+    """The Strassen kernel + duplicate cancellation must be exact over any
+    ring, at any density, including GF(2) where +1 = -1."""
+    rng = np.random.default_rng(seed)
+    inst = make_hard_instance(8 * d, d, rng, density=0.7, semiring=sr)
+    res = multiply(inst, algorithm="two_phase_field")
+    assert inst.verify(res.x), (d, seed, sr.name)
+
+
+@given(params=instance_params())
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_rounds_deterministic(params):
+    """Round counts are a pure function of the instance (re-runs agree)."""
+    fams, n, d, sr, seed, dist = params
+    rng = np.random.default_rng(seed)
+    inst = make_instance(fams, n, d, rng, semiring=sr, distribution=dist)
+    r1 = multiply(inst, algorithm="general").rounds
+    r2 = multiply(inst, algorithm="general").rounds
+    assert r1 == r2

@@ -1,0 +1,121 @@
+"""Tests for message scheduling (edge-colouring of communication phases)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.scheduling import (
+    greedy_two_sided_schedule,
+    schedule_makespan,
+    validate_schedule,
+)
+
+
+def degrees(arr):
+    return np.bincount(arr).max() if arr.size else 0
+
+
+def test_empty_phase():
+    r = greedy_two_sided_schedule(np.array([], dtype=int), np.array([], dtype=int))
+    assert schedule_makespan(r) == 0
+
+
+def test_single_message():
+    r = greedy_two_sided_schedule(np.array([0]), np.array([1]))
+    assert schedule_makespan(r) == 1
+    validate_schedule(np.array([0]), np.array([1]), r)
+
+
+def test_self_messages_are_free():
+    src = np.array([0, 1, 2])
+    dst = np.array([0, 1, 2])
+    r = greedy_two_sided_schedule(src, dst)
+    assert schedule_makespan(r) == 0
+    assert (r == -1).all()
+
+
+def test_disjoint_pairs_one_round():
+    # perfect matching: all messages deliverable simultaneously
+    src = np.arange(0, 10, 2)
+    dst = np.arange(1, 10, 2)
+    r = greedy_two_sided_schedule(src, dst)
+    assert schedule_makespan(r) == 1
+
+
+def test_fan_in_requires_sequential_rounds():
+    # 5 senders to one receiver: at least 5 rounds
+    src = np.arange(5)
+    dst = np.full(5, 7)
+    r = greedy_two_sided_schedule(src, dst)
+    assert schedule_makespan(r) == 5
+    validate_schedule(src, dst, r)
+
+
+def test_fan_out_requires_sequential_rounds():
+    src = np.full(5, 7)
+    dst = np.arange(5)
+    r = greedy_two_sided_schedule(src, dst)
+    assert schedule_makespan(r) == 5
+    validate_schedule(src, dst, r)
+
+
+def test_makespan_bound_sum_of_degrees():
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, 50, size=400)
+    dst = rng.integers(0, 50, size=400)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    r = greedy_two_sided_schedule(src, dst)
+    validate_schedule(src, dst, r)
+    s = degrees(src)
+    t = degrees(dst)
+    assert schedule_makespan(r) <= s + t - 1
+
+
+def test_validate_rejects_double_send():
+    src = np.array([0, 0])
+    dst = np.array([1, 2])
+    bad = np.array([0, 0])  # same round twice for sender 0
+    with pytest.raises(ValueError):
+        validate_schedule(src, dst, bad)
+
+
+def test_validate_rejects_double_receive():
+    src = np.array([1, 2])
+    dst = np.array([0, 0])
+    bad = np.array([3, 3])
+    with pytest.raises(ValueError):
+        validate_schedule(src, dst, bad)
+
+
+def test_validate_rejects_unassigned():
+    with pytest.raises(ValueError):
+        validate_schedule(np.array([0]), np.array([1]), np.array([-1]))
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        greedy_two_sided_schedule(np.array([0, 1]), np.array([1]))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_greedy_schedule_always_proper_and_bounded(pairs):
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    r = greedy_two_sided_schedule(src, dst)
+    validate_schedule(src, dst, r)
+    remote = src != dst
+    if remote.any():
+        s = degrees(src[remote])
+        t = degrees(dst[remote])
+        assert schedule_makespan(r) <= s + t - 1
+        # also at least the trivial lower bound
+        assert schedule_makespan(r) >= max(s, t)

@@ -1,0 +1,190 @@
+"""Unit tests for the semiring abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    GF2,
+    INTEGER_RING,
+    MAX_PLUS,
+    MIN_PLUS,
+    REAL_FIELD,
+)
+
+SEMIRING_IDS = [s.name for s in ALL_SEMIRINGS]
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_identities(sr):
+    rng = np.random.default_rng(0)
+    x = sr.random_values(rng, 16)
+    zero = sr.scalar(sr.zero)
+    one = sr.scalar(sr.one)
+    assert sr.close(sr.add(x, zero), x)
+    assert sr.close(sr.mul(x, one), x)
+    # zero annihilates
+    assert sr.close(sr.mul(x, zero), sr.zeros(16))
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_commutativity_and_associativity(sr):
+    rng = np.random.default_rng(1)
+    a, b, c = (sr.random_values(rng, 32) for _ in range(3))
+    assert sr.close(sr.add(a, b), sr.add(b, a))
+    assert sr.close(sr.mul(a, b), sr.mul(b, a))
+    assert sr.close(sr.add(sr.add(a, b), c), sr.add(a, sr.add(b, c)))
+    assert sr.close(sr.mul(sr.mul(a, b), c), sr.mul(a, sr.mul(b, c)))
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_distributivity(sr):
+    rng = np.random.default_rng(2)
+    a, b, c = (sr.random_values(rng, 32) for _ in range(3))
+    lhs = sr.mul(a, sr.add(b, c))
+    rhs = sr.add(sr.mul(a, b), sr.mul(a, c))
+    assert sr.close(lhs, rhs)
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_sum_reduction_matches_fold(sr):
+    rng = np.random.default_rng(3)
+    x = sr.random_values(rng, 17)
+    acc = sr.scalar(sr.zero)
+    for v in x:
+        acc = sr.add(acc, v)
+    assert sr.close(sr.sum(x), acc)
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_segment_sum(sr):
+    rng = np.random.default_rng(4)
+    vals = sr.random_values(rng, 20)
+    segs = np.asarray([i % 5 for i in range(20)])
+    out = sr.segment_sum(vals, segs, 5)
+    for s in range(5):
+        expected = sr.sum(vals[segs == s])
+        assert sr.close(out[s], expected)
+
+
+def test_segment_sum_empty():
+    out = REAL_FIELD.segment_sum(np.array([]), np.array([], dtype=int), 3)
+    assert out.shape == (3,)
+    assert np.all(out == 0.0)
+
+
+def test_min_plus_zero_is_inf():
+    assert MIN_PLUS.zero == np.inf
+    out = MIN_PLUS.segment_sum(np.array([], dtype=float), np.array([], dtype=int), 2)
+    assert np.all(np.isinf(out))
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SEMIRING_IDS)
+def test_matmul_reference_identity(sr):
+    eye = sr.zeros((4, 4))
+    for i in range(4):
+        eye[i, i] = sr.one
+    rng = np.random.default_rng(5)
+    m = sr.random_values(rng, 16).reshape(4, 4)
+    assert sr.close(sr.matmul(m, eye), m)
+    assert sr.close(sr.matmul(eye, m), m)
+
+
+def test_matmul_real_matches_numpy():
+    rng = np.random.default_rng(6)
+    a = rng.normal(size=(5, 7))
+    b = rng.normal(size=(7, 3))
+    assert REAL_FIELD.close(REAL_FIELD.matmul(a, b), a @ b)
+
+
+def test_matmul_boolean_is_reachability():
+    a = np.array([[1, 1], [0, 0]], dtype=bool)
+    b = np.array([[0, 1], [1, 0]], dtype=bool)
+    out = BOOLEAN.matmul(a, b)
+    assert out.tolist() == [[True, True], [False, False]]
+
+
+def test_matmul_min_plus_is_shortest_path_step():
+    inf = np.inf
+    d0 = np.array([[0.0, 3.0, inf], [inf, 0.0, 4.0], [inf, inf, 0.0]])
+    d1 = MIN_PLUS.matmul(d0, d0)
+    assert d1[0, 2] == 7.0
+
+
+def test_gf2_matmul():
+    a = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+    out = GF2.matmul(a, a)
+    # over GF(2): [[1+1, 1],[1,1]] = [[0,1],[1,1]]
+    assert out.tolist() == [[0, 1], [1, 1]]
+
+
+def test_field_flags():
+    assert REAL_FIELD.is_field and GF2.is_field and INTEGER_RING.is_field
+    assert not BOOLEAN.is_field and not MIN_PLUS.is_field and not MAX_PLUS.is_field
+    for sr in ALL_SEMIRINGS:
+        if sr.is_field:
+            assert sr.sub is not None
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_integer_sum_property(xs):
+    arr = np.asarray(xs, dtype=np.int64)
+    assert INTEGER_RING.sum(arr) == sum(xs)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40)
+)
+@settings(max_examples=50, deadline=None)
+def test_min_plus_sum_is_min(xs):
+    arr = np.asarray(xs, dtype=np.float64)
+    assert MIN_PLUS.sum(arr) == min(xs)
+
+
+def test_is_scalar_word_check():
+    assert REAL_FIELD.is_scalar(1.0)
+    assert REAL_FIELD.is_scalar(np.float64(2.0))
+    assert not REAL_FIELD.is_scalar(np.zeros(3))
+
+
+def test_sum_axis_reduction_ufunc():
+    m = np.arange(12, dtype=np.float64).reshape(3, 4)
+    assert np.allclose(REAL_FIELD.sum(m, axis=0), m.sum(axis=0))
+    assert np.allclose(REAL_FIELD.sum(m, axis=1), m.sum(axis=1))
+
+
+def test_sum_axis_reduction_non_ufunc():
+    # GF2's add is a plain function, exercising the generic fold path
+    m = np.array([[1, 0], [1, 1], [0, 1]], dtype=np.uint8)
+    out = GF2.sum(m, axis=0)
+    assert out.tolist() == [0, 0]
+    out = GF2.sum(m, axis=1)
+    assert out.tolist() == [1, 0, 1]
+
+
+def test_matmul_shape_mismatch():
+    with pytest.raises(ValueError, match="shape"):
+        BOOLEAN.matmul(np.ones((2, 3), dtype=bool), np.ones((2, 3), dtype=bool))
+
+
+def test_viterbi_most_probable_path():
+    from repro.semirings import VITERBI
+
+    # two-step chain: best path probability = max over middle states
+    a = np.array([[0.5, 0.9], [0.2, 0.1]])
+    out = VITERBI.matmul(a, a)
+    # (0,0): max(0.5*0.5, 0.9*0.2) = 0.25
+    assert out[0, 0] == pytest.approx(0.25)
+    # (0,1): max(0.5*0.9, 0.9*0.1) = 0.45
+    assert out[0, 1] == pytest.approx(0.45)
+
+
+def test_segment_sum_non_ufunc_path():
+    vals = np.array([1, 1, 0, 1], dtype=np.uint8)
+    segs = np.array([0, 0, 1, 1])
+    out = GF2.segment_sum(vals, segs, 2)
+    assert out.tolist() == [0, 1]

@@ -1,0 +1,98 @@
+"""Property-based tests for the multi-group Strassen engine: random job
+shapes against the dense reference product."""
+
+import numpy as np
+import scipy.sparse as sp
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import init_outputs
+from repro.algorithms.strassen_engine import StrassenJob, run_strassen_jobs
+from repro.model.network import LowBandwidthNetwork
+from repro.semirings import GF2, INTEGER_RING, REAL_FIELD
+from repro.supported.instance import SupportedInstance
+
+
+def _embedded_instance(n, dim, density, sr, rng):
+    """A dim x dim block product embedded in an n x n instance."""
+    a = sr.zeros((n, n))
+    b = sr.zeros((n, n))
+    mask_a = rng.random((dim, dim)) < density
+    mask_b = rng.random((dim, dim)) < density
+    a[:dim, :dim][mask_a] = sr.random_values(rng, int(mask_a.sum()))
+    b[:dim, :dim][mask_b] = sr.random_values(rng, int(mask_b.sum()))
+    a_hat = sp.csr_matrix(np.zeros((n, n), dtype=bool))
+    a_hat = sp.lil_matrix((n, n), dtype=bool)
+    a_hat[:dim, :dim] = mask_a
+    b_hat = sp.lil_matrix((n, n), dtype=bool)
+    b_hat[:dim, :dim] = mask_b
+    x_hat = sp.lil_matrix((n, n), dtype=bool)
+    x_hat[:dim, :dim] = True
+    inst = SupportedInstance(
+        semiring=sr,
+        a_hat=sp.csr_matrix(a_hat),
+        b_hat=sp.csr_matrix(b_hat),
+        x_hat=sp.csr_matrix(x_hat),
+        a=sp.csr_matrix(np.where(np.pad(mask_a, ((0, n - dim), (0, n - dim))), a, 0)),
+        b=sp.csr_matrix(np.where(np.pad(mask_b, ((0, n - dim), (0, n - dim))), b, 0)),
+        d=dim,
+    )
+    return inst
+
+
+def _job_for(inst, dim, computers):
+    return StrassenJob(
+        jid=0,
+        computers=computers,
+        dim=dim,
+        a_entries={
+            (i, j): (inst.owner_a[(i, j)], ("A", i, j)) for (i, j) in inst.owner_a
+        },
+        b_entries={
+            (j, k): (inst.owner_b[(j, k)], ("B", j, k)) for (j, k) in inst.owner_b
+        },
+        outputs={
+            (i, k): (inst.owner_x[(i, k)], ("X", i, k)) for (i, k) in inst.owner_x
+        },
+    )
+
+
+@given(
+    dim=st.integers(min_value=1, max_value=9),
+    density=st.floats(min_value=0.2, max_value=1.0),
+    seed=st.integers(0, 2**31 - 1),
+    sr=st.sampled_from([REAL_FIELD, INTEGER_RING, GF2]),
+    levels=st.integers(0, 2),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_matches_reference(dim, density, seed, sr, levels):
+    rng = np.random.default_rng(seed)
+    n = max(2 * dim, 4)
+    inst = _embedded_instance(n, dim, density, sr, rng)
+    net = LowBandwidthNetwork(n)
+    inst.deal_into(net)
+    init_outputs(net, inst)
+    job = _job_for(inst, dim, np.arange(dim))
+    run_strassen_jobs(net, sr, [job], levels=levels)
+    assert inst.verify(inst.collect_result(net)), (dim, density, seed, sr.name, levels)
+
+
+@given(
+    dim=st.integers(min_value=2, max_value=5),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_rounds_deterministic(dim, seed):
+    rng = np.random.default_rng(seed)
+    n = 4 * dim
+    inst = _embedded_instance(n, dim, 0.8, REAL_FIELD, rng)
+
+    def once():
+        net = LowBandwidthNetwork(n)
+        inst.deal_into(net)
+        init_outputs(net, inst)
+        job = _job_for(inst, dim, np.arange(dim))
+        return run_strassen_jobs(net, REAL_FIELD, [job])
+
+    assert once() == once()

@@ -1,0 +1,70 @@
+"""Broad randomized stress matrix: many seeds x families x algorithms,
+small instances, exact verification everywhere.  A wide safety net on top
+of the targeted suites."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.api import multiply
+from repro.semirings import BOOLEAN, INTEGER_RING, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import AS, BD, CS, GM, RS, US
+from repro.supported.instance import make_hard_instance, make_instance
+
+MATRIX = [
+    # (families, distribution, semiring, algorithms)
+    ((US, US, US), "rows", REAL_FIELD, ("naive", "general", "two_phase")),
+    ((US, US, US), "rows", BOOLEAN, ("naive", "general")),
+    ((US, RS, AS), "rows", INTEGER_RING, ("general",)),
+    ((CS, US, AS), "balanced", REAL_FIELD, ("general", "two_phase")),
+    ((US, AS, GM), "balanced", MIN_PLUS, ("general",)),
+    ((BD, AS, AS), "balanced", REAL_FIELD, ("general", "bd_as_as")),
+    ((RS, CS, GM), "balanced", REAL_FIELD, ("general",)),
+    ((AS, AS, AS), "balanced", INTEGER_RING, ("naive", "general")),
+]
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize(
+    "families,dist,sr,algos",
+    MATRIX,
+    ids=[":".join(f.value for f in row[0]) + "/" + row[2].name for row in MATRIX],
+)
+def test_stress_matrix(families, dist, sr, algos, seed):
+    rng = np.random.default_rng(seed * 7919 + 13)
+    n = int(rng.integers(10, 36))
+    d = int(rng.integers(1, 4))
+    inst = make_instance(families, n, d, rng, semiring=sr, distribution=dist)
+    reference = None
+    for algo in algos:
+        res = multiply(inst, algorithm=algo)
+        assert inst.verify(res.x), (families, sr.name, algo, n, d, seed)
+        arr = res.x.toarray()
+        if reference is None:
+            reference = arr
+        else:
+            assert sr.close(arr, reference), (families, sr.name, algo)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_stress_hard_instances_all_kernels(seed):
+    rng = np.random.default_rng(seed)
+    d = int(rng.integers(3, 7))
+    n = int(rng.integers(6, 14)) * d
+    density = float(rng.uniform(0.3, 1.0))
+    inst = make_hard_instance(n, d, rng, density=density)
+    res3 = multiply(inst, algorithm="two_phase")
+    assert inst.verify(res3.x), (n, d, density, seed)
+    resf = multiply(inst, algorithm="two_phase_field")
+    assert inst.verify(resf.x), (n, d, density, seed)
+    assert np.allclose(res3.x.toarray(), resf.x.toarray())
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_stress_auto_selection_never_wrong(seed):
+    rng = np.random.default_rng(1000 + seed)
+    fams = tuple(
+        rng.choice(np.array([US, RS, CS, BD, AS], dtype=object), size=3)
+    )
+    inst = make_instance(tuple(fams), 20, 2, rng, distribution="balanced")
+    res = multiply(inst)
+    assert inst.verify(res.x), (fams, res.details["selected"])

@@ -1,0 +1,124 @@
+"""Tests for the sweep runner and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.report import phase_table, render_table
+from repro.analysis.sweeps import run_sweep
+from repro.supported.instance import make_hard_instance
+
+
+def test_run_sweep_basic():
+    def factory(d):
+        return make_hard_instance(8 * d, d, np.random.default_rng(d))
+
+    sweep = run_sweep(
+        axis=("d", [4, 8]),
+        instance_factory=factory,
+        algorithms={
+            "naive": naive_triangles,
+            "two_phase": multiply_two_phase,
+        },
+    )
+    assert sweep.verified
+    assert len(sweep.rounds["naive"]) == 2
+    assert all(r > 0 for r in sweep.rounds["two_phase"])
+    fit = sweep.fit("naive")
+    assert fit.exponent > 1.0
+
+
+def test_sweep_render_contains_values():
+    def factory(d):
+        return make_hard_instance(8 * d, d, np.random.default_rng(0))
+
+    sweep = run_sweep(
+        axis=("d", [4, 8]),
+        instance_factory=factory,
+        algorithms={"naive": naive_triangles},
+    )
+    text = sweep.render()
+    assert "naive" in text
+    assert "fit" in text
+    assert "d^" in text
+
+
+def test_sweep_detects_wrong_algorithm():
+    def factory(d):
+        return make_hard_instance(8 * d, d, np.random.default_rng(0))
+
+    def broken(inst, **kw):
+        res = naive_triangles(inst, **kw)
+        res.x = res.x * 0  # corrupt the output
+        return res
+
+    with pytest.raises(AssertionError, match="wrong product"):
+        run_sweep(
+            axis=("d", [4]),
+            instance_factory=factory,
+            algorithms={"broken": broken},
+        )
+
+
+def test_render_table_plain():
+    out = render_table(["a", "bb"], [[1, 22], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "333" in lines[2] or "333" in lines[3]
+
+
+def test_render_table_markdown():
+    out = render_table(["x", "y"], [[1, 2]], markdown=True)
+    assert out.startswith("| x")
+    assert "|---" in out.replace(" ", "").replace("-", "-")
+
+
+def test_phase_table_sorted_by_rounds():
+    summary = {"cheap": (2, 10), "expensive": (50, 99)}
+    out = phase_table(summary)
+    lines = out.splitlines()
+    assert lines[2].startswith("expensive")
+    assert lines[3].startswith("cheap")
+
+
+# ------------------------------------------------------------------ #
+# the §1.2 figure artifact
+# ------------------------------------------------------------------ #
+def test_figure1_html_structure():
+    from repro.analysis.figure_svg import render_figure1_html
+
+    html = render_figure1_html()
+    assert html.startswith("<!DOCTYPE html>")
+    # both algebra rows, all four milestone marks each, with tooltips
+    assert html.count("<circle") >= 8 + 4  # marks + legend dots
+    assert html.count("<title>") >= 8
+    assert "semirings" in html and "fields" in html
+    # the paper's numbers appear as direct labels
+    for v in ("1.867", "1.926", "1.831", "1.906", "2.000", "1.333", "1.157"):
+        assert v in html, v
+    # dark mode is a selected palette, not an automatic flip
+    assert "prefers-color-scheme: dark" in html
+    # text wears text tokens, not series colors
+    assert 'class="t-secondary"' in html
+
+
+def test_figure1_measured_overlay():
+    from repro.analysis.figure_svg import render_figure1_html
+
+    html = render_figure1_html(measured={"semiring": {"two-phase": 1.32}})
+    assert "measured two-phase: d^1.32" in html
+    assert "measured (this repo)" in html
+
+
+def test_figure1_marks_inside_viewbox():
+    import re
+
+    from repro.analysis.figure_svg import render_figure1_html
+
+    html = render_figure1_html()
+    xs = [float(m) for m in re.findall(r'cx="([0-9.]+)"', html)]
+    assert xs and all(0 <= x <= 760 for x in xs)
+    ys = [float(m) for m in re.findall(r'cy="([0-9.]+)"', html)]
+    assert ys and all(0 <= y <= 330 for y in ys)

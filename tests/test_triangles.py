@@ -1,0 +1,203 @@
+"""Tests for triangle enumeration and statistics (paper §2.2, Lemma 4.3)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparsity.families import AS, GM, US
+from repro.sparsity.generators import (
+    dense_pattern,
+    product_support,
+    random_average_sparse,
+    random_uniformly_sparse,
+    restrict_support,
+)
+from repro.supported.triangles import TriangleSet, enumerate_triangles
+
+
+def pattern(entries, n):
+    rows = [e[0] for e in entries]
+    cols = [e[1] for e in entries]
+    return sp.csr_matrix(
+        (np.ones(len(entries), dtype=bool), (rows, cols)), shape=(n, n)
+    )
+
+
+def brute_force_triangles(a_hat, b_hat, x_hat):
+    a = a_hat.toarray()
+    b = b_hat.toarray()
+    x = x_hat.toarray()
+    n = a.shape[0]
+    out = []
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                if a[i, j] and b[j, k] and x[i, k]:
+                    out.append((i, j, k))
+    return sorted(out)
+
+
+def test_single_triangle():
+    a = pattern([(0, 1)], 3)
+    b = pattern([(1, 2)], 3)
+    x = pattern([(0, 2)], 3)
+    tri = enumerate_triangles(a, b, x)
+    assert tri.tolist() == [[0, 1, 2]]
+
+
+def test_no_triangle_when_x_missing():
+    a = pattern([(0, 1)], 3)
+    b = pattern([(1, 2)], 3)
+    x = pattern([(1, 1)], 3)
+    assert enumerate_triangles(a, b, x).shape == (0, 3)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    n, d = 10, 3
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_uniformly_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), US, d, rng)
+    tri = enumerate_triangles(a, b, x)
+    got = sorted(map(tuple, tri.tolist()))
+    assert got == brute_force_triangles(a, b, x)
+
+
+def test_dense_instance_triangle_count():
+    n = 5
+    a = b = x = dense_pattern(n)
+    tri = enumerate_triangles(a, b, x)
+    assert tri.shape[0] == n**3
+
+
+def test_triangleset_counts():
+    n = 4
+    tri = TriangleSet(np.array([[0, 1, 2], [0, 2, 2], [1, 1, 2]]), n)
+    assert tri.counts_i.tolist() == [2, 1, 0, 0]
+    assert tri.counts_j.tolist() == [0, 2, 1, 0]
+    assert tri.counts_k.tolist() == [0, 0, 3, 0]
+    assert tri.max_node_count() == 3
+
+
+def test_max_pair_count():
+    n = 4
+    # two triangles sharing the (i=0, j=1) pair
+    tri = TriangleSet(np.array([[0, 1, 2], [0, 1, 3], [1, 2, 3]]), n)
+    assert tri.max_pair_count() == 2
+
+
+def test_empty_triangle_set():
+    tri = TriangleSet(np.empty((0, 3), dtype=np.int64), 5)
+    assert len(tri) == 0
+    assert tri.max_node_count() == 0
+    assert tri.max_pair_count() == 0
+
+
+def test_induced_by():
+    n = 5
+    tri = TriangleSet(np.array([[0, 1, 2], [3, 1, 2], [0, 4, 2]]), n)
+    mask = tri.induced_by([0], [1], [2])
+    assert mask.tolist() == [True, False, False]
+
+
+def test_lemma_4_3_node_bound():
+    """[US:US:AS]: every node touches at most d^2 triangles (Lemma 4.3)."""
+    rng = np.random.default_rng(11)
+    n, d = 60, 4
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_uniformly_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), AS, d, rng)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert tri.max_node_count() <= d * d
+
+
+def test_corollary_4_5_pair_bound():
+    rng = np.random.default_rng(12)
+    n, d = 50, 3
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_uniformly_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), AS, d, rng)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert tri.max_pair_count() <= d * d
+
+
+def test_corollary_4_6_total_bound():
+    rng = np.random.default_rng(13)
+    n, d = 50, 3
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_uniformly_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), AS, d, rng)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert len(tri) <= d * d * n
+
+
+def test_lemma_5_1_total_bound_us_as_gm():
+    """[US:AS:GM]: at most d^2 n triangles (Lemma 5.1)."""
+    rng = np.random.default_rng(14)
+    n, d = 40, 3
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_average_sparse(n, d, rng)
+    x = product_support(a, b)  # GM: everything requested
+    tri = TriangleSet.from_instance(a, b, x)
+    assert len(tri) <= d * d * n
+
+
+# ------------------------------------------------------------------ #
+# Lemma 4.3 / Corollaries 4.5-4.6 as hypothesis properties
+# ------------------------------------------------------------------ #
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    n=st.integers(min_value=6, max_value=40),
+    d=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lemma_4_3_property(n, d, seed):
+    """[US:US:AS]: every node touches <= d^2 triangles, every pair <= d^2
+    triangles, and |T| <= d^2 n — for arbitrary random instances."""
+    rng = np.random.default_rng(seed)
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_uniformly_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), AS, d, rng)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert tri.max_node_count() <= d * d, (n, d, seed)
+    assert tri.max_pair_count() <= d * d
+    assert len(tri) <= d * d * n
+
+
+@given(
+    n=st.integers(min_value=6, max_value=30),
+    d=st.integers(min_value=1, max_value=3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lemma_5_1_property(n, d, seed):
+    """[US:AS:GM]: |T| <= d^2 n for arbitrary random instances."""
+    rng = np.random.default_rng(seed)
+    a = random_uniformly_sparse(n, d, rng)
+    b = random_average_sparse(n, d, rng)
+    x = product_support(a, b)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert len(tri) <= d * d * n, (n, d, seed)
+
+
+@given(
+    n=st.integers(min_value=6, max_value=24),
+    d=st.integers(min_value=1, max_value=3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lemma_5_9_property(n, d, seed):
+    """[BD:AS:AS]: |T| <= 2 d^2 n via the RS + CS decomposition."""
+    from repro.sparsity.generators import random_degenerate
+
+    rng = np.random.default_rng(seed)
+    a = random_degenerate(n, d, rng)
+    b = random_average_sparse(n, d, rng)
+    x = restrict_support(product_support(a, b), AS, d, rng)
+    tri = TriangleSet.from_instance(a, b, x)
+    assert len(tri) <= 2 * d * d * n, (n, d, seed)

@@ -1,0 +1,82 @@
+"""Tests for the trivial baselines (gather-all, naive triangle routing)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.trivial import gather_all, naive_triangles
+from repro.semirings import ALL_SEMIRINGS, BOOLEAN, MIN_PLUS, REAL_FIELD
+from repro.sparsity.families import AS, GM, US
+from repro.supported.instance import make_instance
+
+SR_IDS = [s.name for s in ALL_SEMIRINGS]
+
+
+def us_instance(seed=0, n=12, d=2, sr=REAL_FIELD):
+    rng = np.random.default_rng(seed)
+    return make_instance((US, US, US), n, d, rng, semiring=sr)
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_gather_all_correct(sr):
+    inst = us_instance(seed=1, sr=sr)
+    res = gather_all(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_naive_correct(sr):
+    inst = us_instance(seed=2, sr=sr)
+    res = naive_triangles(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_gather_all_rounds_scale_with_nnz():
+    # everything funnels into computer 0: rounds >= total input nnz
+    inst = us_instance(seed=3, n=20, d=3)
+    res = gather_all(inst)
+    assert res.rounds >= inst.a_hat.nnz + inst.b_hat.nnz
+
+
+def test_naive_rounds_bounded_by_d_squared():
+    rng = np.random.default_rng(4)
+    n, d = 60, 4
+    inst = make_instance((US, US, US), n, d, rng)
+    res = naive_triangles(inst)
+    # trivial bound O(d^2): generous constant for the greedy scheduler
+    assert res.rounds <= 6 * d * d + 4 * d
+
+
+def test_naive_much_cheaper_than_gather():
+    inst = us_instance(seed=5, n=40, d=2)
+    r_naive = naive_triangles(inst).rounds
+    r_gather = gather_all(inst).rounds
+    assert r_naive < r_gather
+
+
+def test_empty_instance():
+    rng = np.random.default_rng(6)
+    inst = make_instance((US, US, US), 8, 1, rng)
+    # force-empty the request
+    import scipy.sparse as sp
+
+    inst.x_hat = sp.csr_matrix((8, 8), dtype=bool)
+    inst.__dict__.pop("triangles", None)
+    inst.__dict__.pop("owner_x", None)
+    res = naive_triangles(inst, strict=True)
+    assert res.x.nnz == 0
+
+
+def test_balanced_distribution_supported():
+    rng = np.random.default_rng(7)
+    inst = make_instance((AS, AS, AS), 25, 2, rng, distribution="balanced")
+    res = naive_triangles(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("algo", [gather_all, naive_triangles])
+def test_result_metadata(algo):
+    inst = us_instance(seed=8)
+    res = algo(inst)
+    assert res.rounds == res.network.rounds
+    assert res.messages == res.network.messages_sent
+    assert res.algorithm in ("gather_all", "naive_triangles")

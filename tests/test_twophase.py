@@ -1,0 +1,158 @@
+"""Tests for Theorem 4.2's two-phase algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.twophase import multiply_two_phase
+from repro.semirings import ALL_SEMIRINGS, BOOLEAN, REAL_FIELD
+from repro.sparsity.families import AS, US
+from repro.supported.instance import make_instance
+
+SR_IDS = [s.name for s in ALL_SEMIRINGS]
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=SR_IDS)
+def test_correct_all_semirings(sr):
+    rng = np.random.default_rng(0)
+    inst = make_instance((US, US, US), 16, 2, rng, semiring=sr)
+    res = multiply_two_phase(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_correct_us_us_as(seed):
+    rng = np.random.default_rng(seed)
+    inst = make_instance((US, US, AS), 24, 3, rng)
+    res = multiply_two_phase(inst, strict=True)
+    assert inst.verify(res.x)
+
+
+def test_no_clustering_ablation_correct():
+    rng = np.random.default_rng(5)
+    inst = make_instance((US, US, US), 20, 3, rng)
+    res = multiply_two_phase(inst, strict=True, use_clustering=False)
+    assert inst.verify(res.x)
+    assert res.details["stats"].waves == 0
+
+
+def test_stats_account_for_all_triangles():
+    rng = np.random.default_rng(6)
+    inst = make_instance((US, US, US), 40, 4, rng)
+    res = multiply_two_phase(inst)
+    stats = res.details["stats"]
+    assert stats.phase1_triangles + stats.phase2_triangles == len(inst.triangles)
+    assert stats.phase1_rounds + stats.phase2_rounds <= res.rounds
+
+
+def test_clustering_engages_on_triangle_rich_instance():
+    """A worst-case block instance must trigger at least one clustering
+    wave (random US instances are diffuse and the adaptive economics
+    rightly skip phase 1 on them)."""
+    from repro.supported.instance import make_hard_instance
+
+    rng = np.random.default_rng(7)
+    inst = make_hard_instance(120, 8, rng)
+    res = multiply_two_phase(inst)
+    assert inst.verify(res.x)
+    stats = res.details["stats"]
+    assert stats.waves >= 1
+    assert stats.phase1_triangles > 0
+
+
+def test_clustering_skipped_on_diffuse_instance():
+    """The pre-execution economics must not pay for clustering when the
+    instance has too few triangles to amortize a wave."""
+    rng = np.random.default_rng(17)
+    inst = make_instance((US, US, US), 60, 3, rng)
+    res = multiply_two_phase(inst)
+    assert inst.verify(res.x)
+    assert res.details["stats"].waves == 0
+
+
+def test_rounds_below_trivial_d_squared_on_hard_instance():
+    """Theorem 4.2's point: beat O(d^2) when triangles cluster.
+
+    Random US instances have too few triangles for the worst case to show
+    (the trivial algorithm runs at O(max_v t(v)) << d^2 on them), so the
+    separation is asserted on triangle-rich block instances.
+    """
+    from repro.algorithms.trivial import naive_triangles
+    from repro.supported.instance import make_hard_instance
+
+    n, d = 128, 8
+    rng = np.random.default_rng(8)
+    inst = make_hard_instance(n, d, rng)
+    res_tp = multiply_two_phase(inst)
+    rng = np.random.default_rng(8)
+    inst2 = make_hard_instance(n, d, rng)
+    res_nv = naive_triangles(inst2)
+    assert inst.verify(res_tp.x)
+    assert res_tp.rounds < res_nv.rounds, (res_tp.rounds, res_nv.rounds)
+
+
+def test_hard_instance_partial_density_uses_both_phases():
+    """At intermediate block density some mass should fall through to the
+    Lemma 3.1 residual phase and the result must still be exact."""
+    from repro.supported.instance import make_hard_instance
+
+    rng = np.random.default_rng(13)
+    inst = make_hard_instance(96, 8, rng, density=0.45)
+    res = multiply_two_phase(inst)
+    assert inst.verify(res.x)
+
+
+def test_deterministic_given_instance():
+    rng = np.random.default_rng(9)
+    inst = make_instance((US, US, US), 20, 2, rng)
+    r1 = multiply_two_phase(inst).rounds
+    r2 = multiply_two_phase(inst).rounds
+    assert r1 == r2
+
+
+def test_paper_schedule_mode_correct():
+    from repro.supported.instance import make_hard_instance
+
+    rng = np.random.default_rng(20)
+    # full density: |T| = d^2 n = 8192 exceeds the schedule's final
+    # residual target d^{1.868} n ~ 6220, so at least one wave must run
+    inst = make_hard_instance(128, 8, rng)
+    res = multiply_two_phase(inst, schedule="paper")
+    assert inst.verify(res.x)
+    assert res.details["stats"].waves >= 1
+
+
+def test_paper_schedule_residual_within_target():
+    from repro.supported.instance import make_hard_instance
+
+    rng = np.random.default_rng(21)
+    n, d = 128, 8
+    inst = make_hard_instance(n, d, rng)
+    res = multiply_two_phase(inst, schedule="paper")
+    assert inst.verify(res.x)
+    stats = res.details["stats"]
+    target = (d ** 1.868) * n
+    assert stats.phase2_triangles <= target
+
+
+def test_bad_schedule_rejected():
+    rng = np.random.default_rng(22)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    with pytest.raises(ValueError, match="schedule"):
+        multiply_two_phase(inst, schedule="greedy")
+
+
+def test_sampled_extractor_option():
+    from repro.supported.instance import make_hard_instance
+
+    rng = np.random.default_rng(30)
+    inst = make_hard_instance(96, 8, rng)
+    res = multiply_two_phase(inst, extractor="sampled", extractor_seed=7)
+    assert inst.verify(res.x)
+    assert res.details["stats"].waves >= 1
+
+
+def test_bad_extractor_rejected():
+    rng = np.random.default_rng(31)
+    inst = make_instance((US, US, US), 16, 2, rng)
+    with pytest.raises(ValueError, match="extractor"):
+        multiply_two_phase(inst, extractor="psychic")

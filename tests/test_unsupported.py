@@ -1,0 +1,56 @@
+"""Tests for the unsupported-model extension (support discovery, §1.6)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.unsupported import discover_support, multiply_unsupported
+from repro.model.network import LowBandwidthNetwork
+from repro.sparsity.families import US
+from repro.supported.instance import make_instance
+
+
+@pytest.mark.parametrize("n", [7, 16, 30])
+def test_discovery_reaches_common_knowledge(n):
+    rng = np.random.default_rng(n)
+    inst = make_instance((US, US, US), n, 2, rng)
+    net = LowBandwidthNetwork(n, strict=True)
+    rounds = discover_support(net, inst)
+    assert rounds > 0
+    # every computer holds every structure token
+    total_tokens = len(inst.owner_a) + len(inst.owner_b) + len(inst.owner_x)
+    for comp in range(n):
+        held = [k for k in net.mem[comp] if isinstance(k, tuple) and k and str(k[0]).startswith("s")]
+        assert len(held) == total_tokens
+
+
+def test_discovery_cost_scales_linearly_in_n():
+    """Theta(d n): the last gossip stage alone moves ~the whole structure
+    through single links."""
+    d = 2
+    rounds = []
+    for n in (16, 32, 64):
+        rng = np.random.default_rng(0)
+        inst = make_instance((US, US, US), n, d, rng)
+        net = LowBandwidthNetwork(n)
+        rounds.append(discover_support(net, inst))
+    # doubling n should roughly double the cost
+    assert rounds[1] > 1.5 * rounds[0]
+    assert rounds[2] > 1.5 * rounds[1]
+
+
+def test_multiply_unsupported_correct():
+    rng = np.random.default_rng(1)
+    inst = make_instance((US, US, US), 20, 2, rng)
+    res = multiply_unsupported(inst)
+    assert inst.verify(res.x)
+    assert res.algorithm.startswith("unsupported+")
+    assert res.details["discovery_rounds"] + res.details["multiply_rounds"] == res.rounds
+
+
+def test_supported_model_advantage():
+    """The paper's point, quantified: discovery dwarfs the multiplication."""
+    rng = np.random.default_rng(2)
+    inst = make_instance((US, US, US), 48, 3, rng)
+    res = multiply_unsupported(inst)
+    assert inst.verify(res.x)
+    assert res.details["discovery_rounds"] > 3 * res.details["multiply_rounds"]
