@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench examples selfcheck docs all
+.PHONY: install test bench bench-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Quick CI-sized benchmark: the simulator throughput check on a tiny
+# instance (round-count equivalence only, no timing thresholds).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_simulator_throughput.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

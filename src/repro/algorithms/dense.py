@@ -82,25 +82,28 @@ def _cell_computer(a, b, c, q: int):
 
 def _route_input_3d(
     net: LowBandwidthNetwork,
-    owners: dict,
-    entries,
-    entry_block_pair,  # (first_block, second_block) per entry
+    owners: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    first_block: np.ndarray,
+    second_block: np.ndarray,
     replicate_axis_len: int,
-    cell_of,  # (fb, sb, layer) -> computer
+    cell_of,  # vectorized (fb, sb, layer) -> computer
     key_prefix: str,
     label: str,
 ) -> None:
     """Ship each input entry to every grid cell that needs it (one layer
-    per replication index)."""
-    src, dst, keys = [], [], []
-    for (r, ccol), (fb, sb) in zip(entries, entry_block_pair):
-        owner = owners[(r, ccol)]
-        key = (key_prefix, r, ccol)
-        for layer in range(replicate_axis_len):
-            src.append(owner)
-            dst.append(cell_of(fb, sb, layer))
-            keys.append(key)
-    net.exchange_arrays(np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64), keys, label=label)
+    per replication index).  Batches are built as arrays, entry-major with
+    the replication layer innermost — the same message order as the
+    historical per-entry loop, so schedules are unchanged."""
+    q = replicate_axis_len
+    src = np.repeat(owners, q)
+    layers = np.tile(np.arange(q, dtype=np.int64), rows.size)
+    dst = cell_of(np.repeat(first_block, q), np.repeat(second_block, q), layers)
+    keys = [
+        (key_prefix, r, c) for r, c in zip(rows.tolist(), cols.tolist()) for _ in range(q)
+    ]
+    net.exchange_arrays(src, dst, keys, label=label)
 
 
 def _run_3d(
@@ -121,23 +124,22 @@ def _run_3d(
     q = _grid_side(n)
     bounds = _block_bounds(n, q)
 
-    a_entries = [(int(i), int(j)) for (i, j) in inst.owner_a]
-    b_entries = [(int(j), int(k)) for (j, k) in inst.owner_b]
-    a_blocks = [
-        (int(_block_of(np.int64(i), bounds)), int(_block_of(np.int64(j), bounds)))
-        for (i, j) in a_entries
-    ]
-    b_blocks = [
-        (int(_block_of(np.int64(j), bounds)), int(_block_of(np.int64(k), bounds)))
-        for (j, k) in b_entries
-    ]
+    # entry arrays in dict insertion order (row-major, matching the sorted
+    # coo layout used by the owner lookups)
+    na, nb = len(inst.owner_a), len(inst.owner_b)
+    a_rows = np.fromiter((i for (i, _) in inst.owner_a), dtype=np.int64, count=na)
+    a_cols = np.fromiter((j for (_, j) in inst.owner_a), dtype=np.int64, count=na)
+    b_rows = np.fromiter((j for (j, _) in inst.owner_b), dtype=np.int64, count=nb)
+    b_cols = np.fromiter((k for (_, k) in inst.owner_b), dtype=np.int64, count=nb)
 
     # Phase 1: A[i, j] -> cells (block(i), block(j), c) for every c
     _route_input_3d(
         net,
-        inst.owner_a,
-        a_entries,
-        a_blocks,
+        inst.owner_of_a(a_rows, a_cols),
+        a_rows,
+        a_cols,
+        _block_of(a_rows, bounds),
+        _block_of(a_cols, bounds),
         q,
         lambda fb, sb, c: _cell_computer(fb, sb, c, q),
         "A",
@@ -146,9 +148,11 @@ def _run_3d(
     # Phase 2: B[j, k] -> cells (a, block(j), block(k)) for every a
     _route_input_3d(
         net,
-        inst.owner_b,
-        b_entries,
-        b_blocks,
+        inst.owner_of_b(b_rows, b_cols),
+        b_rows,
+        b_cols,
+        _block_of(b_rows, bounds),
+        _block_of(b_cols, bounds),
         q,
         lambda fb, sb, a: _cell_computer(a, fb, sb, q),
         "B",

@@ -39,7 +39,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.model.collectives import segments_from_sorted
+from repro.model.collectives import (
+    doubling_batches_arrays,
+    halving_batches_arrays,
+    segments_from_sorted,
+)
 from repro.model.network import LowBandwidthNetwork
 from repro.supported.instance import SupportedInstance
 
@@ -61,14 +65,15 @@ def _chunked_slot_owners(num_slots: int, n: int) -> np.ndarray:
 
 
 def _dedup_triples(a: np.ndarray, b: np.ndarray, c: np.ndarray, base_b: int, base_c: int):
-    """Lexicographically sorted distinct triples (a, b, c)."""
+    """Lexicographically sorted distinct triples (a, b, c), plus the inverse
+    map from each input position to its slot in the deduplicated array."""
     keys = (a.astype(np.int64) * base_b + b.astype(np.int64)) * base_c + c.astype(np.int64)
-    uniq = np.unique(keys)
+    uniq, inv = np.unique(keys, return_inverse=True)
     cc = uniq % base_c
     rest = uniq // base_c
     bb = rest % base_b
     aa = rest // base_b
-    return aa, bb, cc, uniq // base_c  # last = run key (a, b) combined
+    return aa, bb, cc, inv.astype(np.int64, copy=False)
 
 
 def _spanning_segments(pair_keys: np.ndarray, slot_comp: np.ndarray):
@@ -238,6 +243,12 @@ def process_few_triangles(
     ``negate=True`` accumulates the *negated* products instead (requires a
     ring/field): the two-phase driver's field mode uses this to cancel
     triangle contributions that a bilinear cluster kernel double-counted.
+
+    On non-strict networks with ``net.columnar`` set, the same message
+    batches are executed through the columnar value-plane path (array
+    gathers and segment sums instead of per-message dict delivery);
+    schedules, labels and round counts are identical to the per-message
+    path — see docs/model.md, "Fast path & schedule cache".
     """
     rounds_before = net.rounds
     tri = np.asarray(triangles, dtype=np.int64).reshape(-1, 3)
@@ -289,6 +300,20 @@ def process_few_triangles(
         host_of_vid = np.arange(num_vids, dtype=np.int64) % n
     else:
         host_of_vid = np.arange(n, dtype=np.int64)
+
+    if getattr(net, "columnar", False) and not net.strict:
+        _run_columnar(
+            net,
+            inst,
+            tri,
+            vids,
+            num_vids,
+            host_of_vid,
+            use_trees=use_trees,
+            negate=negate,
+            label=label,
+        )
+        return net.rounds - rounds_before
 
     # ------------------------------------------------------------------ #
     # Step 1: route A values to virtual hosts
@@ -398,3 +423,194 @@ def process_few_triangles(
         net.write(owner, key, acc, provenance=(key, (xin_key, i, k)))
 
     return net.rounds - rounds_before
+
+
+# ---------------------------------------------------------------------- #
+# Columnar fast path (non-strict): identical phases and round counts,
+# values carried in NumPy planes instead of per-message dict writes
+# ---------------------------------------------------------------------- #
+def _run_starts(pair_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Change flags and run indices of a sorted key array."""
+    change = np.empty(pair_keys.size, dtype=bool)
+    change[0] = True
+    np.not_equal(pair_keys[1:], pair_keys[:-1], out=change[1:])
+    return change, np.cumsum(change) - 1
+
+
+def _segments_arrays(slot_comp: np.ndarray, change: np.ndarray, run_of_slot: np.ndarray):
+    """Vectorized :func:`~repro.model.collectives.segments_from_sorted`:
+    returns ``(seg_flat, starts, counts)`` where segment ``g`` of run ``g``
+    is ``seg_flat[starts[g] : starts[g] + counts[g]]`` — the consecutive
+    distinct computers covering each run."""
+    comp_change = np.empty(slot_comp.size, dtype=bool)
+    comp_change[0] = True
+    np.not_equal(slot_comp[1:], slot_comp[:-1], out=comp_change[1:])
+    keep = change | comp_change
+    seg_flat = slot_comp[keep]
+    seg_run = run_of_slot[keep]
+    counts = np.bincount(seg_run, minlength=int(run_of_slot[-1]) + 1)
+    starts = np.cumsum(counts) - counts
+    return seg_flat, starts.astype(np.int64), counts.astype(np.int64)
+
+
+def _spanning_arrays(seg_flat, starts, counts):
+    """Restrict segment arrays to runs spanning more than one computer, in
+    run order (the order the message path enumerates ``spanning``)."""
+    span = counts > 1
+    return seg_flat, starts[span], counts[span]
+
+
+def _spread_rounds_columnar(net, seg_flat, span_starts, span_lens, *, use_trees, label):
+    """Round accounting of :func:`_spread_along_runs` without value movement
+    (the columnar caller realizes the spread as one array gather)."""
+    if span_lens.size == 0:
+        return
+    if use_trees:
+        for parity in (0, 1):
+            batches = doubling_batches_arrays(
+                seg_flat, span_starts[parity::2], span_lens[parity::2]
+            )
+            for src, dst, _ in batches:
+                net._execute_lockstep_arrays(src, dst, None, None, label=f"{label}/doubling")
+    else:
+        counts = span_lens - 1
+        seg_of = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        offs = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        src = seg_flat[span_starts[seg_of]]
+        dst = seg_flat[span_starts[seg_of] + 1 + offs]
+        if src.size:
+            net.exchange_columnar(src, dst, label=label)
+
+
+def _collect_rounds_columnar(net, seg_flat, span_starts, span_lens, *, use_trees, label):
+    """Round accounting of :func:`_collect_along_runs` (mirror of
+    :func:`_spread_rounds_columnar`; aggregation happens as a segment sum)."""
+    if span_lens.size == 0:
+        return
+    if use_trees:
+        for parity in (0, 1):
+            batches = halving_batches_arrays(
+                seg_flat, span_starts[parity::2], span_lens[parity::2]
+            )
+            for src, dst, _ in batches:
+                net._execute_lockstep_arrays(src, dst, None, None, label=f"{label}/halving")
+    else:
+        counts = span_lens - 1
+        seg_of = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        offs = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        src = seg_flat[span_starts[seg_of] + 1 + offs]
+        dst = seg_flat[span_starts[seg_of]]
+        if src.size:
+            net.exchange_columnar(src, dst, label=label)
+
+
+def _route_rounds_columnar(net, owner_of_pair_vec, first, second, vids, host_of_vid, n, *, use_trees, label):
+    """Round accounting of :func:`_route_input_to_hosts`: anchor, spread and
+    to-host phases with bit-identical endpoint batches, no dict traffic."""
+    num_slots = first.size
+    if num_slots == 0:
+        return
+    slot_comp = _chunked_slot_owners(num_slots, n)
+    pair_keys = first * n + second
+    change, run_of_slot = _run_starts(pair_keys)
+    starts = np.flatnonzero(change)
+
+    # phase 1: owner -> anchor, one message per distinct pair
+    owners = owner_of_pair_vec(first[starts], second[starts])
+    net.exchange_columnar(owners, slot_comp[starts], label=f"{label}-anchor")
+
+    # phase 2: spread along runs
+    _spread_rounds_columnar(
+        net,
+        *_spanning_arrays(*_segments_arrays(slot_comp, change, run_of_slot)),
+        use_trees=use_trees,
+        label=f"{label}-spread",
+    )
+
+    # phase 3: slot -> virtual-node host
+    net.exchange_columnar(slot_comp, host_of_vid[vids], label=f"{label}-tohost")
+
+
+def _run_columnar(
+    net: LowBandwidthNetwork,
+    inst: SupportedInstance,
+    tri: np.ndarray,
+    vids: np.ndarray,
+    num_vids: int,
+    host_of_vid: np.ndarray,
+    *,
+    use_trees: bool,
+    negate: bool,
+    label: str,
+) -> None:
+    """Columnar execution of Lemma 3.1 (non-strict networks).
+
+    Every communication phase of the message path is replayed with the
+    same endpoint arrays — same schedules, same round and message counts,
+    identical phase labels — but values travel in NumPy planes: products
+    are computed from the instance's cached value arrays, partial sums are
+    segment sums, and only the final ``("X", i, k)`` accumulation touches
+    the per-computer dict memories (so ``collect_result`` works unchanged).
+    """
+    n = inst.n
+    sr = inst.semiring
+    vid_base = num_vids + 1
+
+    # Steps 1-2: routing round accounting for both input matrices
+    ai, aj, av, _ = _dedup_triples(tri[:, 0], tri[:, 1], vids, n, vid_base)
+    _route_rounds_columnar(
+        net, inst.owner_of_a, ai, aj, av, host_of_vid, n, use_trees=use_trees, label=f"{label}/A"
+    )
+    bj, bk, bv, _ = _dedup_triples(tri[:, 1], tri[:, 2], vids, n, vid_base)
+    _route_rounds_columnar(
+        net, inst.owner_of_b, bj, bk, bv, host_of_vid, n, use_trees=use_trees, label=f"{label}/B"
+    )
+
+    # Step 3a: per-triangle products from the instance value planes
+    prods = sr.mul(
+        inst.a_values_at(tri[:, 0], tri[:, 1]), inst.b_values_at(tri[:, 1], tri[:, 2])
+    )
+    if negate:
+        prods = sr.sub(sr.zeros(prods.size), prods)
+
+    # Step 3b: pre-aggregate per (vid, i, k) slot, host -> slot computers
+    xi, xk, xv, x_inv = _dedup_triples(tri[:, 0], tri[:, 2], vids, n, vid_base)
+    num_slots = xi.size
+    slot_comp = _chunked_slot_owners(num_slots, n)
+    slot_partials = sr.segment_sum(prods, x_inv, num_slots)
+    net.exchange_columnar(host_of_vid[xv], slot_comp, label=f"{label}/X-toslots")
+
+    # Step 3c: aggregate along runs of equal (i, k); rounds via the same
+    # parity-split convergecast trees, values via one segment sum
+    pair_keys = xi * n + xk
+    change, run_of_slot = _run_starts(pair_keys)
+    starts = np.flatnonzero(change)
+    run_totals = sr.segment_sum(slot_partials, run_of_slot, starts.size)
+    _collect_rounds_columnar(
+        net,
+        *_spanning_arrays(*_segments_arrays(slot_comp, change, run_of_slot)),
+        use_trees=use_trees,
+        label=f"{label}/X-collect",
+    )
+
+    # Step 3d: anchor -> output owner; owners accumulate into ("X", i, k)
+    run_i = xi[starts]
+    run_k = xk[starts]
+    owners = inst.owner_of_x(run_i, run_k)
+    net.exchange_columnar(slot_comp[starts], owners, label=f"{label}/X-deliver")
+
+    zero = sr.scalar(sr.zero)
+    mem = net.mem
+    sample = net._sample_memory if net.track_memory else None
+    for o, i, k, idx in zip(
+        owners.tolist(), run_i.tolist(), run_k.tolist(), range(starts.size)
+    ):
+        key = ("X", i, k)
+        m = mem[o]
+        m[key] = sr.add(m.get(key, zero), run_totals[idx])
+        if sample is not None:
+            sample(o)

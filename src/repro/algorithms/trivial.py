@@ -42,17 +42,20 @@ def gather_all(
     inst.deal_into(net)
     init_outputs(net, inst)
 
-    # Phase 1: gather all of A and B at computer 0.
-    src, dst, keys = [], [], []
-    for (i, j), comp in inst.owner_a.items():
-        src.append(comp)
-        dst.append(0)
-        keys.append(("A", i, j))
-    for (j, k), comp in inst.owner_b.items():
-        src.append(comp)
-        dst.append(0)
-        keys.append(("B", j, k))
-    net.exchange_arrays(np.array(src), np.array(dst), keys, label="gather")
+    # Phase 1: gather all of A and B at computer 0.  Entry order follows
+    # the owner dicts (row-major), matching the historical per-item loop.
+    na, nb = len(inst.owner_a), len(inst.owner_b)
+    a_rows = np.fromiter((i for (i, _) in inst.owner_a), dtype=np.int64, count=na)
+    a_cols = np.fromiter((j for (_, j) in inst.owner_a), dtype=np.int64, count=na)
+    b_rows = np.fromiter((j for (j, _) in inst.owner_b), dtype=np.int64, count=nb)
+    b_cols = np.fromiter((k for (_, k) in inst.owner_b), dtype=np.int64, count=nb)
+    src = np.concatenate(
+        [inst.owner_of_a(a_rows, a_cols), inst.owner_of_b(b_rows, b_cols)]
+    )
+    dst = np.zeros(na + nb, dtype=np.int64)
+    keys = [("A", i, j) for i, j in zip(a_rows.tolist(), a_cols.tolist())]
+    keys += [("B", j, k) for j, k in zip(b_rows.tolist(), b_cols.tolist())]
+    net.exchange_arrays(src, dst, keys, label="gather")
 
     # Phase 2: computer 0 multiplies locally (free local computation).
     sr = inst.semiring
@@ -99,32 +102,30 @@ def naive_triangles(
     if tri.shape[0] == 0:
         return finalize_result(net, inst, "naive_triangles")
 
-    owner_a = inst.owner_a
-    owner_b = inst.owner_b
-    owner_x = inst.owner_x
+    xo_arr = inst.owner_of_x(tri[:, 0], tri[:, 2])
 
     # Route A values to the X owner of each triangle.  Deduplicate: the X
-    # owner needs each distinct A entry only once.
+    # owner needs each distinct A entry only once.  Insertion order (first
+    # occurrence in triangle order) is load-bearing — it fixes the message
+    # order and hence the greedy schedule.
     need_a: dict[tuple[int, int, int], None] = {}
     need_b: dict[tuple[int, int, int], None] = {}
-    for i, j, k in tri.tolist():
-        xo = owner_x[(i, k)]
+    for (i, j, k), xo in zip(tri.tolist(), xo_arr.tolist()):
         need_a.setdefault((xo, i, j))
         need_b.setdefault((xo, j, k))
 
-    src = np.fromiter((owner_a[(i, j)] for (_, i, j) in need_a), dtype=np.int64, count=len(need_a))
-    dst = np.fromiter((xo for (xo, _, _) in need_a), dtype=np.int64, count=len(need_a))
+    a_req = np.array(list(need_a), dtype=np.int64).reshape(-1, 3)
+    src = inst.owner_of_a(a_req[:, 1], a_req[:, 2])
     keys = [("A", i, j) for (_, i, j) in need_a]
-    net.exchange_arrays(src, dst, keys, label="routeA")
+    net.exchange_arrays(src, a_req[:, 0], keys, label="routeA")
 
-    src = np.fromiter((owner_b[(j, k)] for (_, j, k) in need_b), dtype=np.int64, count=len(need_b))
-    dst = np.fromiter((xo for (xo, _, _) in need_b), dtype=np.int64, count=len(need_b))
+    b_req = np.array(list(need_b), dtype=np.int64).reshape(-1, 3)
+    src = inst.owner_of_b(b_req[:, 1], b_req[:, 2])
     keys = [("B", j, k) for (_, j, k) in need_b]
-    net.exchange_arrays(src, dst, keys, label="routeB")
+    net.exchange_arrays(src, b_req[:, 0], keys, label="routeB")
 
     # Local processing at the X owners.
-    for i, j, k in tri.tolist():
-        xo = owner_x[(i, k)]
+    for (i, j, k), xo in zip(tri.tolist(), xo_arr.tolist()):
         prod = sr.mul(net.read(xo, ("A", i, j)), net.read(xo, ("B", j, k)))
         accumulate_at_owner(
             net, inst, xo, i, k, prod, provenance=(("A", i, j), ("B", j, k))

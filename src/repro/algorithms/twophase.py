@@ -195,6 +195,13 @@ def multiply_two_phase(
     ``use_clustering=False`` ablates phase 1: everything goes through
     Lemma 3.1 directly (cost ``O(|T|/n + d + log m)``, i.e. up to
     ``O(d^2)`` for a triangle-rich instance).
+
+    When ``net`` is omitted, the default (non-strict) network runs the
+    vectorized fast path: every ``exchange_arrays`` phase is scheduled
+    through the shared structure-keyed schedule cache and delivered
+    columnarly, so repeated sweeps over the same support pay for
+    scheduling once (docs/model.md, "Fast path & schedule cache").  Round
+    counts are identical either way.
     """
     if kernel not in ("3d", "strassen"):
         raise ValueError("kernel must be '3d' or 'strassen'")

@@ -22,6 +22,11 @@ from repro.model.collectives import (
     segments_from_sorted,
 )
 from repro.model.congested_clique import CongestedCliqueNetwork
+from repro.model.schedule_cache import (
+    ScheduleCache,
+    default_schedule_cache,
+    phase_digest,
+)
 from repro.model.tracing import TracingNetwork, phase_load_report
 
 __all__ = [
@@ -38,4 +43,7 @@ __all__ = [
     "CongestedCliqueNetwork",
     "TracingNetwork",
     "phase_load_report",
+    "ScheduleCache",
+    "default_schedule_cache",
+    "phase_digest",
 ]

@@ -18,6 +18,10 @@ __all__ = [
     "broadcast_tree_rounds",
     "segments_from_sorted",
     "run_boundaries",
+    "doubling_batches",
+    "doubling_batches_arrays",
+    "halving_batches",
+    "halving_batches_arrays",
 ]
 
 
@@ -92,6 +96,88 @@ def run_boundaries(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     starts = np.flatnonzero(change).astype(np.int64)
     lengths = np.diff(np.append(starts, sorted_keys.size)).astype(np.int64)
     return starts, lengths
+
+
+def _flatten_segments(
+    segments: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate segments into ``(flat, starts, lengths)`` arrays."""
+    lengths = np.fromiter((len(s) for s in segments), dtype=np.int64, count=len(segments))
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1])) if lengths.size else np.empty(0, dtype=np.int64)
+    flat = (
+        np.concatenate([np.asarray(s, dtype=np.int64) for s in segments])
+        if len(segments)
+        else np.empty(0, dtype=np.int64)
+    )
+    return flat, starts.astype(np.int64), lengths
+
+
+def _segment_offsets(counts: np.ndarray, total: int) -> tuple[np.ndarray, np.ndarray]:
+    """For per-segment message counts, return ``(seg_of_msg, offset_in_seg)``
+    enumerating messages segment-major, offsets ascending."""
+    seg_of_msg = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    firsts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - firsts[seg_of_msg]
+    return seg_of_msg, offsets
+
+
+def doubling_batches_arrays(flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray):
+    """Array-native core of :func:`doubling_batches`: segments given as
+    ``flat[starts[g] : starts[g] + lengths[g]]``."""
+    if lengths.size == 0:
+        return
+    max_len = int(lengths.max())
+    step = 1
+    while step < max_len:
+        counts = np.minimum(step, np.maximum(lengths - step, 0))
+        total = int(counts.sum())
+        if total:
+            seg_of_msg, offsets = _segment_offsets(counts, total)
+            base = starts[seg_of_msg] + offsets
+            yield flat[base], flat[base + step], seg_of_msg
+        step <<= 1
+
+
+def doubling_batches(segments: Sequence[Sequence[int]]):
+    """Per-step message batches of parallel binary *doubling* trees.
+
+    For disjoint segments of computers, yields one ``(src, dst, seg_of_msg)``
+    triple per tree level: at step ``2^t``, position ``p`` of each segment
+    forwards to position ``p + 2^t`` for ``p < min(2^t, len - 2^t)``.  The
+    batches are exactly those of the historical per-``Message`` loops
+    (segment-major, positions ascending), built as arrays.
+    """
+    yield from doubling_batches_arrays(*_flatten_segments(segments))
+
+
+def halving_batches_arrays(flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray):
+    """Array-native core of :func:`halving_batches`."""
+    if lengths.size == 0:
+        return
+    max_len = int(lengths.max())
+    if max_len <= 1:
+        return
+    t = 1
+    while (t << 1) < max_len:
+        t <<= 1
+    while t >= 1:
+        counts = np.maximum(np.minimum(2 * t, lengths) - t, 0)
+        total = int(counts.sum())
+        if total:
+            seg_of_msg, offsets = _segment_offsets(counts, total)
+            pos = starts[seg_of_msg] + t + offsets
+            yield flat[pos], flat[pos - t], seg_of_msg
+        t >>= 1
+
+
+def halving_batches(segments: Sequence[Sequence[int]]):
+    """Per-step message batches of parallel binary *halving* (convergecast)
+    trees: the mirror of :func:`doubling_batches`.
+
+    At step ``t`` (descending powers of two), position ``p`` of each segment
+    sends to position ``p - t`` for ``t <= p < min(2t, len)``.
+    """
+    yield from halving_batches_arrays(*_flatten_segments(segments))
 
 
 def segments_from_sorted(

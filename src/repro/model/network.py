@@ -21,7 +21,23 @@ Two execution modes:
 
 ``strict=False``
     Identical schedules and round counts, bulk value movement.  Used for
-    benchmark sweeps.
+    benchmark sweeps.  Two fast-path features are active here:
+
+    * **Schedule cache** — schedules are pure functions of the endpoint
+      arrays, which in this codebase are derived from the sparsity
+      structure alone; the supported model (paper §2.1) makes structure-only
+      preprocessing free, so schedules are memoized per structure in a
+      shared :class:`~repro.model.schedule_cache.ScheduleCache` and replayed
+      across sweeps.  Round counts are bit-identical with the cache on or
+      off.
+    * **Columnar delivery** — callers that keep their values in NumPy
+      arrays ("value planes" indexed by slot) can execute a phase with
+      :meth:`exchange_columnar` / ``src_keys=None``: the engine schedules
+      the endpoints, charges rounds and messages exactly as for a
+      dict-keyed phase, but moves no per-message dict entries — the caller
+      realizes the data movement as a single array gather.  Strict mode
+      refuses this path; it always executes the checked per-message
+      deliveries.
 
 The *supported setting* (paper §2.1) allows arbitrary preprocessing that
 depends only on the sparsity structure: all schedules, anchor arrays, and
@@ -31,12 +47,14 @@ never of the numeric values.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.model.collectives import doubling_batches, halving_batches
+from repro.model.schedule_cache import ScheduleCache, default_schedule_cache
 from repro.model.scheduling import (
     greedy_two_sided_schedule,
     schedule_makespan,
@@ -70,6 +88,9 @@ class PhaseRecord:
     label: str
     rounds: int
     messages: int
+    wall_ns: int = 0  # wall-clock spent executing the phase (scheduling + delivery)
+    cache_hit: bool = False  # schedule served from the structure-keyed cache
+    columnar: bool = False  # values moved as arrays, not per-message dict writes
 
 
 _SCALAR_TYPES = (int, float, bool, np.generic)
@@ -86,17 +107,60 @@ def _is_word(value: Any) -> bool:
 
 
 class LowBandwidthNetwork:
-    """A network of ``n`` computers in the (supported) low-bandwidth model."""
+    """A network of ``n`` computers in the (supported) low-bandwidth model.
 
-    def __init__(self, n: int, *, strict: bool = False, track_memory: bool = False):
+    Parameters
+    ----------
+    n:
+        Number of computers.
+    strict:
+        Checked round-by-round execution (see module docstring).
+    track_memory:
+        Sample per-computer peak key counts on writes and deliveries.
+    schedule_method:
+        Passed to :func:`~repro.model.scheduling.greedy_two_sided_schedule`
+        (``"auto"``, ``"vectorized"`` or ``"reference"``; all produce
+        identical schedules).
+    schedule_cache:
+        ``"auto"`` (default) shares the process-wide cache in non-strict
+        mode and disables caching in strict mode; ``None`` disables
+        caching; a :class:`ScheduleCache` instance is used as given.
+    columnar:
+        Allow the columnar (array) delivery path in non-strict mode.
+        Algorithms consult ``net.columnar`` to choose their bulk
+        implementations; strict mode forces it off.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        strict: bool = False,
+        track_memory: bool = False,
+        schedule_method: str = "auto",
+        schedule_cache: ScheduleCache | str | None = "auto",
+        columnar: bool = True,
+    ):
         if n <= 0:
             raise ValueError("need at least one computer")
         self.n = int(n)
         self.strict = bool(strict)
+        self.schedule_method = schedule_method
+        if schedule_cache == "auto":
+            self._schedule_cache = None if self.strict else default_schedule_cache()
+        elif schedule_cache is None:
+            self._schedule_cache = None
+        elif isinstance(schedule_cache, ScheduleCache):
+            self._schedule_cache = schedule_cache
+        else:
+            raise ValueError("schedule_cache must be 'auto', None or a ScheduleCache")
+        self.columnar = bool(columnar) and not self.strict
         self.rounds = 0
         self.mem: list[dict[Key, Any]] = [dict() for _ in range(self.n)]
         self.phases: list[PhaseRecord] = []
         self.messages_sent = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         # peak number of keys simultaneously held per computer (the model's
         # space bound: computers hold O(d) input/output elements plus the
         # algorithm's working set).  Sampled on writes/deliveries when
@@ -161,13 +225,14 @@ class LowBandwidthNetwork:
         """Execute a batch of messages; returns the number of rounds used.
 
         The batch is edge-coloured greedily, giving at most
-        ``max_send_degree + max_recv_degree - 1`` rounds.
+        ``max_send_degree + max_recv_degree - 1`` rounds.  (Thin wrapper
+        over :meth:`exchange_arrays` — there is exactly one delivery path.)
         """
         if not messages:
             return 0
         src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
         dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
-        return self._exchange_raw(
+        return self.exchange_arrays(
             src,
             dst,
             [m.src_key for m in messages],
@@ -179,37 +244,76 @@ class LowBandwidthNetwork:
         self,
         src: np.ndarray,
         dst: np.ndarray,
-        src_keys: Sequence[Key],
+        src_keys: Sequence[Key] | None,
         dst_keys: Sequence[Key] | None = None,
         *,
         label: str = "exchange",
     ) -> int:
         """Array-friendly form of :meth:`exchange` (no per-message objects;
-        the path the algorithms use for large batches)."""
+        the path the algorithms use for large batches).
+
+        ``src_keys=None`` requests *columnar* execution: the phase is
+        scheduled and charged exactly as usual, but no dict entries move —
+        the caller performs the equivalent data movement as an array gather
+        (see :meth:`exchange_columnar`).  Only legal in non-strict mode.
+        """
         if dst_keys is None:
             dst_keys = src_keys
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
-        return self._exchange_raw(src, dst, list(src_keys), list(dst_keys), label=label)
+        if src_keys is not None:
+            src_keys = list(src_keys)
+            dst_keys = list(dst_keys)
+        return self._exchange_raw(src, dst, src_keys, dst_keys, label=label)
+
+    def exchange_columnar(
+        self, src: np.ndarray, dst: np.ndarray, *, label: str = "exchange"
+    ) -> int:
+        """Charge a communication phase whose values travel in value planes.
+
+        Message ``i`` goes from ``src[i]`` to ``dst[i]``; because payloads
+        stay positionally aligned, the caller moves them with one gather
+        over its own arrays.  Round counts, message counts, schedules and
+        phase records are identical to the dict-keyed path.
+        """
+        return self.exchange_arrays(src, dst, None, label=label)
+
+    def _schedule(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, bool]:
+        cache = self._schedule_cache
+        if cache is not None:
+            rounds_arr, hit = cache.get_or_compute(src, dst, method=self.schedule_method)
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            return rounds_arr, hit
+        return greedy_two_sided_schedule(src, dst, method=self.schedule_method), False
 
     def _exchange_raw(
         self,
         src: np.ndarray,
         dst: np.ndarray,
-        src_keys: list,
-        dst_keys: list,
+        src_keys: list | None,
+        dst_keys: list | None,
         *,
         label: str,
     ) -> int:
         if src.size == 0:
             return 0
-        if not (src.size == dst.size == len(src_keys) == len(dst_keys)):
+        if src_keys is not None and not (
+            src.size == dst.size == len(src_keys) == len(dst_keys)
+        ):
             raise ValueError("message component lengths differ")
+        if src.size != dst.size:
+            raise ValueError("message component lengths differ")
+        t0 = time.perf_counter_ns()
         self._check_ids(src, dst)
-        rounds_arr = greedy_two_sided_schedule(src, dst)
+        rounds_arr, cache_hit = self._schedule(src, dst)
         total = schedule_makespan(rounds_arr)
 
         if self.strict:
+            if src_keys is None:
+                raise NetworkError("columnar delivery is unavailable in strict mode")
             validate_schedule(src, dst, rounds_arr)
             order = np.argsort(rounds_arr, kind="stable")
             for i in order:
@@ -217,7 +321,7 @@ class LowBandwidthNetwork:
                 self._deliver_checked(
                     Message(int(src[i]), int(dst[i]), src_keys[i], dst_keys[i])
                 )
-        else:
+        elif src_keys is not None:
             mem = self.mem
             sample = self._sample_memory if self.track_memory else None
             for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
@@ -227,10 +331,20 @@ class LowBandwidthNetwork:
                 mem[d][dk] = mem_src[sk]
                 if sample is not None:
                     sample(d)
+        # src_keys is None: columnar — the caller moves the values as arrays
 
         self.rounds += total
         self.messages_sent += src.size
-        self.phases.append(PhaseRecord(label, total, int(src.size)))
+        self.phases.append(
+            PhaseRecord(
+                label,
+                total,
+                int(src.size),
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=cache_hit,
+                columnar=src_keys is None,
+            )
+        )
         return total
 
     def segmented_broadcast(
@@ -246,7 +360,9 @@ class LowBandwidthNetwork:
 
         Segments must be pairwise disjoint (each computer participates in at
         most one tree), which is what makes the parallel doubling rounds
-        legal.  Rounds used: ``ceil(log2(max segment size))``.
+        legal.  Rounds used: ``ceil(log2(max segment size))``.  Per-step
+        batches are built as arrays (:func:`~repro.model.collectives.doubling_batches`);
+        strict mode still delivers each message through the checked path.
         """
         segments = [list(map(int, seg)) for seg in segments if len(seg) > 0]
         if not segments:
@@ -262,19 +378,12 @@ class LowBandwidthNetwork:
                             "broadcast segments overlap; parallel trees illegal"
                         )
                     seen.add(c)
-        max_len = max(len(seg) for seg in segments)
         total = 0
-        t = 0
-        while (1 << t) < max_len:
-            step = 1 << t
-            batch: list[Message] = []
-            for seg, key in zip(segments, keys):
-                l = len(seg)
-                for p in range(min(step, max(l - step, 0))):
-                    batch.append(Message(seg[p], seg[p + step], key, key))
-            if batch:
-                total += self._execute_lockstep(batch, label=f"{label}/doubling")
-            t += 1
+        for src, dst, seg_of_msg in doubling_batches(segments):
+            step_keys = [keys[s] for s in seg_of_msg.tolist()]
+            total += self._execute_lockstep_arrays(
+                src, dst, step_keys, step_keys, label=f"{label}/doubling"
+            )
         return total
 
     def segmented_convergecast(
@@ -289,65 +398,101 @@ class LowBandwidthNetwork:
         all members into the first computer, using ``combine`` (an
         associative, commutative operation — semiring addition).  Binary
         halving trees, ``ceil(log2(max segment size))`` rounds.
+
+        Partial values arrive under transient ``("__cc__", key, sender)``
+        keys that are combined and deleted immediately; strict mode asserts
+        after the phase that none survive.
         """
         segments = [list(map(int, seg)) for seg in segments if len(seg) > 0]
         if not segments:
             return 0
         if len(keys) != len(segments):
             raise ValueError("one key per segment required")
-        max_len = max(len(seg) for seg in segments)
-        if max_len <= 1:
-            return 0
         total = 0
-        # highest power of two below max_len
-        t = 1
-        while (t << 1) < max_len:
-            t <<= 1
-        while t >= 1:
-            batch: list[Message] = []
-            combos: list[tuple[int, Key, Any]] = []
-            for seg, key in zip(segments, keys):
-                l = len(seg)
-                for p in range(t, min(2 * t, l)):
-                    tmp_key = ("__cc__", key, seg[p])
-                    batch.append(Message(seg[p], seg[p - t], key, tmp_key))
-                    combos.append((seg[p - t], key, tmp_key))
-            if batch:
-                total += self._execute_lockstep(batch, label=f"{label}/halving")
-                for comp, key, tmp_key in combos:
-                    acc = combine(self.mem[comp][key], self.mem[comp][tmp_key])
-                    self.write(comp, key, acc, provenance=(key, tmp_key))
-                    self.delete(comp, tmp_key)
-            t >>= 1
+        for src, dst, seg_of_msg in halving_batches(segments):
+            src_list = src.tolist()
+            dst_list = dst.tolist()
+            step_keys = [keys[s] for s in seg_of_msg.tolist()]
+            tmp_keys = [("__cc__", k, c) for k, c in zip(step_keys, src_list)]
+            total += self._execute_lockstep_arrays(
+                src, dst, step_keys, tmp_keys, label=f"{label}/halving"
+            )
+            for comp, key, tmp_key in zip(dst_list, step_keys, tmp_keys):
+                acc = combine(self.mem[comp][key], self.mem[comp][tmp_key])
+                self.write(comp, key, acc, provenance=(key, tmp_key))
+                self.delete(comp, tmp_key)
+        if self.strict:
+            # cheap invariant: the transient convergecast keys never leak
+            for seg in segments:
+                for comp in seg:
+                    for k in self.mem[comp]:
+                        if isinstance(k, tuple) and k and k[0] == "__cc__":
+                            raise NetworkError(
+                                f"convergecast temp key {k!r} leaked at computer {comp}"
+                            )
         return total
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _execute_lockstep(self, messages: Sequence[Message], *, label: str) -> int:
-        """Execute a batch that must fit in exactly one round."""
+        """Execute a batch that must fit in exactly one round (wrapper for
+        ``Message``-object callers; the array form does the work)."""
         src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
         dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
+        return self._execute_lockstep_arrays(
+            src,
+            dst,
+            [m.src_key for m in messages],
+            [m.dst_key for m in messages],
+            label=label,
+        )
+
+    def _execute_lockstep_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list | None,
+        dst_keys: list | None,
+        *,
+        label: str,
+    ) -> int:
+        """Execute a single-round batch given as arrays.  ``src_keys=None``
+        is the columnar rounds-only form (non-strict callers moving values
+        in planes)."""
+        t0 = time.perf_counter_ns()
         self._check_ids(src, dst)
         if self.strict:
+            if src_keys is None:
+                raise NetworkError("columnar delivery is unavailable in strict mode")
             if np.unique(src).size != src.size:
                 raise NetworkError(f"{label}: computer sends twice in one round")
             if np.unique(dst).size != dst.size:
                 raise NetworkError(f"{label}: computer receives twice in one round")
-            for msg in messages:
-                self._deliver_checked(msg)
-        else:
-            for msg in messages:
-                mem_src = self.mem[msg.src]
-                if msg.src_key not in mem_src:
-                    raise NetworkError(
-                        f"computer {msg.src} cannot send {msg.src_key!r}: not held"
-                    )
-                self.mem[msg.dst][msg.dst_key] = mem_src[msg.src_key]
-                self._sample_memory(msg.dst)
+            for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
+                self._deliver_checked(Message(s, d, sk, dk))
+        elif src_keys is not None:
+            mem = self.mem
+            sample = self._sample_memory if self.track_memory else None
+            for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
+                mem_src = mem[s]
+                if sk not in mem_src:
+                    raise NetworkError(f"computer {s} cannot send {sk!r}: not held")
+                mem[d][dk] = mem_src[sk]
+                if sample is not None:
+                    sample(d)
         self.rounds += 1
-        self.messages_sent += len(messages)
-        self.phases.append(PhaseRecord(label, 1, len(messages)))
+        self.messages_sent += int(src.size)
+        self.phases.append(
+            PhaseRecord(
+                label,
+                1,
+                int(src.size),
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=False,
+                columnar=src_keys is None,
+            )
+        )
         return 1
 
     def _deliver_checked(self, msg: Message) -> None:
@@ -380,6 +525,40 @@ class LowBandwidthNetwork:
             r, m = out.get(base, (0, 0))
             out[base] = (r + rec.rounds, m + rec.messages)
         return out
+
+    def phase_timings(self) -> dict[str, dict[str, Any]]:
+        """Aggregate wall-clock and cache statistics by phase label prefix.
+
+        Complements :meth:`phase_summary` (whose ``(rounds, messages)``
+        shape is stable API) with the fast-path instrumentation: per label
+        prefix, total rounds/messages, wall-clock milliseconds, number of
+        phases, schedule-cache hits, and how many phases ran columnar.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for rec in self.phases:
+            base = rec.label.split("/")[0]
+            row = out.setdefault(
+                base,
+                {
+                    "rounds": 0,
+                    "messages": 0,
+                    "wall_ms": 0.0,
+                    "phases": 0,
+                    "cache_hits": 0,
+                    "columnar_phases": 0,
+                },
+            )
+            row["rounds"] += rec.rounds
+            row["messages"] += rec.messages
+            row["wall_ms"] += rec.wall_ns / 1e6
+            row["phases"] += 1
+            row["cache_hits"] += int(rec.cache_hit)
+            row["columnar_phases"] += int(rec.columnar)
+        return out
+
+    def schedule_cache_stats(self) -> dict[str, int] | None:
+        """Stats of the attached schedule cache, or ``None`` if disabled."""
+        return None if self._schedule_cache is None else self._schedule_cache.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

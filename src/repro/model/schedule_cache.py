@@ -1,0 +1,114 @@
+"""Structure-keyed caching of communication schedules.
+
+In the *supported* low-bandwidth setting (arXiv:2404.15559) every computer
+may perform arbitrary preprocessing that depends only on the *indicator
+matrices* — the sparsity structure — before the actual values arrive.  A
+communication schedule is a pure function of the endpoint arrays
+``(src, dst)``, which in this codebase are themselves derived purely from
+the structure (owners, anchors, slot assignments are all fixed by the
+support).  Computing a schedule once per structure and replaying it for
+every value-sweep over the same structure is therefore *free* in the
+model's accounting and sound for the round counts: the cached assignment
+is bit-identical to the one :func:`~repro.model.scheduling.greedy_two_sided_schedule`
+would recompute.
+
+The cache is keyed by a BLAKE2b digest of the raw endpoint bytes.  Digest
+collisions are negligible (128-bit) and the cache is bounded LRU, so a
+long-running sweep cannot grow it without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.model.scheduling import greedy_two_sided_schedule
+
+__all__ = ["ScheduleCache", "default_schedule_cache", "phase_digest"]
+
+
+def phase_digest(src: np.ndarray, dst: np.ndarray) -> bytes:
+    """128-bit structural fingerprint of a communication phase."""
+    h = hashlib.blake2b(digest_size=16)
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    h.update(src.shape[0].to_bytes(8, "little"))
+    h.update(src.tobytes())
+    h.update(dst.tobytes())
+    return h.digest()
+
+
+class ScheduleCache:
+    """Bounded LRU cache from phase structure to round assignments.
+
+    One instance may be shared by many networks (the module-level
+    :func:`default_schedule_cache` is shared by default), so repeated
+    sweeps over the same instance structure — the entire Table 1/2
+    benchmark suite — pay for each schedule exactly once.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all cached schedules and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def get_or_compute(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        method: str = "auto",
+    ) -> tuple[np.ndarray, bool]:
+        """Return ``(rounds, was_hit)`` for the phase ``(src, dst)``.
+
+        The returned array is shared between callers and marked
+        read-only; copy before mutating.
+        """
+        key = phase_digest(src, dst)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry, True
+        self.misses += 1
+        rounds = greedy_two_sided_schedule(src, dst, method=method)
+        rounds.setflags(write=False)
+        self._entries[key] = rounds
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return rounds, False
+
+    def warm(self, src: np.ndarray, dst: np.ndarray, *, method: str = "auto") -> None:
+        """Precompute a phase's schedule (supported-model preprocessing)."""
+        self.get_or_compute(src, dst, method=method)
+
+
+_DEFAULT = ScheduleCache()
+
+
+def default_schedule_cache() -> ScheduleCache:
+    """The process-wide cache shared by all non-strict networks."""
+    return _DEFAULT

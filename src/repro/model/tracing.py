@@ -62,20 +62,21 @@ class TracingNetwork(LowBandwidthNetwork):
         self.traces: list[PhaseTrace] = []
 
     def _exchange_raw(self, src, dst, src_keys, dst_keys, *, label):
-        """Record the phase, then execute it normally."""
-        before = self.rounds
+        """Record the phase, then execute it normally.  Columnar phases
+        (``src_keys=None``) carry the same endpoint arrays, so they trace
+        identically to dict-keyed ones."""
         used = super()._exchange_raw(src, dst, src_keys, dst_keys, label=label)
         self.traces.append(
             PhaseTrace(label, np.array(src, copy=True), np.array(dst, copy=True), used)
         )
         return used
 
-    def _execute_lockstep(self, messages, *, label):
+    def _execute_lockstep_arrays(self, src, dst, src_keys, dst_keys, *, label):
         """Record a single-round phase, then execute it."""
-        src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
-        dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
-        used = super()._execute_lockstep(messages, label=label)
-        self.traces.append(PhaseTrace(label, src, dst, used))
+        used = super()._execute_lockstep_arrays(src, dst, src_keys, dst_keys, label=label)
+        self.traces.append(
+            PhaseTrace(label, np.array(src, copy=True), np.array(dst, copy=True), used)
+        )
         return used
 
 

@@ -55,6 +55,26 @@ def lookup_values(mat: sp.csr_matrix, rows: np.ndarray, cols: np.ndarray, sr: Se
     return out
 
 
+def _sorted_value_arrays(mat: sp.csr_matrix, sr: Semiring):
+    """Sorted nonzero keys and aligned values of a sparse matrix (the cached
+    backing store for the vectorized value lookups)."""
+    coo = sp.coo_matrix(mat)
+    keys = coo.row.astype(np.int64) * mat.shape[1] + coo.col.astype(np.int64)
+    order = np.argsort(keys)
+    return keys[order], np.asarray(coo.data, dtype=sr.dtype)[order]
+
+
+def _lookup_sorted(arrays, rows, cols, n_cols: int, sr: Semiring) -> np.ndarray:
+    sorted_keys, sorted_vals = arrays
+    q = np.asarray(rows, dtype=np.int64) * n_cols + np.asarray(cols, dtype=np.int64)
+    out = sr.zeros(q.size)
+    if sorted_keys.size:
+        pos = np.minimum(np.searchsorted(sorted_keys, q), sorted_keys.size - 1)
+        hit = sorted_keys[pos] == q
+        out[hit] = sorted_vals[pos[hit]]
+    return out
+
+
 def _owner_map_rows(pattern: sp.csr_matrix, axis: int) -> dict[tuple[int, int], int]:
     """Row-owner (axis=0) or column-owner (axis=1) assignment."""
     coo = as_csr(pattern).tocoo()
@@ -130,6 +150,75 @@ class SupportedInstance:
         if self.distribution == "balanced":
             return _owner_map_balanced(self.x_hat, self.n)
         return _owner_map_rows(self.x_hat, axis=0)
+
+    # Vectorized ownership / value lookups.  These are support-dependent
+    # preprocessing artifacts (free in the supported model, like the
+    # structure-keyed schedule cache they feed): sorted key arrays over each
+    # matrix's support, queried with searchsorted instead of per-pair dict
+    # lookups.  The columnar fast path of Lemma 3.1 is built on these.
+    def _owner_arrays(self, pattern: sp.csr_matrix, axis: int):
+        coo = as_csr(pattern).tocoo()
+        keys = coo.row.astype(np.int64) * self.n + coo.col.astype(np.int64)
+        order = np.argsort(keys)
+        sorted_keys = keys[order]
+        if self.distribution == "balanced":
+            per = -(-coo.nnz // self.n) if coo.nnz else 1
+            owners = np.arange(coo.nnz, dtype=np.int64) // per
+        else:
+            owners = (coo.row if axis == 0 else coo.col).astype(np.int64)[order]
+        return sorted_keys, owners
+
+    @cached_property
+    def _owner_arrays_a(self):
+        return self._owner_arrays(self.a_hat, axis=0)
+
+    @cached_property
+    def _owner_arrays_b(self):
+        return self._owner_arrays(self.b_hat, axis=0)
+
+    @cached_property
+    def _owner_arrays_x(self):
+        return self._owner_arrays(self.x_hat, axis=0)
+
+    def _owner_of(self, arrays, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        sorted_keys, owners = arrays
+        q = np.asarray(rows, dtype=np.int64) * self.n + np.asarray(cols, dtype=np.int64)
+        pos = np.searchsorted(sorted_keys, q)
+        pos_c = np.minimum(pos, max(sorted_keys.size - 1, 0))
+        if sorted_keys.size == 0 or not (sorted_keys[pos_c] == q).all():
+            raise KeyError("queried (row, col) pair outside the matrix support")
+        return owners[pos_c]
+
+    def owner_of_a(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Owner computer of each ``A[rows, cols]`` support entry (vectorized
+        form of ``owner_a[(i, j)]``)."""
+        return self._owner_of(self._owner_arrays_a, rows, cols)
+
+    def owner_of_b(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Owner computer of each ``B[rows, cols]`` support entry."""
+        return self._owner_of(self._owner_arrays_b, rows, cols)
+
+    def owner_of_x(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Owner computer of each ``X[rows, cols]`` support entry."""
+        return self._owner_of(self._owner_arrays_x, rows, cols)
+
+    @cached_property
+    def _value_arrays_a(self):
+        return _sorted_value_arrays(self.a, self.semiring)
+
+    @cached_property
+    def _value_arrays_b(self):
+        return _sorted_value_arrays(self.b, self.semiring)
+
+    def a_values_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Values ``A[rows, cols]`` (semiring zero where absent), via cached
+        sorted-key arrays — the bulk twin of reading ``("A", i, j)`` from the
+        dealt network memory."""
+        return _lookup_sorted(self._value_arrays_a, rows, cols, self.a.shape[1], self.semiring)
+
+    def b_values_at(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Values ``B[rows, cols]`` (semiring zero where absent)."""
+        return _lookup_sorted(self._value_arrays_b, rows, cols, self.b.shape[1], self.semiring)
 
     def max_local_elements(self) -> int:
         """Largest number of input/output elements at any single computer."""

@@ -17,11 +17,25 @@ import numpy as np
 import pytest
 
 from repro.algorithms.api import multiply
+from repro.model.network import LowBandwidthNetwork
 from repro.semirings import REAL_FIELD
 from repro.sparsity.families import AS, BD, GM, US
 from repro.supported.instance import make_hard_instance, make_instance
 
 SEED = 1234
+
+# Both simulator configurations must reproduce the same pinned counts:
+# "fast" is the default (vectorized scheduler + columnar delivery + shared
+# schedule cache), "legacy" replays the historical per-message pipeline.
+MODES = ["fast", "legacy"]
+
+
+def _net_for(mode: str, n: int) -> LowBandwidthNetwork | None:
+    if mode == "fast":
+        return None  # default construction inside the algorithm
+    return LowBandwidthNetwork(
+        n, schedule_method="reference", schedule_cache=None, columnar=False
+    )
 
 CASES = {
     "us_small": ((US, US, US), 24, 3, "rows"),
@@ -55,24 +69,26 @@ GOLDEN_HARD = {
 }
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("case,algo", sorted(GOLDEN), ids=lambda x: str(x))
-def test_round_counts_pinned(case, algo):
+def test_round_counts_pinned(case, algo, mode):
     fams, n, d, dist = CASES[case]
     rng = np.random.default_rng(SEED)
     inst = make_instance(fams, n, d, rng, distribution=dist)
-    res = multiply(inst, algorithm=algo)
+    res = multiply(inst, algorithm=algo, network=_net_for(mode, inst.n))
     assert inst.verify(res.x)
     assert res.rounds == GOLDEN[(case, algo)], (
-        f"{case}/{algo}: rounds changed from {GOLDEN[(case, algo)]} to "
+        f"{case}/{algo} ({mode}): rounds changed from {GOLDEN[(case, algo)]} to "
         f"{res.rounds} — intentional? update the golden table"
     )
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("case,algo", sorted(GOLDEN_HARD), ids=lambda x: str(x))
-def test_hard_instance_rounds_pinned(case, algo):
+def test_hard_instance_rounds_pinned(case, algo, mode):
     d = int(case.split("_d")[1])
     rng = np.random.default_rng(SEED)
     inst = make_hard_instance(16 * d, d, rng)
-    res = multiply(inst, algorithm=algo)
+    res = multiply(inst, algorithm=algo, network=_net_for(mode, inst.n))
     assert inst.verify(res.x)
     assert res.rounds == GOLDEN_HARD[(case, algo)]

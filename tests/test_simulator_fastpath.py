@@ -1,0 +1,212 @@
+"""Fast-path equivalence: vectorized scheduler, columnar delivery, cache.
+
+The perf machinery (vectorized first-fit, columnar value planes, the
+structure-keyed schedule cache) must be *invisible* in the model's
+accounting: every phase schedule, round count and message count has to
+match the historical per-message pipeline exactly.  These tests pin that
+equivalence directly rather than only through the golden round counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.api import multiply
+from repro.model.network import LowBandwidthNetwork, NetworkError
+from repro.model.schedule_cache import ScheduleCache, phase_digest
+from repro.model.scheduling import (
+    greedy_two_sided_schedule,
+    schedule_makespan,
+    validate_schedule,
+)
+from repro.semirings import REAL_FIELD
+from repro.sparsity.families import AS, GM, US
+from repro.supported.instance import make_instance
+
+
+def _legacy_net(n: int) -> LowBandwidthNetwork:
+    """The historical configuration: reference scheduler, per-message
+    delivery, no schedule cache."""
+    return LowBandwidthNetwork(
+        n, schedule_method="reference", schedule_cache=None, columnar=False
+    )
+
+
+# --------------------------------------------------------------------- #
+# scheduler: vectorized == reference, property-based
+# --------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_vectorized_scheduler_matches_reference(data):
+    n = data.draw(st.integers(min_value=2, max_value=48))
+    p = data.draw(st.integers(min_value=0, max_value=300))
+    src = np.asarray(
+        data.draw(st.lists(st.integers(0, n - 1), min_size=p, max_size=p)),
+        dtype=np.int64,
+    )
+    dst = np.asarray(
+        data.draw(st.lists(st.integers(0, n - 1), min_size=p, max_size=p)),
+        dtype=np.int64,
+    )
+    ref = greedy_two_sided_schedule(src, dst, method="reference")
+    vec = greedy_two_sided_schedule(src, dst, method="vectorized")
+    assert (ref == vec).all(), "vectorized first-fit diverged from reference"
+    validate_schedule(src, dst, vec)
+    remote = src != dst
+    if remote.any():
+        s_max = int(np.bincount(src[remote]).max())
+        r_max = int(np.bincount(dst[remote]).max())
+        assert schedule_makespan(vec) <= s_max + r_max - 1
+
+
+def test_scheduler_rejects_unknown_method():
+    with pytest.raises(ValueError):
+        greedy_two_sided_schedule(np.array([0]), np.array([1]), method="magic")
+
+
+# --------------------------------------------------------------------- #
+# schedule cache
+# --------------------------------------------------------------------- #
+def test_schedule_cache_hit_miss_and_readonly():
+    cache = ScheduleCache()
+    src = np.array([0, 1, 2], dtype=np.int64)
+    dst = np.array([3, 3, 3], dtype=np.int64)
+    rounds, hit = cache.get_or_compute(src, dst)
+    assert not hit and cache.stats()["misses"] == 1
+    again, hit = cache.get_or_compute(src, dst)
+    assert hit and cache.stats()["hits"] == 1
+    assert again is rounds
+    with pytest.raises(ValueError):
+        rounds[0] = 99  # cached schedules are shared and immutable
+
+
+def test_schedule_cache_lru_eviction():
+    cache = ScheduleCache(maxsize=2)
+    phases = [
+        (np.array([0], dtype=np.int64), np.array([i + 1], dtype=np.int64))
+        for i in range(3)
+    ]
+    for src, dst in phases:
+        cache.warm(src, dst)
+    assert len(cache) == 2
+    # oldest phase was evicted: recomputing it is a miss
+    misses = cache.stats()["misses"]
+    _, hit = cache.get_or_compute(*phases[0])
+    assert not hit and cache.stats()["misses"] == misses + 1
+
+
+def test_phase_digest_distinguishes_structure():
+    a = np.array([0, 1], dtype=np.int64)
+    b = np.array([2, 3], dtype=np.int64)
+    assert phase_digest(a, b) != phase_digest(b, a)
+    assert phase_digest(a, b) == phase_digest(a.copy(), b.copy())
+
+
+def test_strict_network_has_no_cache_and_no_columnar():
+    net = LowBandwidthNetwork(4, strict=True)
+    assert net._schedule_cache is None
+    assert not net.columnar
+
+
+# --------------------------------------------------------------------- #
+# end-to-end equivalence: legacy vs fast path, all algorithm families
+# --------------------------------------------------------------------- #
+FAMILY_CASES = {
+    "gather_all": ((US, US, US), 16, 2, "rows"),
+    "naive": ((US, US, US), 16, 2, "rows"),
+    "dense_3d": ((GM, GM, GM), 8, 8, "rows"),
+    "strassen": ((GM, GM, GM), 8, 8, "rows"),
+    "two_phase": ((US, US, AS), 24, 3, "rows"),
+    "general": ((US, AS, GM), 24, 2, "balanced"),
+}
+
+
+@pytest.mark.parametrize("algo", sorted(FAMILY_CASES))
+def test_fast_path_phase_for_phase_identical(algo):
+    fams, n, d, dist = FAMILY_CASES[algo]
+
+    rng = np.random.default_rng(7)
+    inst = make_instance(fams, n, d, rng)
+    legacy_net = _legacy_net(inst.n)
+    legacy = multiply(inst, algorithm=algo, network=legacy_net)
+    assert inst.verify(legacy.x)
+
+    rng = np.random.default_rng(7)
+    inst = make_instance(fams, n, d, rng)
+    fast_net = LowBandwidthNetwork(inst.n, schedule_cache=ScheduleCache())
+    fast = multiply(inst, algorithm=algo, network=fast_net)
+    assert inst.verify(fast.x)
+
+    assert fast.rounds == legacy.rounds
+    # not just totals: every phase must agree in label, rounds and messages
+    legacy_phases = [(p.label, p.rounds, p.messages) for p in legacy_net.phases]
+    fast_phases = [(p.label, p.rounds, p.messages) for p in fast_net.phases]
+    assert fast_phases == legacy_phases
+
+
+def test_fast_path_matches_strict_mode_rounds():
+    rng = np.random.default_rng(3)
+    inst = make_instance((US, US, AS), 24, 3, rng)
+    strict = multiply(inst, algorithm="two_phase", strict=True)
+    assert inst.verify(strict.x)
+
+    rng = np.random.default_rng(3)
+    inst = make_instance((US, US, AS), 24, 3, rng)
+    fast = multiply(inst, algorithm="two_phase")
+    assert inst.verify(fast.x)
+    assert fast.rounds == strict.rounds
+
+
+# --------------------------------------------------------------------- #
+# convergecast temp-key hygiene
+# --------------------------------------------------------------------- #
+def test_convergecast_cleans_temp_keys_strict():
+    net = LowBandwidthNetwork(8, strict=True)
+    members = [0, 1, 2, 3]
+    for c in members:
+        net.write(c, "v", REAL_FIELD.scalar(float(c + 1)), provenance=())
+    net.segmented_convergecast([members], ["v"], REAL_FIELD.add, label="cc")
+    total = net.read(0, "v")
+    assert REAL_FIELD.close(total, REAL_FIELD.scalar(10.0))
+    for c in range(net.n):
+        leaked = [
+            k for k in net.mem[c] if isinstance(k, tuple) and k and k[0] == "__cc__"
+        ]
+        assert not leaked
+
+
+def test_convergecast_leak_assertion_fires():
+    net = LowBandwidthNetwork(8, strict=True)
+    members = [0, 1, 2, 3]
+    for c in members:
+        net.write(c, "v", REAL_FIELD.scalar(1.0), provenance=())
+    # plant a stray temp key at a participant; the post-phase audit must trip
+    net.write(0, ("__cc__", "stale", 99), REAL_FIELD.scalar(0.0), provenance=())
+    with pytest.raises(NetworkError, match="__cc__"):
+        net.segmented_convergecast([members], ["v"], REAL_FIELD.add, label="cc")
+
+
+# --------------------------------------------------------------------- #
+# instrumentation
+# --------------------------------------------------------------------- #
+def test_phase_timings_and_cache_counters():
+    rng = np.random.default_rng(5)
+    inst = make_instance((US, US, AS), 24, 3, rng)
+    cache = ScheduleCache()
+    net = LowBandwidthNetwork(inst.n, schedule_cache=cache)
+    multiply(inst, algorithm="two_phase", network=net)
+    timings = net.phase_timings()
+    assert timings, "no phases recorded"
+    for stats in timings.values():
+        assert stats["phases"] >= 1
+        assert stats["wall_ms"] >= 0.0
+    summary_rounds = sum(r for r, _ in net.phase_summary().values())
+    assert summary_rounds == sum(s["rounds"] for s in timings.values())
+    # a second sweep over the same structure should hit the cache
+    rng = np.random.default_rng(5)
+    inst2 = make_instance((US, US, AS), 24, 3, rng)
+    net2 = LowBandwidthNetwork(inst2.n, schedule_cache=cache)
+    multiply(inst2, algorithm="two_phase", network=net2)
+    assert net2.cache_hits > 0
+    assert net2.schedule_cache_stats()["hits"] > 0
