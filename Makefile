@@ -13,10 +13,15 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Quick CI-sized benchmark: the simulator throughput check on a tiny
-# instance (round-count equivalence only, no timing thresholds).
+# Quick CI-sized benchmark: the simulator throughput check plus the
+# parallel sweep engine on tiny instances (round-count equivalence and
+# warm-start cache hits only, no timing thresholds).  The sweep smoke runs
+# with two workers against a persisted schedule store and emits
+# benchmarks/results/BENCH_sweeps.json.
+SWEEP_CACHE_DIR ?= benchmarks/results/sweep-cache
 bench-smoke:
-	REPRO_BENCH_SMOKE=1 pytest benchmarks/bench_simulator_throughput.py --benchmark-only
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 REPRO_SWEEP_CACHE_DIR=$(SWEEP_CACHE_DIR) \
+		pytest benchmarks/bench_simulator_throughput.py benchmarks/bench_sweep_executor.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

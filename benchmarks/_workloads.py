@@ -1,6 +1,14 @@
-"""Workload builders shared by the benchmarks (not collected by pytest)."""
+"""Workload builders shared by the benchmarks (not collected by pytest).
+
+Everything here is a *module-level* callable so the sweep executor can
+ship it to worker processes under any multiprocessing start method
+(closures only survive ``fork``; these factories also survive ``spawn``).
+"""
 
 from __future__ import annotations
+
+import os
+from functools import partial
 
 import numpy as np
 
@@ -11,6 +19,22 @@ from repro.supported.instance import (
     make_hard_instance,
     make_instance,
 )
+
+
+def bench_workers() -> int:
+    """Worker count for benchmark sweeps.
+
+    ``REPRO_BENCH_WORKERS``: ``0`` means auto (one per core, capped at 4);
+    unset defaults to ``1`` (serial) so single-core CI pays no pool
+    overhead.  Round counts are identical for every setting.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "0")
+
+
+def bench_cache_dir() -> str | None:
+    """Persistent schedule-store directory (``REPRO_SWEEP_CACHE_DIR``),
+    or ``None`` to keep the schedule cache in-memory only."""
+    return os.environ.get("REPRO_SWEEP_CACHE_DIR") or None
 
 
 def dense_instance(n: int, seed: int = 0) -> SupportedInstance:
@@ -34,3 +58,49 @@ def measured_rounds(instance_factory, algorithm_fn) -> int:
     res = algorithm_fn(inst)
     assert inst.verify(res.x), f"{res.algorithm} produced a wrong product"
     return res.rounds
+
+
+# ---------------------------------------------------------------------- #
+# Sweep-cell factories (``instance_factory(value)`` for run_sweep)
+# ---------------------------------------------------------------------- #
+def hard_us_cell(
+    d: int, *, n_factor: int = 16, density: float = 1.0, seed: int = 0
+) -> SupportedInstance:
+    """Worst-case ``[US:US:US]`` cell at ``n = n_factor * d`` (the Table 1 /
+    Figure 1 / Theorem 4.2 sweep shape).  Use ``functools.partial`` to pin
+    ``n_factor``/``density`` — partials of module-level functions stay
+    picklable."""
+    return hard_us(n_factor * d, d, seed=seed, density=density)
+
+
+def hard_us_cell_seeded_by_d(
+    d: int, *, n: int = 216, density: float = 0.35
+) -> SupportedInstance:
+    """Fixed-``n`` crossover cell, seeded by ``d`` (the E17 convention)."""
+    return make_hard_instance(n, d, np.random.default_rng(d), density=density)
+
+
+def us_fixed_d_cell(n: int, *, d: int = 4) -> SupportedInstance:
+    """Random ``[US:US:US]`` cell swept over ``n`` at fixed ``d`` (the
+    sparse-3D row of Table 1), seeded by ``n``."""
+    rng = np.random.default_rng(n)
+    return make_instance((US, US, US), n, d, rng)
+
+
+figure1_cell = partial(hard_us_cell, n_factor=12)
+
+
+def twophase_phase_detail(inst, res) -> dict | None:
+    """Detail hook: the two-phase algorithm's wave/phase split as plain
+    ints (safe to ship across the worker boundary).  ``None`` for
+    algorithms that publish no phase stats (the hook runs on every cell
+    of the sweep)."""
+    stats = res.details.get("stats")
+    if stats is None:
+        return None
+    return {
+        "waves": int(stats.waves),
+        "phase1_rounds": int(stats.phase1_rounds),
+        "phase2_rounds": int(stats.phase2_rounds),
+        "phase2_triangles": int(stats.phase2_triangles),
+    }

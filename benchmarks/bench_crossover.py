@@ -19,10 +19,14 @@ Two honest findings shape the measurement:
 import numpy as np
 
 from conftest import save_report
+from _workloads import bench_cache_dir, bench_workers, hard_us_cell_seeded_by_d
+
+from functools import partial
 
 from repro.algorithms.dense import sparse_3d
 from repro.algorithms.twophase import multiply_two_phase
 from repro.analysis.fitting import fit_exponent
+from repro.analysis.sweeps import run_sweep
 from repro.supported.instance import make_hard_instance
 
 N = 216  # 6^3: cube-aligned for the 3D grid
@@ -36,22 +40,20 @@ def bench_crossover(benchmark):
         "=" * 76,
         f"{'d':>4} {'two-phase':>10} {'sparse 3D':>10} {'ratio S3D/TP':>13}",
     ]
-    tp_rounds, s3_rounds, ratios = [], [], []
-    for d in DS:
-        rng = np.random.default_rng(d)
-        inst = make_hard_instance(N, d, rng, density=DENSITY)
-        res_tp = multiply_two_phase(inst)
-        assert inst.verify(res_tp.x)
-        rng = np.random.default_rng(d)
-        inst2 = make_hard_instance(N, d, rng, density=DENSITY)
-        res_s3 = sparse_3d(inst2)
-        assert inst2.verify(res_s3.x)
-        tp_rounds.append(res_tp.rounds)
-        s3_rounds.append(res_s3.rounds)
-        ratios.append(res_s3.rounds / res_tp.rounds)
-        lines.append(
-            f"{d:>4} {res_tp.rounds:>10} {res_s3.rounds:>10} {ratios[-1]:>13.2f}"
-        )
+    # each cell rebuilds the instance from the d-derived seed, so both
+    # algorithms see bit-identical inputs (the historical convention)
+    sweep = run_sweep(
+        axis=("d", DS),
+        instance_factory=partial(hard_us_cell_seeded_by_d, n=N, density=DENSITY),
+        algorithms={"two_phase": multiply_two_phase, "sparse_3d": sparse_3d},
+        workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
+    )
+    tp_rounds = sweep.rounds["two_phase"]
+    s3_rounds = sweep.rounds["sparse_3d"]
+    ratios = [s3 / tp for tp, s3 in zip(tp_rounds, s3_rounds)]
+    for d, tp, s3, ratio in zip(DS, tp_rounds, s3_rounds, ratios):
+        lines.append(f"{d:>4} {tp:>10} {s3:>10} {ratio:>13.2f}")
 
     fit_tp = fit_exponent(DS, tp_rounds)
     fit_s3 = fit_exponent(DS, s3_rounds)

@@ -11,30 +11,28 @@ y-values) and overlay the *measured* exponents of the executable endpoints
 """
 
 from conftest import save_report
-from _workloads import hard_us
+from _workloads import bench_cache_dir, bench_workers, figure1_cell, hard_us
 
 from repro.algorithms.trivial import naive_triangles
 from repro.algorithms.twophase import multiply_two_phase
 from repro.analysis.fitting import fit_exponent
 from repro.analysis.parameters import figure1_series
+from repro.analysis.sweeps import run_sweep
 
 DS = (4, 8, 12, 16, 27)
 N_FACTOR = 12
 
 
-def _sweep(algorithm):
-    rounds = []
-    for d in DS:
-        inst = hard_us(N_FACTOR * d, d)
-        res = algorithm(inst)
-        assert inst.verify(res.x)
-        rounds.append(res.rounds)
-    return rounds
-
-
 def bench_figure1_progress(benchmark):
-    naive_rounds = _sweep(naive_triangles)
-    two_phase_rounds = _sweep(multiply_two_phase)
+    sweep = run_sweep(
+        axis=("d", DS),
+        instance_factory=figure1_cell,
+        algorithms={"naive": naive_triangles, "two_phase": multiply_two_phase},
+        workers=bench_workers(),
+        cache_dir=bench_cache_dir(),
+    )
+    naive_rounds = sweep.rounds["naive"]
+    two_phase_rounds = sweep.rounds["two_phase"]
     benchmark.pedantic(
         lambda: multiply_two_phase(hard_us(N_FACTOR * 8, 8)).rounds,
         rounds=1,

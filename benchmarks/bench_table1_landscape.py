@@ -11,19 +11,22 @@ over a size sweep on the simulator and fitting the round-count exponent:
   from the schedule optimizer (analytic), printed alongside.
 """
 
-import numpy as np
-import pytest
-
 from conftest import save_report
-from _workloads import dense_instance, hard_us
+from _workloads import (
+    bench_cache_dir,
+    bench_workers,
+    dense_instance,
+    hard_us,
+    hard_us_cell,
+    us_fixed_d_cell,
+)
 
 from repro.algorithms.dense import dense_3d, dense_strassen, sparse_3d
 from repro.algorithms.trivial import gather_all, naive_triangles
 from repro.algorithms.twophase import multiply_two_phase
 from repro.analysis.fitting import fit_exponent
 from repro.analysis.parameters import landscape_table
-from repro.sparsity.families import US
-from repro.supported.instance import make_instance
+from repro.analysis.sweeps import run_sweep
 
 DENSE_NS = (8, 16, 27, 64)
 # cube-aligned degrees: the 3D kernel's grid side q = d^{1/3} is exact at
@@ -31,6 +34,7 @@ DENSE_NS = (8, 16, 27, 64)
 # noise (d = 64 runs ~4M triangles through the simulator)
 SPARSE_DS = (8, 27, 64)
 SPARSE_N_FACTOR = 16  # n = factor * d
+SPARSE3D_NS = (27, 64, 125, 216)
 
 
 def _run(algorithm, inst):
@@ -39,45 +43,38 @@ def _run(algorithm, inst):
     return res.rounds
 
 
-def _dense_sweep(algorithm):
-    rounds = []
-    for n in DENSE_NS:
-        rounds.append(_run(algorithm, dense_instance(n)))
-    return rounds
-
-
-def _sparse_sweep(algorithm):
-    rounds = []
-    for d in SPARSE_DS:
-        rounds.append(_run(algorithm, hard_us(SPARSE_N_FACTOR * d, d)))
-    return rounds
-
-
-def _sparse3d_sweep():
-    # [2]'s O(d n^{1/3}): sweep n at fixed d on random US instances
-    ns = (27, 64, 125, 216)
-    rounds = []
-    for n in ns:
-        rng = np.random.default_rng(n)
-        inst = make_instance((US, US, US), n, 4, rng)
-        rounds.append(_run(sparse_3d, inst))
-    return ns, rounds
-
-
 def bench_table1_landscape(benchmark, results_dir):
-    rows = []
-    dense = {}
-    for name, algo in (
-        ("trivial gather-all", gather_all),
-        ("dense 3D (semiring kernel)", dense_3d),
-        ("dense Strassen (field kernel)", dense_strassen),
-    ):
-        dense[name] = _dense_sweep(algo)
-    ns, s3d_rounds = _sparse3d_sweep()
-    sparse = {
-        "trivial triangle processing": _sparse_sweep(naive_triangles),
-        "two-phase (Theorem 4.2)": _sparse_sweep(multiply_two_phase),
-    }
+    workers, cache_dir = bench_workers(), bench_cache_dir()
+    dense = run_sweep(
+        axis=("n", DENSE_NS),
+        instance_factory=dense_instance,
+        algorithms={
+            "trivial gather-all": gather_all,
+            "dense 3D (semiring kernel)": dense_3d,
+            "dense Strassen (field kernel)": dense_strassen,
+        },
+        workers=workers,
+        cache_dir=cache_dir,
+    ).rounds
+    # [2]'s O(d n^{1/3}): sweep n at fixed d on random US instances
+    ns = SPARSE3D_NS
+    s3d_rounds = run_sweep(
+        axis=("n", ns),
+        instance_factory=us_fixed_d_cell,
+        algorithms={"sparse 3D": sparse_3d},
+        workers=workers,
+        cache_dir=cache_dir,
+    ).rounds["sparse 3D"]
+    sparse = run_sweep(
+        axis=("d", SPARSE_DS),
+        instance_factory=hard_us_cell,
+        algorithms={
+            "trivial triangle processing": naive_triangles,
+            "two-phase (Theorem 4.2)": multiply_two_phase,
+        },
+        workers=workers,
+        cache_dir=cache_dir,
+    ).rounds
 
     # one representative timed run for pytest-benchmark
     benchmark.pedantic(

@@ -14,12 +14,21 @@ In every regime the measured exponent must sit at or below the trivial
 analytic envelope over all regimes.
 """
 
+from functools import partial
+
 from conftest import save_report
-from _workloads import hard_us
+from _workloads import (
+    bench_cache_dir,
+    bench_workers,
+    hard_us,
+    hard_us_cell,
+    twophase_phase_detail,
+)
 
 from repro.algorithms.trivial import naive_triangles
 from repro.algorithms.twophase import multiply_two_phase
 from repro.analysis.fitting import fit_exponent
+from repro.analysis.sweeps import run_sweep
 
 DS = (4, 8, 12, 16)
 N_FACTOR = 12
@@ -31,28 +40,29 @@ def bench_theorem42_upper(benchmark):
              "=" * 72]
     fits = {}
     for density in DENSITIES:
-        rounds = []
-        naive_rounds = []
-        detail = []
-        for d in DS:
-            inst = hard_us(N_FACTOR * d, d, density=density)
-            res = multiply_two_phase(inst)
-            assert inst.verify(res.x)
-            stats = res.details["stats"]
-            rounds.append(res.rounds)
-            detail.append(
-                f"d={d}: {res.rounds} rounds (waves {stats.waves}, "
-                f"p1 {stats.phase1_rounds}, p2 {stats.phase2_rounds}, "
-                f"residual {stats.phase2_triangles})"
-            )
-            inst2 = hard_us(N_FACTOR * d, d, density=density)
-            naive_rounds.append(naive_triangles(inst2).rounds)
+        sweep = run_sweep(
+            axis=("d", DS),
+            instance_factory=partial(hard_us_cell, n_factor=N_FACTOR, density=density),
+            algorithms={
+                "two_phase": multiply_two_phase,
+                "naive": naive_triangles,
+            },
+            workers=bench_workers(),
+            cache_dir=bench_cache_dir(),
+            detail=twophase_phase_detail,
+        )
+        rounds = sweep.rounds["two_phase"]
+        naive_rounds = sweep.rounds["naive"]
         fit = fit_exponent(DS, rounds)
         fit_naive = fit_exponent(DS, naive_rounds)
         fits[density] = (fit, fit_naive, rounds, naive_rounds)
         lines.append(f"density {density}:")
-        for line in detail:
-            lines.append("  " + line)
+        for d, r, stats in zip(DS, rounds, sweep.details["two_phase"]):
+            lines.append(
+                f"  d={d}: {r} rounds (waves {stats['waves']}, "
+                f"p1 {stats['phase1_rounds']}, p2 {stats['phase2_rounds']}, "
+                f"residual {stats['phase2_triangles']})"
+            )
         lines.append(f"  two-phase fit d^{fit.exponent:.2f}; trivial fit d^{fit_naive.exponent:.2f}")
         lines.append("")
     lines.append("paper bound: O(d^1.867) semirings (worst case over all regimes);")

@@ -15,6 +15,13 @@ from repro.analysis.classification import (
     classify,
     classification_table,
 )
+from repro.analysis.executor import (
+    CellResult,
+    SweepCell,
+    cell_rng,
+    execute_cells,
+    resolve_workers,
+)
 from repro.analysis.fitting import fit_exponent
 from repro.analysis.report import phase_table, render_table
 from repro.analysis.sweeps import SweepResult, run_sweep
@@ -32,6 +39,11 @@ __all__ = [
     "fit_exponent",
     "phase_table",
     "render_table",
+    "CellResult",
+    "SweepCell",
+    "cell_rng",
+    "execute_cells",
+    "resolve_workers",
     "SweepResult",
     "run_sweep",
 ]

@@ -1,0 +1,322 @@
+"""Parallel sweep execution engine.
+
+Every evaluation artifact in this repository (Tables 1-4, the §1.2
+figure) is produced by a parameter sweep: a grid of independent
+``(axis value, algorithm)`` *cells*, each of which builds a fresh
+instance, runs one algorithm on the simulator, and reports rounds and
+messages.  The cells share no state — the only cross-cell coupling is
+the structure-keyed schedule cache, which is a pure memo (replaying a
+cached schedule is bit-identical to recomputing it) — so the grid can be
+fanned out over a process pool without changing a single round count.
+
+:func:`execute_cells` is that engine.  It decomposes a sweep into
+:class:`SweepCell` work items, runs them serially or over a
+``ProcessPoolExecutor``, and reassembles :class:`CellResult` rows in
+deterministic cell order, so ``workers=N`` is bit-identical to
+``workers=1`` for any ``N``.
+
+Determinism contract
+--------------------
+* Each cell derives its RNG from the *root seed* and the cell's grid
+  coordinates alone — ``cell_rng(seed, axis_index, algo_index)`` spawns
+  ``numpy.random.SeedSequence(seed, spawn_key=(axis_index, algo_index))``
+  — never from execution order, worker identity, or wall clock.  Two runs
+  with the same seed produce identical instances cell-for-cell, whatever
+  the worker count.
+* Factories that ignore the engine's RNG (the legacy one-argument form
+  ``factory(value)``) must be deterministic in ``value`` alone; all the
+  in-repo workloads are.
+* Results are reassembled by cell index, not completion order.
+
+Schedule-cache persistence
+--------------------------
+With ``cache_dir`` set, the engine warm-loads the versioned on-disk
+store (:func:`repro.model.schedule_cache.load_store`) into the
+process-wide default cache before running — each forked worker inherits
+the warm cache — and afterwards merges every schedule newly computed by
+any worker back into the parent cache and rewrites the store.  First-fit
+scheduling cost is therefore paid once per structure across all
+processes and all future runs.
+
+Start methods: the engine prefers ``fork`` (the work specification is
+inherited by the children, so factories and algorithms may be arbitrary
+callables — closures and lambdas included).  On platforms without
+``fork`` the specification is pickled to the workers; if it cannot be
+pickled the engine degrades to serial execution and says so in the run
+stats rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.model.schedule_cache import (
+    default_schedule_cache,
+    load_store,
+    save_store,
+    store_path,
+)
+
+__all__ = [
+    "SweepCell",
+    "CellResult",
+    "cell_rng",
+    "resolve_workers",
+    "build_cells",
+    "execute_cells",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work: run ``algo_name`` on a fresh
+    instance built at ``axis_value``."""
+
+    index: int
+    axis_index: int
+    axis_value: Any
+    algo_index: int
+    algo_name: str
+
+
+@dataclass
+class CellResult:
+    """Measured outcome of one cell (plus engine instrumentation)."""
+
+    index: int
+    axis_index: int
+    axis_value: Any
+    algo_name: str
+    rounds: int = -1
+    messages: int = -1
+    verified: bool | None = None  # None: verification was not requested
+    error: str | None = None
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    new_schedules: int = 0
+    worker_pid: int = 0
+    #: output of the sweep's ``detail`` hook (small picklable payload
+    #: extracted in-worker; the full MultiplyResult never crosses the
+    #: process boundary)
+    details: Any = None
+
+
+def cell_rng(root_seed: int, axis_index: int, algo_index: int) -> np.random.Generator:
+    """The deterministic per-cell generator (see the module docstring)."""
+    ss = np.random.SeedSequence(root_seed, spawn_key=(axis_index, algo_index))
+    return np.random.default_rng(ss)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None``/``0`` means auto: one worker per core, at most four."""
+    if workers is None or workers == 0:
+        return max(1, min(4, os.cpu_count() or 1))
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = auto)")
+    return int(workers)
+
+
+def build_cells(
+    values: Sequence, algorithms: Mapping[str, Callable]
+) -> list[SweepCell]:
+    """The canonical cell grid: axis-major, algorithm-minor (the serial
+    loop order of the historical ``run_sweep``)."""
+    cells = []
+    for ai, value in enumerate(values):
+        for gi, name in enumerate(algorithms):
+            cells.append(SweepCell(len(cells), ai, value, gi, name))
+    return cells
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
+# The work specification lives in a module global.  Under the fork start
+# method the parent sets it *before* the pool exists and children inherit
+# it (this is what lets closures through); under spawn it is pickled to
+# _worker_init.  Keys: factory, algorithms, verify, seed, persist.
+_STATE: dict[str, Any] | None = None
+
+
+def _worker_init(state: dict[str, Any] | None, store_file: str | None) -> None:
+    global _STATE
+    if state is not None:
+        _STATE = state
+    cache = default_schedule_cache()
+    if store_file:
+        cache.merge(load_store(store_file))
+    # Only schedules computed *by this worker from here on* are shipped
+    # back to the parent; inherited or warm-loaded entries are not.
+    cache.drain_new_entries()
+
+
+def _exec_cell(cell: SweepCell) -> tuple[CellResult, dict[bytes, np.ndarray]]:
+    state = _STATE
+    assert state is not None, "executor worker used before initialization"
+    cache = default_schedule_cache()
+    hits0, misses0 = cache.hits, cache.misses
+    result = CellResult(cell.index, cell.axis_index, cell.axis_value, cell.algo_name)
+    t0 = time.perf_counter()
+    try:
+        if state["seed"] is not None:
+            rng = cell_rng(state["seed"], cell.axis_index, cell.algo_index)
+            inst = state["factory"](cell.axis_value, rng)
+        else:
+            inst = state["factory"](cell.axis_value)
+        res = state["algorithms"][cell.algo_name](inst)
+        result.rounds = int(res.rounds)
+        result.messages = int(res.messages)
+        if state["verify"]:
+            result.verified = bool(inst.verify(res.x))
+        if state["detail"] is not None:
+            result.details = state["detail"](inst, res)
+    except Exception as exc:  # reassembly decides whether this is fatal
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_s = time.perf_counter() - t0
+    result.cache_hits = cache.hits - hits0
+    result.cache_misses = cache.misses - misses0
+    result.worker_pid = os.getpid()
+    new = cache.drain_new_entries() if state["persist"] else {}
+    result.new_schedules = len(new)
+    return result, new
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+def _preferred_context() -> mp.context.BaseContext:
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+def execute_cells(
+    cells: Sequence[SweepCell],
+    *,
+    instance_factory: Callable,
+    algorithms: Mapping[str, Callable],
+    verify: bool = True,
+    workers: int | None = 1,
+    seed: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    detail: Callable[[Any, Any], Any] | None = None,
+) -> tuple[list[CellResult], dict[str, Any]]:
+    """Run every cell; return ``(results_in_cell_order, run_stats)``.
+
+    ``detail(instance, multiply_result)`` runs in the worker right after
+    a successful cell and its (small, picklable) return value is attached
+    to the cell's :class:`CellResult` — the way to keep algorithm
+    diagnostics (wave counts, phase splits) without shipping whole
+    ``MultiplyResult``/network objects across the process boundary.
+
+    Exceptions inside a cell are *captured* on its :class:`CellResult`
+    (``error``), never raised here — the caller chooses the failure
+    policy (``run_sweep(strict=True)`` re-raises, ``strict=False``
+    records).  See the module docstring for the determinism and cache
+    contracts.
+    """
+    global _STATE
+    workers_requested = resolve_workers(workers)
+    workers_effective = min(workers_requested, max(len(cells), 1))
+    store_file: Path | None = None
+    warm_loaded = 0
+    cache = default_schedule_cache()
+    if cache_dir is not None:
+        store_file = store_path(cache_dir)
+        warm_loaded = cache.merge(load_store(store_file))
+    state = {
+        "factory": instance_factory,
+        "algorithms": dict(algorithms),
+        "verify": bool(verify),
+        "seed": seed,
+        "persist": store_file is not None,
+        "detail": detail,
+    }
+
+    t0 = time.perf_counter()
+    results: list[CellResult | None] = [None] * len(cells)
+    harvested: dict[bytes, np.ndarray] = {}
+    mode = "serial"
+    fallback_reason = None
+
+    if workers_effective > 1:
+        ctx = _preferred_context()
+        if ctx.get_start_method() != "fork":
+            try:
+                pickle.dumps(state)
+            except Exception as exc:
+                fallback_reason = (
+                    f"work spec not picklable under {ctx.get_start_method()!r} "
+                    f"start method ({type(exc).__name__}); ran serially"
+                )
+                workers_effective = 1
+        if workers_effective > 1:
+            mode = ctx.get_start_method()
+            _STATE = state  # inherited by forked children
+            init_state = None if mode == "fork" else state
+            with ProcessPoolExecutor(
+                max_workers=workers_effective,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(init_state, str(store_file) if store_file else None),
+            ) as pool:
+                pending = {pool.submit(_exec_cell, cell) for cell in cells}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        res, new = fut.result()
+                        results[res.index] = res
+                        harvested.update(new)
+
+    if workers_effective <= 1:
+        _STATE = state
+        _worker_init(None, str(store_file) if store_file else None)
+        for cell in cells:
+            res, new = _exec_cell(cell)
+            results[res.index] = res
+            harvested.update(new)
+
+    wall_s = time.perf_counter() - t0
+    out = [r for r in results if r is not None]
+    assert len(out) == len(cells), "executor lost cells during reassembly"
+
+    store_stats = None
+    if store_file is not None:
+        merged_new = cache.merge(harvested)
+        # keep counters honest in serial mode, where the worker cache *is*
+        # the parent cache and harvested entries are already present
+        store_stats = save_store(store_file, cache)
+        store_stats["warm_entries_loaded"] = warm_loaded
+        store_stats["new_schedules_merged"] = merged_new if mode != "serial" else len(harvested)
+
+    busy = sum(r.wall_s for r in out)
+    stats = {
+        "cells": len(out),
+        "errors": sum(1 for r in out if r.error is not None),
+        "workers_requested": workers_requested,
+        "workers_effective": workers_effective,
+        "mode": mode,
+        "wall_s": wall_s,
+        "cell_wall_s_sum": busy,
+        "utilization": busy / (workers_effective * wall_s) if wall_s > 0 else 0.0,
+        "cache": {
+            "hits": sum(r.cache_hits for r in out),
+            "misses": sum(r.cache_misses for r in out),
+            "new_schedules": sum(r.new_schedules for r in out),
+            "store": store_stats,
+        },
+        "seed": seed,
+        "per_cell": [asdict(r) for r in out],
+    }
+    if fallback_reason:
+        stats["fallback"] = fallback_reason
+    return out, stats

@@ -16,11 +16,13 @@ their own instance families in a few lines::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.executor import build_cells, execute_cells
 from repro.analysis.fitting import ExponentFit, fit_exponent
 
 __all__ = ["SweepResult", "run_sweep"]
@@ -35,6 +37,16 @@ class SweepResult:
     rounds: dict[str, list[int]]
     messages: dict[str, list[int]]
     verified: bool
+    #: per-cell verification status (``cell_verified[algo][i]`` for axis
+    #: value ``i``): True/False per cell, or None where verification was
+    #: skipped.  Populated by ``run_sweep(strict=False)``.
+    cell_verified: dict[str, list[bool | None]] = field(default_factory=dict)
+    #: per-cell payloads of the sweep's ``detail`` hook
+    #: (``details[algo][i]``); empty when no hook was passed.
+    details: dict[str, list] = field(default_factory=dict)
+    #: engine instrumentation from :func:`repro.analysis.executor.execute_cells`
+    #: (worker counts, per-cell wall clock, utilization, cache counters).
+    stats: dict[str, Any] = field(default_factory=dict)
 
     def fit(self, algorithm: str) -> ExponentFit:
         """Power-law fit of one algorithm's rounds against the axis."""
@@ -73,6 +85,11 @@ def run_sweep(
     instance_factory: Callable,
     algorithms: Mapping[str, Callable],
     verify: bool = True,
+    strict: bool = True,
+    workers: int | None = 1,
+    seed: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    detail: Callable | None = None,
 ) -> SweepResult:
     """Run every algorithm on a fresh instance per axis value.
 
@@ -81,26 +98,70 @@ def run_sweep(
     algorithm gets its own instance to keep ownership caches clean).
     ``algorithms`` maps display names to callables with the standard
     ``(instance, **kwargs) -> MultiplyResult`` signature.
+
+    The ``(axis value, algorithm)`` grid cells are independent, so they
+    are dispatched through :func:`repro.analysis.executor.execute_cells`:
+
+    * ``workers`` — process count for the fan-out (``1``: in-process
+      serial; ``0``/``None``: auto).  Results are reassembled in grid
+      order and are bit-identical for every worker count.
+    * ``seed`` — when set, the factory is called as
+      ``instance_factory(value, rng)`` with the deterministic per-cell
+      generator ``cell_rng(seed, axis_index, algo_index)``; when ``None``
+      (legacy), as ``instance_factory(value)``.
+    * ``cache_dir`` — warm-load/merge-back directory for the persistent
+      schedule store (see :mod:`repro.model.schedule_cache`).
+    * ``detail`` — optional ``detail(instance, result)`` hook executed in
+      the worker; its (picklable) return values land in
+      ``SweepResult.details[algo]``, aligned with the axis.
+    * ``strict`` — with the default ``True``, a failed verification
+      raises ``AssertionError`` and any cell exception is re-raised as
+      ``RuntimeError``.  With ``strict=False`` the sweep always completes:
+      per-cell verification status lands in ``SweepResult.cell_verified``,
+      failed cells report rounds/messages of ``-1``, and ``verified`` is
+      the conjunction over all cells.
     """
     name, values = axis
+    cells = build_cells(values, algorithms)
+    results, stats = execute_cells(
+        cells,
+        instance_factory=instance_factory,
+        algorithms=algorithms,
+        verify=verify,
+        workers=workers,
+        seed=seed,
+        cache_dir=cache_dir,
+        detail=detail,
+    )
+    if strict:
+        for res in results:
+            if res.error is not None:
+                raise RuntimeError(
+                    f"{res.algo_name} failed at {name}={res.axis_value}: {res.error}"
+                )
+            if verify and res.verified is False:
+                raise AssertionError(
+                    f"{res.algo_name} produced a wrong product at {name}={res.axis_value}"
+                )
     rounds: dict[str, list[int]] = {a: [] for a in algorithms}
     messages: dict[str, list[int]] = {a: [] for a in algorithms}
-    all_ok = True
-    for value in values:
-        for algo_name, algo in algorithms.items():
-            inst = instance_factory(value)
-            res = algo(inst)
-            if verify and not inst.verify(res.x):
-                all_ok = False
-                raise AssertionError(
-                    f"{algo_name} produced a wrong product at {name}={value}"
-                )
-            rounds[algo_name].append(res.rounds)
-            messages[algo_name].append(res.messages)
+    cell_verified: dict[str, list[bool | None]] = {a: [] for a in algorithms}
+    details: dict[str, list] = {a: [] for a in algorithms} if detail else {}
+    for res in results:  # already in axis-major, algorithm-minor order
+        rounds[res.algo_name].append(res.rounds)
+        messages[res.algo_name].append(res.messages)
+        ok = res.verified if res.error is None else False
+        cell_verified[res.algo_name].append(ok)
+        if detail:
+            details[res.algo_name].append(res.details)
+    all_ok = all(ok is not False for col in cell_verified.values() for ok in col)
     return SweepResult(
         axis_name=name,
         axis_values=list(values),
         rounds=rounds,
         messages=messages,
         verified=all_ok,
+        cell_verified=cell_verified,
+        details=details,
+        stats=stats,
     )

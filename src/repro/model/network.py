@@ -47,14 +47,21 @@ never of the numeric values.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
 from repro.model.collectives import doubling_batches, halving_batches
-from repro.model.schedule_cache import ScheduleCache, default_schedule_cache
+from repro.model.schedule_cache import (
+    ScheduleCache,
+    default_schedule_cache,
+    load_store,
+    store_path,
+)
 from repro.model.scheduling import (
     greedy_two_sided_schedule,
     schedule_makespan,
@@ -124,7 +131,11 @@ class LowBandwidthNetwork:
     schedule_cache:
         ``"auto"`` (default) shares the process-wide cache in non-strict
         mode and disables caching in strict mode; ``None`` disables
-        caching; a :class:`ScheduleCache` instance is used as given.
+        caching; a :class:`ScheduleCache` instance is used as given; a
+        filesystem path (``str``/``Path`` naming a store file or a cache
+        directory) builds a private cache warm-loaded from that persistent
+        store (see :func:`~repro.model.schedule_cache.load_store` — a
+        missing or corrupt store degrades to a cold cache).
     columnar:
         Allow the columnar (array) delivery path in non-strict mode.
         Algorithms consult ``net.columnar`` to choose their bulk
@@ -146,14 +157,23 @@ class LowBandwidthNetwork:
         self.n = int(n)
         self.strict = bool(strict)
         self.schedule_method = schedule_method
-        if schedule_cache == "auto":
+        if isinstance(schedule_cache, str) and schedule_cache == "auto":
             self._schedule_cache = None if self.strict else default_schedule_cache()
         elif schedule_cache is None:
             self._schedule_cache = None
         elif isinstance(schedule_cache, ScheduleCache):
             self._schedule_cache = schedule_cache
+        elif isinstance(schedule_cache, (str, os.PathLike)):
+            path = Path(schedule_cache)
+            if path.is_dir() or path.suffix == "":
+                path = store_path(path)
+            cache = ScheduleCache()
+            cache.merge(load_store(path))
+            self._schedule_cache = cache
         else:
-            raise ValueError("schedule_cache must be 'auto', None or a ScheduleCache")
+            raise ValueError(
+                "schedule_cache must be 'auto', None, a ScheduleCache or a store path"
+            )
         self.columnar = bool(columnar) and not self.strict
         self.rounds = 0
         self.mem: list[dict[Key, Any]] = [dict() for _ in range(self.n)]

@@ -15,18 +15,62 @@ would recompute.
 The cache is keyed by a BLAKE2b digest of the raw endpoint bytes.  Digest
 collisions are negligible (128-bit) and the cache is bounded LRU, so a
 long-running sweep cannot grow it without bound.
+
+Persistence
+-----------
+A cache can be serialized to a *versioned on-disk store* so the first-fit
+scheduling cost is paid once per structure across processes *and* across
+runs (the parallel sweep executor warm-loads the store into every worker
+and merges the workers' new schedules back after a run):
+
+* :func:`save_store` / :func:`load_store` read and write a single store
+  file whose entries are keyed by the same structure digests as the
+  in-memory cache.  The format carries a magic string and
+  :data:`STORE_VERSION`; loading a missing, corrupt, truncated or
+  version-mismatched file *never raises* — it returns an empty mapping,
+  so callers simply fall back to a cold cache.
+* :func:`store_path` maps a cache *directory* to the current versioned
+  file name (``schedules-v1.npz``); saving evicts store files of other
+  versions from the directory so stale formats do not accumulate.
+* The store is bounded twice over: :func:`save_store` keeps at most
+  ``max_entries`` schedules (most recently used first) and stops adding
+  entries once ``max_bytes`` of payload is reached, so CI machines cannot
+  accumulate unbounded cache files.
+
+The store holds only ``int64`` round-assignment arrays and is written via
+``numpy.savez_compressed`` — no pickled code objects, so loading an
+untrusted/stale file is at worst a cold cache, never code execution.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
+import os
+import tempfile
 from collections import OrderedDict
+from pathlib import Path
 
 import numpy as np
 
 from repro.model.scheduling import greedy_two_sided_schedule
 
-__all__ = ["ScheduleCache", "default_schedule_cache", "phase_digest"]
+__all__ = [
+    "ScheduleCache",
+    "default_schedule_cache",
+    "phase_digest",
+    "STORE_VERSION",
+    "store_path",
+    "save_store",
+    "load_store",
+]
+
+#: On-disk store format version.  Bump when the entry layout changes; the
+#: loader rejects (silently, as a cold cache) any other version.
+STORE_VERSION = 1
+
+_STORE_MAGIC = "repro-schedule-store"
+_STORE_STEM = "schedules-v"
 
 
 def phase_digest(src: np.ndarray, dst: np.ndarray) -> bytes:
@@ -56,6 +100,10 @@ class ScheduleCache:
         self._entries: OrderedDict[bytes, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: digests inserted by local computation since the last
+        #: :meth:`drain_new_entries` call (merge-back bookkeeping for the
+        #: parallel sweep executor; merged/loaded entries are excluded).
+        self._new_keys: list[bytes] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -63,6 +111,7 @@ class ScheduleCache:
     def clear(self) -> None:
         """Drop all cached schedules and reset the hit/miss counters."""
         self._entries.clear()
+        self._new_keys.clear()
         self.hits = 0
         self.misses = 0
 
@@ -97,6 +146,7 @@ class ScheduleCache:
         rounds = greedy_two_sided_schedule(src, dst, method=method)
         rounds.setflags(write=False)
         self._entries[key] = rounds
+        self._new_keys.append(key)
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return rounds, False
@@ -104,6 +154,149 @@ class ScheduleCache:
     def warm(self, src: np.ndarray, dst: np.ndarray, *, method: str = "auto") -> None:
         """Precompute a phase's schedule (supported-model preprocessing)."""
         self.get_or_compute(src, dst, method=method)
+
+    # ------------------------------------------------------------------ #
+    # Persistence / cross-process merging
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> dict[bytes, np.ndarray]:
+        """All cached entries, LRU-oldest first (a shallow copy; the arrays
+        are the shared read-only schedules)."""
+        return dict(self._entries)
+
+    def drain_new_entries(self) -> dict[bytes, np.ndarray]:
+        """Entries *computed* by this cache since the last drain.
+
+        Used by sweep workers to ship only their newly derived schedules
+        back to the parent process (entries merged in via :meth:`merge` or
+        warm-loaded from disk are never re-shipped).  Keys evicted by the
+        LRU bound between computation and drain are skipped.
+        """
+        out = {k: self._entries[k] for k in self._new_keys if k in self._entries}
+        self._new_keys.clear()
+        return out
+
+    def merge(self, entries: dict[bytes, np.ndarray]) -> int:
+        """Insert externally computed schedules; returns how many were new.
+
+        Existing keys win (they are bit-identical by construction — a
+        schedule is a pure function of the digested endpoints), so merging
+        is idempotent and order-independent.  The LRU bound still applies.
+        """
+        added = 0
+        for key, rounds in entries.items():
+            if key in self._entries:
+                continue
+            rounds = np.asarray(rounds, dtype=np.int64)
+            rounds.setflags(write=False)
+            self._entries[key] = rounds
+            added += 1
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return added
+
+
+# ---------------------------------------------------------------------- #
+# On-disk store
+# ---------------------------------------------------------------------- #
+def store_path(cache_dir: str | os.PathLike) -> Path:
+    """The current-version store file inside a cache directory."""
+    return Path(cache_dir) / f"{_STORE_STEM}{STORE_VERSION}.npz"
+
+
+def save_store(
+    path: str | os.PathLike,
+    entries: dict[bytes, np.ndarray] | "ScheduleCache",
+    *,
+    max_entries: int = 4096,
+    max_bytes: int = 64 * 1024 * 1024,
+) -> dict:
+    """Atomically write a versioned schedule store; returns save stats.
+
+    ``entries`` may be a :class:`ScheduleCache` (its LRU order is used:
+    most recently used entries are kept first under the caps) or a plain
+    digest-to-array mapping.  The write goes through a temporary file and
+    ``os.replace`` so a crashed run never leaves a truncated store, and
+    store files of *other* versions in the same directory are evicted.
+    """
+    if isinstance(entries, ScheduleCache):
+        entries = entries.export_entries()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    kept: dict[str, np.ndarray] = {}
+    payload = 0
+    dropped = 0
+    # iterate newest-first so the caps keep the most recently used entries
+    for key, rounds in reversed(list(entries.items())):
+        arr = np.ascontiguousarray(rounds, dtype=np.int64)
+        if len(kept) >= max_entries or payload + arr.nbytes > max_bytes:
+            dropped += 1
+            continue
+        kept[f"e_{key.hex()}"] = arr
+        payload += arr.nbytes
+    kept["__meta__"] = np.array([STORE_VERSION], dtype=np.int64)
+
+    buf = io.BytesIO()
+    np.savez_compressed(buf, magic=np.frombuffer(_STORE_MAGIC.encode(), dtype=np.uint8), **kept)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(buf.getvalue())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    # evict stale-version stores so cache dirs stay bounded across upgrades
+    for stale in path.parent.glob(f"{_STORE_STEM}*.npz"):
+        if stale != path:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+    return {
+        "path": str(path),
+        "entries": len(kept) - 1,
+        "dropped": dropped,
+        "bytes": path.stat().st_size,
+        "version": STORE_VERSION,
+    }
+
+
+def load_store(path: str | os.PathLike) -> dict[bytes, np.ndarray]:
+    """Load a schedule store; ``{}`` on any problem (cold-cache fallback).
+
+    Tolerates: missing file, unreadable file, non-npz garbage, missing or
+    wrong magic, version mismatch, and malformed entries (non-int arrays,
+    bad hex keys).  Per-entry damage skips the entry, not the whole store.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            magic = data["magic"] if "magic" in data.files else None
+            if magic is None or bytes(magic.tobytes()) != _STORE_MAGIC.encode():
+                return {}
+            meta = data["__meta__"] if "__meta__" in data.files else None
+            if meta is None or int(np.asarray(meta).ravel()[0]) != STORE_VERSION:
+                return {}
+            out: dict[bytes, np.ndarray] = {}
+            for name in data.files:
+                if not name.startswith("e_"):
+                    continue
+                try:
+                    key = bytes.fromhex(name[2:])
+                    arr = np.asarray(data[name], dtype=np.int64)
+                    if arr.ndim != 1:
+                        continue
+                except (ValueError, TypeError):
+                    continue
+                arr.setflags(write=False)
+                out[key] = arr
+            return out
+    except Exception:  # any damage (zip, pickle-refusal, header) = cold cache
+        return {}
 
 
 _DEFAULT = ScheduleCache()

@@ -1,0 +1,180 @@
+"""Tests for the persistent schedule store (versioning, corruption
+tolerance, size caps) and the network's cache-injection plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.model.network import LowBandwidthNetwork
+from repro.model.schedule_cache import (
+    STORE_VERSION,
+    ScheduleCache,
+    load_store,
+    phase_digest,
+    save_store,
+    store_path,
+)
+
+
+def _filled_cache(phases=3):
+    cache = ScheduleCache()
+    rng = np.random.default_rng(0)
+    for i in range(phases):
+        size = 4 + i
+        src = rng.integers(0, 8, size=size)
+        dst = (src + 1 + rng.integers(0, 6, size=size)) % 8
+        cache.get_or_compute(src, dst)
+    return cache
+
+
+# ------------------------------------------------------------------ #
+# round trip
+# ------------------------------------------------------------------ #
+def test_store_round_trip_bitwise(tmp_path):
+    cache = _filled_cache()
+    path = store_path(tmp_path)
+    stats = save_store(path, cache)
+    assert stats["entries"] == len(cache)
+    assert stats["version"] == STORE_VERSION
+
+    loaded = load_store(path)
+    assert loaded.keys() == cache.export_entries().keys()
+    for key, arr in cache.export_entries().items():
+        np.testing.assert_array_equal(loaded[key], arr)
+        assert not loaded[key].flags.writeable
+
+
+def test_loaded_entries_replay_as_hits(tmp_path):
+    cache = _filled_cache()
+    src = np.array([0, 1, 2, 0])
+    dst = np.array([1, 2, 0, 2])
+    expected, _ = cache.get_or_compute(src, dst)
+    save_store(store_path(tmp_path), cache)
+
+    fresh = ScheduleCache()
+    assert fresh.merge(load_store(store_path(tmp_path))) == len(cache)
+    replayed, hit = fresh.get_or_compute(src, dst)
+    assert hit
+    np.testing.assert_array_equal(replayed, expected)
+
+
+def test_store_digest_keys_match_phase_digest(tmp_path):
+    cache = ScheduleCache()
+    src = np.array([0, 1]); dst = np.array([1, 0])
+    cache.get_or_compute(src, dst)
+    save_store(store_path(tmp_path), cache)
+    assert phase_digest(src, dst) in load_store(store_path(tmp_path))
+
+
+# ------------------------------------------------------------------ #
+# corruption / version tolerance: always degrade to a cold cache
+# ------------------------------------------------------------------ #
+def test_load_missing_file_is_cold(tmp_path):
+    assert load_store(tmp_path / "nope.npz") == {}
+
+
+def test_load_garbage_is_cold(tmp_path):
+    path = store_path(tmp_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"this is not an npz archive at all")
+    assert load_store(path) == {}
+
+
+def test_load_truncated_store_is_cold(tmp_path):
+    path = store_path(tmp_path)
+    save_store(path, _filled_cache())
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    assert load_store(path) == {}
+
+
+def test_load_foreign_npz_is_cold(tmp_path):
+    path = store_path(tmp_path)
+    np.savez_compressed(path, something=np.arange(5))
+    assert load_store(path) == {}
+
+
+def test_load_version_mismatch_is_cold(tmp_path):
+    path = store_path(tmp_path)
+    save_store(path, _filled_cache())
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    arrays["__meta__"] = np.array([STORE_VERSION + 1], dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+    assert load_store(path) == {}
+
+
+def test_load_skips_malformed_entries(tmp_path):
+    path = store_path(tmp_path)
+    save_store(path, _filled_cache(phases=2))
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    arrays["e_nothex!"] = np.arange(3)  # bad key
+    arrays["e_" + "ab" * 16] = np.ones((2, 2))  # bad shape
+    np.savez_compressed(path, **arrays)
+    assert len(load_store(path)) == 2
+
+
+# ------------------------------------------------------------------ #
+# bounds: the store cannot grow without limit
+# ------------------------------------------------------------------ #
+def test_save_caps_entry_count_keeping_most_recent(tmp_path):
+    cache = _filled_cache(phases=6)
+    newest = list(cache.export_entries())[-2:]
+    stats = save_store(store_path(tmp_path), cache, max_entries=2)
+    assert stats["entries"] == 2
+    assert stats["dropped"] == 4
+    assert sorted(load_store(store_path(tmp_path))) == sorted(newest)
+
+
+def test_save_caps_payload_bytes(tmp_path):
+    cache = _filled_cache(phases=6)
+    one_entry = next(iter(cache.export_entries().values())).nbytes
+    stats = save_store(store_path(tmp_path), cache, max_bytes=one_entry)
+    assert 1 <= stats["entries"] < 6
+    assert stats["dropped"] >= 1
+
+
+def test_save_evicts_stale_version_files(tmp_path):
+    stale = tmp_path / "schedules-v0.npz"
+    stale.write_bytes(b"old format")
+    save_store(store_path(tmp_path), _filled_cache())
+    assert not stale.exists()
+    assert store_path(tmp_path).exists()
+
+
+def test_merge_respects_lru_bound():
+    cache = ScheduleCache(maxsize=2)
+    entries = {bytes([i]) * 16: np.array([i], dtype=np.int64) for i in range(5)}
+    cache.merge(entries)
+    assert len(cache) == 2
+
+
+# ------------------------------------------------------------------ #
+# network plumbing: warm-loading a cache straight from a store path
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("as_dir", [True, False])
+def test_network_accepts_store_path(tmp_path, as_dir):
+    cache = ScheduleCache()
+    src = np.array([0, 1, 2]); dst = np.array([1, 2, 0])
+    expected, _ = cache.get_or_compute(src, dst)
+    save_store(store_path(tmp_path), cache)
+
+    target = tmp_path if as_dir else store_path(tmp_path)
+    net = LowBandwidthNetwork(3, schedule_cache=target)
+    for comp in range(3):
+        net.deal(comp, "v", comp)
+    net.exchange_arrays(src, dst, ["v"] * 3, [("in", i) for i in range(3)])
+    stats = net.schedule_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_network_store_path_missing_is_cold(tmp_path):
+    net = LowBandwidthNetwork(3, schedule_cache=tmp_path / "absent")
+    assert net.schedule_cache_stats() == {
+        "hits": 0, "misses": 0, "entries": 0, "maxsize": 4096,
+    }
+
+
+def test_network_rejects_bad_cache_argument():
+    with pytest.raises(ValueError, match="schedule_cache"):
+        LowBandwidthNetwork(3, schedule_cache=123)

@@ -1,0 +1,228 @@
+"""Tests for the parallel sweep execution engine.
+
+The engine's contract (see ``repro/analysis/executor.py``): any worker
+count produces bit-identical sweep results, per-cell RNGs derive from the
+root seed and grid coordinates alone, and the persistent schedule store
+round-trips through disk across engine invocations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.executor import (
+    build_cells,
+    cell_rng,
+    execute_cells,
+    resolve_workers,
+)
+from repro.analysis.sweeps import run_sweep
+from repro.model.schedule_cache import default_schedule_cache, store_path
+from repro.sparsity.families import AS, US
+from repro.supported.instance import make_hard_instance, make_instance
+
+ALGOS = {"naive": naive_triangles, "two_phase": multiply_two_phase}
+
+
+# module-level so the factories survive pickling under any start method
+def us_factory(d, rng):
+    return make_hard_instance(8 * d, d, rng)
+
+
+def us_as_factory(d, rng):
+    return make_instance((US, US, AS), 16 * d, d, rng)
+
+
+def unseeded_factory(d):
+    return make_hard_instance(8 * d, d, np.random.default_rng(d))
+
+
+def broken(inst, **kw):
+    res = naive_triangles(inst, **kw)
+    res.x = res.x * 0  # corrupt the output
+    return res
+
+
+def crash(inst, **kw):
+    raise ValueError("boom")
+
+
+# ------------------------------------------------------------------ #
+# serial-vs-parallel equivalence
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("factory", [us_factory, us_as_factory])
+def test_serial_parallel_identical_seeded(factory):
+    kw = dict(
+        axis=("d", [2, 4]), instance_factory=factory, algorithms=ALGOS, seed=42
+    )
+    serial = run_sweep(workers=1, **kw)
+    parallel = run_sweep(workers=4, **kw)
+    assert serial.rounds == parallel.rounds
+    assert serial.messages == parallel.messages
+    assert serial.verified and parallel.verified
+    assert parallel.stats["workers_effective"] == 4
+    assert parallel.stats["mode"] != "serial"
+
+
+def test_serial_parallel_identical_unseeded():
+    kw = dict(axis=("d", [2, 4]), instance_factory=unseeded_factory, algorithms=ALGOS)
+    serial = run_sweep(workers=1, **kw)
+    parallel = run_sweep(workers=2, **kw)
+    assert serial.rounds == parallel.rounds
+    assert serial.messages == parallel.messages
+
+
+def test_same_seed_reproduces_and_seeds_differ_per_cell():
+    kw = dict(axis=("d", [2, 4]), instance_factory=us_factory, algorithms=ALGOS)
+    a = run_sweep(seed=7, **kw)
+    b = run_sweep(seed=7, **kw)
+    assert a.rounds == b.rounds and a.messages == b.messages
+    # the per-cell generators are decoupled from execution order and from
+    # each other: distinct grid coordinates give distinct streams
+    r00 = cell_rng(7, 0, 0).integers(0, 2**62)
+    r01 = cell_rng(7, 0, 1).integers(0, 2**62)
+    r10 = cell_rng(7, 1, 0).integers(0, 2**62)
+    assert len({int(r00), int(r01), int(r10)}) == 3
+    assert int(cell_rng(7, 0, 0).integers(0, 2**62)) == int(r00)
+
+
+def test_results_reassembled_in_grid_order():
+    cells = build_cells([2, 4], ALGOS)
+    assert [c.index for c in cells] == [0, 1, 2, 3]
+    results, _ = execute_cells(
+        cells,
+        instance_factory=unseeded_factory,
+        algorithms=ALGOS,
+        workers=4,
+    )
+    assert [r.index for r in results] == [0, 1, 2, 3]
+    assert [r.algo_name for r in results] == ["naive", "two_phase"] * 2
+    assert [r.axis_value for r in results] == [2, 2, 4, 4]
+
+
+# ------------------------------------------------------------------ #
+# verification policy (the old dead all_ok flag, fixed)
+# ------------------------------------------------------------------ #
+def test_strict_raises_on_wrong_product():
+    with pytest.raises(AssertionError, match="wrong product"):
+        run_sweep(
+            axis=("d", [2]),
+            instance_factory=unseeded_factory,
+            algorithms={"broken": broken},
+        )
+
+
+def test_strict_reraises_cell_exceptions():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_sweep(
+            axis=("d", [2]),
+            instance_factory=unseeded_factory,
+            algorithms={"crash": crash},
+        )
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_non_strict_records_per_cell_status(workers):
+    sweep = run_sweep(
+        axis=("d", [2, 4]),
+        instance_factory=unseeded_factory,
+        algorithms={"broken": broken, "naive": naive_triangles},
+        strict=False,
+        workers=workers,
+    )
+    assert sweep.verified is False
+    assert sweep.cell_verified["broken"] == [False, False]
+    assert sweep.cell_verified["naive"] == [True, True]
+    assert sweep.rounds["naive"] == [r for r in sweep.rounds["naive"] if r > 0]
+
+
+def test_non_strict_records_errors_as_failures():
+    sweep = run_sweep(
+        axis=("d", [2]),
+        instance_factory=unseeded_factory,
+        algorithms={"crash": crash, "naive": naive_triangles},
+        strict=False,
+    )
+    assert sweep.verified is False
+    assert sweep.cell_verified["crash"] == [False]
+    assert sweep.rounds["crash"] == [-1]  # sentinel: cell never produced data
+    assert sweep.stats["errors"] == 1
+
+
+# ------------------------------------------------------------------ #
+# engine instrumentation
+# ------------------------------------------------------------------ #
+def test_stats_shape():
+    sweep = run_sweep(
+        axis=("d", [2, 4]), instance_factory=unseeded_factory, algorithms=ALGOS,
+        workers=2,
+    )
+    s = sweep.stats
+    assert s["cells"] == 4 and s["errors"] == 0
+    assert 0 < s["utilization"] <= 1.0
+    assert all(c["wall_s"] > 0 for c in s["per_cell"])
+    assert s["cache"]["hits"] + s["cache"]["misses"] > 0
+
+
+def test_resolve_workers():
+    assert resolve_workers(3) == 3
+    assert resolve_workers(1) == 1
+    assert 1 <= resolve_workers(0) <= 4
+    assert 1 <= resolve_workers(None) <= 4
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_detail_hook_ships_across_workers():
+    def phase1(inst, res):
+        return {"algorithm": res.algorithm}
+
+    sweep = run_sweep(
+        axis=("d", [2, 4]),
+        instance_factory=unseeded_factory,
+        algorithms=ALGOS,
+        workers=2,
+        detail=phase1,
+    )
+    assert [d["algorithm"] for d in sweep.details["naive"]] == ["naive_triangles"] * 2
+    assert len(sweep.details["two_phase"]) == 2
+
+
+# ------------------------------------------------------------------ #
+# persistent schedule store: warm-load + merge-back round-trip
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("workers", [1, 2])
+def test_cache_warm_load_and_merge_round_trip(tmp_path, workers):
+    kw = dict(axis=("d", [2, 4]), instance_factory=unseeded_factory, algorithms=ALGOS)
+    default_schedule_cache().clear()
+    cold = run_sweep(workers=workers, cache_dir=tmp_path, **kw)
+    store = cold.stats["cache"]["store"]
+    assert store_path(tmp_path).exists()
+    assert store["entries"] > 0
+    assert store["warm_entries_loaded"] == 0
+    assert cold.stats["cache"]["misses"] > 0
+
+    # a "new process": in-memory cache gone, only the disk store remains
+    default_schedule_cache().clear()
+    warm = run_sweep(workers=workers, cache_dir=tmp_path, **kw)
+    assert warm.rounds == cold.rounds and warm.messages == cold.messages
+    assert warm.stats["cache"]["store"]["warm_entries_loaded"] > 0
+    assert warm.stats["cache"]["hits"] > 0
+    assert warm.stats["cache"]["misses"] == 0
+    default_schedule_cache().clear()
+
+
+def test_parallel_merge_back_feeds_serial_run(tmp_path):
+    """Schedules computed inside pool workers must land in the parent's
+    store so any later run (any worker count) starts warm."""
+    kw = dict(axis=("d", [2, 4]), instance_factory=unseeded_factory, algorithms=ALGOS)
+    default_schedule_cache().clear()
+    parallel = run_sweep(workers=2, cache_dir=tmp_path, **kw)
+    assert parallel.stats["cache"]["store"]["entries"] > 0
+
+    default_schedule_cache().clear()
+    serial = run_sweep(workers=1, cache_dir=tmp_path, **kw)
+    assert serial.stats["cache"]["misses"] == 0
+    assert serial.rounds == parallel.rounds
+    default_schedule_cache().clear()
