@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,14 @@ SWEEP_CACHE_DIR ?= benchmarks/results/sweep-cache
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 REPRO_SWEEP_CACHE_DIR=$(SWEEP_CACHE_DIR) \
 		pytest benchmarks/bench_simulator_throughput.py benchmarks/bench_sweep_executor.py --benchmark-only
+
+# Fault-injection smoke: resilience curves (2 algorithms x 3 drop rates),
+# single-drop recovery, the self-healing sweep (drop rate 0.01, 2 workers,
+# one injected worker crash, one poisoned cell -> quarantined), and the
+# schedule-store crash drill.  Emits benchmarks/results/BENCH_resilience.json.
+fault-smoke:
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 \
+		pytest benchmarks/bench_resilience.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -8,10 +8,14 @@ ship it to worker processes under any multiprocessing start method
 from __future__ import annotations
 
 import os
+import signal
 from functools import partial
 
 import numpy as np
 
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.envconfig import env_cache_dir, env_workers
 from repro.semirings import REAL_FIELD
 from repro.sparsity.families import GM, US
 from repro.supported.instance import (
@@ -26,15 +30,17 @@ def bench_workers() -> int:
 
     ``REPRO_BENCH_WORKERS``: ``0`` means auto (one per core, capped at 4);
     unset defaults to ``1`` (serial) so single-core CI pays no pool
-    overhead.  Round counts are identical for every setting.
+    overhead.  Round counts are identical for every setting.  Garbage
+    values raise :class:`repro.envconfig.EnvConfigError` up front.
     """
-    return int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "0")
+    return env_workers(default=1)
 
 
 def bench_cache_dir() -> str | None:
     """Persistent schedule-store directory (``REPRO_SWEEP_CACHE_DIR``),
-    or ``None`` to keep the schedule cache in-memory only."""
-    return os.environ.get("REPRO_SWEEP_CACHE_DIR") or None
+    or ``None`` to keep the schedule cache in-memory only.  Validated by
+    :func:`repro.envconfig.env_cache_dir`."""
+    return env_cache_dir()
 
 
 def dense_instance(n: int, seed: int = 0) -> SupportedInstance:
@@ -88,6 +94,63 @@ def us_fixed_d_cell(n: int, *, d: int = 4) -> SupportedInstance:
 
 
 figure1_cell = partial(hard_us_cell, n_factor=12)
+
+
+# ---------------------------------------------------------------------- #
+# Fault-injection workloads (bench_resilience / make fault-smoke)
+# ---------------------------------------------------------------------- #
+#: marker-file path for the one-shot worker kill; travels by environment
+#: variable so forked/spawned sweep workers inherit it
+CRASH_MARKER_VAR = "REPRO_BENCH_CRASH_MARKER"
+
+
+def run_under_faults(
+    inst, algorithm, *, drop_rate: float = 0.0, fault_seed: int = 0, resilient: bool = True
+):
+    """Run one algorithm on a network carrying a message-drop fault plan
+    and (by default) the ack/resend recovery protocol."""
+    from repro.model import FaultPlan
+    from repro.model.network import LowBandwidthNetwork
+
+    plan = FaultPlan(seed=fault_seed, drop_rate=drop_rate) if drop_rate else None
+    net = LowBandwidthNetwork(
+        inst.n, fault_plan=plan, resilience=True if resilient else None
+    )
+    return algorithm(inst, net=net)
+
+
+def resilient_naive_cell(inst, *, drop_rate: float = 0.01, fault_seed: int = 0):
+    """Sweep cell: trivial algorithm under dropped messages + recovery."""
+    return run_under_faults(
+        inst, naive_triangles, drop_rate=drop_rate, fault_seed=fault_seed
+    )
+
+
+def resilient_two_phase_cell(inst, *, drop_rate: float = 0.01, fault_seed: int = 0):
+    """Sweep cell: two-phase algorithm under dropped messages + recovery."""
+    return run_under_faults(
+        inst, multiply_two_phase, drop_rate=drop_rate, fault_seed=fault_seed
+    )
+
+
+def crash_worker_once_cell(inst, *, drop_rate: float = 0.01, fault_seed: int = 0):
+    """Like :func:`resilient_naive_cell`, but SIGKILLs its own worker the
+    first time any cell runs it (one-shot via the marker file named by
+    ``REPRO_BENCH_CRASH_MARKER``) — the self-healing executor must retry
+    the cell on a fresh worker."""
+    marker = os.environ.get(CRASH_MARKER_VAR)
+    if marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return resilient_naive_cell(inst, drop_rate=drop_rate, fault_seed=fault_seed)
+
+
+def poisoned_cell(inst, *, poison_d: int = 3, drop_rate: float = 0.01, fault_seed: int = 0):
+    """Always-failing cell at ``d == poison_d`` (quarantine drill); other
+    axis values behave like :func:`resilient_naive_cell`."""
+    if inst.d == poison_d:
+        raise ValueError(f"poisoned cell (d={poison_d})")
+    return resilient_naive_cell(inst, drop_rate=drop_rate, fault_seed=fault_seed)
 
 
 def twophase_phase_detail(inst, res) -> dict | None:

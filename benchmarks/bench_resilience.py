@@ -1,0 +1,271 @@
+"""Resilience curves + self-healing sweep drill (the fault experiment family).
+
+The paper's model assumes a perfect network; this bench measures what the
+reproduction does when the network is *not* perfect, an experiment family
+the paper never ran:
+
+1. **Resilience curves** — for each algorithm and message-drop rate:
+   the classified outcome of an unprotected strict run (never
+   ``silent-corruption``: strict provenance plus the corruption checksum
+   turn every fault into a detected failure), and the rounds-overhead of
+   the ack/resend recovery protocol (``ResilientExchange``) which must
+   end ``correct``.  The zero-fault point must be round-identical to the
+   no-plan baseline — fault instrumentation is free when nothing fails.
+2. **Single-drop recovery** — targeted drops of individual payload
+   deliveries (`drop_message_ordinals`); the protocol must recover 100%
+   of them, each costing real, honestly counted extra rounds.
+3. **Self-healing sweep** — a fault sweep (drop rate 0.01, 2 workers)
+   with one deliberately SIGKILL'd worker and one poisoned cell: the
+   sweep completes, quarantines exactly the poisoned cell, and every
+   other cell is bit-identical to a fault-free serial run.
+4. **Store crash drill** — the on-disk schedule store's atomic-replace +
+   corruption-tolerant-load contract, exercised end to end.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized version (same assertions,
+smaller instances).  Emits ``BENCH_resilience.json`` under
+``benchmarks/results/`` (always) and at the repository root (full runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import partial
+from pathlib import Path
+
+from conftest import RESULTS_DIR, save_report
+from _workloads import (
+    CRASH_MARKER_VAR,
+    crash_worker_once_cell,
+    hard_us,
+    hard_us_cell,
+    poisoned_cell,
+    resilient_naive_cell,
+)
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.sweeps import run_sweep
+from repro.model import FaultPlan, run_with_faults
+from repro.model.faults import OUTCOME_CORRECT, OUTCOME_SILENT
+from repro.model.schedule_cache import store_crash_drill
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+N, D = (32, 2) if SMOKE else (64, 3)
+FAULT_RATES = (0.0, 0.01, 0.05)
+FAULT_SEED = 17
+ALGORITHMS = {"naive": naive_triangles, "two_phase": multiply_two_phase}
+DROP_ORDINALS = (0, 3, 7) if SMOKE else (0, 3, 7, 11, 19)
+SWEEP_DS = (2, 3) if SMOKE else (2, 3, 4)
+SWEEP_DROP_RATE = 0.01
+POISON_D = SWEEP_DS[-1]
+
+
+def _inst():
+    return hard_us(N, D, seed=2)
+
+
+def _resilience_curves() -> dict:
+    curves = {}
+    for name, algo in ALGORITHMS.items():
+        baseline = run_with_faults(_inst(), algo)
+        assert baseline.outcome == OUTCOME_CORRECT, baseline.error
+        entries = []
+        for rate in FAULT_RATES:
+            plan = FaultPlan(seed=FAULT_SEED, drop_rate=rate)
+            if rate == 0.0:
+                # zero-fault plan: bit-identical to no plan at all
+                zero = run_with_faults(_inst(), algo, plan)
+                assert zero.rounds == baseline.rounds, (name, zero.rounds)
+                assert zero.outcome == OUTCOME_CORRECT
+                entries.append(
+                    {
+                        "rate": rate,
+                        "strict_outcome": OUTCOME_CORRECT,
+                        "resilient_outcome": OUTCOME_CORRECT,
+                        "resilient_rounds": baseline.rounds,
+                        "overhead_rounds": 0,
+                        "dropped": 0,
+                        "resent": 0,
+                    }
+                )
+                continue
+            # unprotected strict run: the fault must be *classified* and
+            # can never pass as silent corruption
+            unprotected = run_with_faults(_inst(), algo, plan, strict=True)
+            assert unprotected.outcome != OUTCOME_SILENT, (name, rate)
+            # protected run: ack/resend must fully recover
+            resilient = run_with_faults(_inst(), algo, plan, resilience=True)
+            assert resilient.outcome == OUTCOME_CORRECT, (
+                name,
+                rate,
+                resilient.error,
+            )
+            if rate == max(FAULT_RATES):  # low rates may drop nothing on small instances
+                assert resilient.fault_counts["dropped"] > 0
+            entries.append(
+                {
+                    "rate": rate,
+                    "strict_outcome": unprotected.outcome,
+                    "resilient_outcome": resilient.outcome,
+                    "resilient_rounds": resilient.rounds,
+                    "overhead_rounds": resilient.rounds - baseline.rounds,
+                    "dropped": resilient.fault_counts["dropped"],
+                    "resent": resilient.fault_counts["resent_messages"],
+                }
+            )
+        curves[name] = {"baseline_rounds": baseline.rounds, "curve": entries}
+    return curves
+
+
+def _single_drop_recovery() -> dict:
+    baseline = run_with_faults(_inst(), naive_triangles, resilience=True)
+    assert baseline.outcome == OUTCOME_CORRECT
+    trials = []
+    for ordinal in DROP_ORDINALS:
+        plan = FaultPlan(drop_message_ordinals=(ordinal,))
+        out = run_with_faults(_inst(), naive_triangles, plan, resilience=True)
+        assert out.outcome == OUTCOME_CORRECT, (ordinal, out.error)
+        assert out.fault_counts["dropped"] == 1
+        assert out.fault_counts["resent_messages"] >= 1
+        assert out.rounds > baseline.rounds, "recovery must cost real rounds"
+        trials.append({"ordinal": ordinal, "extra_rounds": out.rounds - baseline.rounds})
+    return {
+        "trials": trials,
+        "recovered": len(trials),
+        "recovery_rate": 1.0,  # asserted trial by trial above
+        "baseline_rounds": baseline.rounds,
+    }
+
+
+def _self_healing_sweep(tmp_path: Path) -> dict:
+    marker = tmp_path / "crash-once"
+    algos = {
+        "resilient_naive": resilient_naive_cell,
+        "crash_once": crash_worker_once_cell,
+        "poisoned": partial(poisoned_cell, poison_d=POISON_D),
+    }
+    old_marker = os.environ.get(CRASH_MARKER_VAR)
+    os.environ[CRASH_MARKER_VAR] = str(marker)
+    try:
+        sweep = run_sweep(
+            axis=("d", SWEEP_DS),
+            instance_factory=hard_us_cell,
+            algorithms=algos,
+            strict=False,
+            workers=2,
+            max_attempts=2,
+            cell_timeout_s=300.0,
+        )
+    finally:
+        if old_marker is None:
+            os.environ.pop(CRASH_MARKER_VAR, None)
+        else:
+            os.environ[CRASH_MARKER_VAR] = old_marker
+    res = sweep.stats["resilience"]
+    assert marker.exists(), "the injected worker crash never fired"
+    assert res["worker_crashes"] >= 1, res
+    assert res["quarantined"] == 1, res
+    statuses = {a: sweep.cell_status[a] for a in algos}
+    assert statuses["poisoned"][SWEEP_DS.index(POISON_D)] == "quarantined"
+    flat = [s for col in statuses.values() for s in col]
+    assert flat.count("quarantined") == 1, statuses
+    assert all(s in ("ok", "quarantined") for s in flat), statuses
+
+    # fault-free serial reference: the same cells minus the kill and the
+    # poison (both wrappers reduce to resilient_naive_cell when healthy)
+    ref = run_sweep(
+        axis=("d", SWEEP_DS),
+        instance_factory=hard_us_cell,
+        algorithms={name: resilient_naive_cell for name in algos},
+        strict=True,
+        workers=1,
+    )
+    identical = True
+    for name in algos:
+        for i, status in enumerate(statuses[name]):
+            if status == "quarantined":
+                continue
+            if (
+                sweep.rounds[name][i] != ref.rounds[name][i]
+                or sweep.messages[name][i] != ref.messages[name][i]
+            ):
+                identical = False
+    assert identical, "surviving cells diverged from the fault-free serial run"
+    return {
+        "axis": list(SWEEP_DS),
+        "algorithms": sorted(algos),
+        "drop_rate": SWEEP_DROP_RATE,
+        "workers": 2,
+        "worker_crashes": res["worker_crashes"],
+        "worker_replacements": res["worker_replacements"],
+        "retries": res["retries"],
+        "quarantined_cells": res["quarantined"],
+        "statuses": statuses,
+        "survivors_identical_to_serial": identical,
+        "mode": sweep.stats["mode"],
+    }
+
+
+def bench_resilience(benchmark, tmp_path):
+    curves = _resilience_curves()
+    single_drop = _single_drop_recovery()
+    sweep_drill = _self_healing_sweep(tmp_path)
+    store_drill = store_crash_drill(tmp_path / "store-drill")
+    assert store_drill["ok"], store_drill
+
+    report = {
+        "workload": {
+            "n": N,
+            "d": D,
+            "fault_rates": list(FAULT_RATES),
+            "fault_seed": FAULT_SEED,
+            "algorithms": sorted(ALGORITHMS),
+            "smoke": SMOKE,
+        },
+        "resilience_curves": curves,
+        "single_drop_recovery": single_drop,
+        "self_healing_sweep": sweep_drill,
+        "store_crash_drill": store_drill,
+    }
+    payload = json.dumps(report, indent=2) + "\n"
+    (RESULTS_DIR / "BENCH_resilience.json").write_text(payload)
+    if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
+        (REPO_ROOT / "BENCH_resilience.json").write_text(payload)
+
+    lines = [
+        "Resilience curves — fault injection + ack/resend recovery",
+        "=" * 72,
+        f"workload: worst-case US, n={N}, d={D}"
+        + (" (SMOKE)" if SMOKE else ""),
+        f"{'algorithm':<12}{'rate':>8}{'strict outcome':>20}{'recovered':>12}{'overhead':>10}",
+    ]
+    for name, data in curves.items():
+        for e in data["curve"]:
+            lines.append(
+                f"{name:<12}{e['rate']:>8.2f}{e['strict_outcome']:>20}"
+                f"{e['resilient_outcome'] == 'correct':>12}{e['overhead_rounds']:>+10}"
+            )
+    lines += [
+        f"single-drop recovery: {single_drop['recovered']}/{len(DROP_ORDINALS)} "
+        f"(extra rounds per drop: "
+        f"{[t['extra_rounds'] for t in single_drop['trials']]})",
+        f"self-healing sweep: {sweep_drill['worker_crashes']} worker crash(es), "
+        f"{sweep_drill['quarantined_cells']} quarantined cell(s), "
+        f"survivors identical to serial: {sweep_drill['survivors_identical_to_serial']}",
+        f"store crash drill: {'pass' if store_drill['ok'] else 'FAIL'}",
+    ]
+    save_report("resilience", lines)
+
+    benchmark.pedantic(
+        lambda: run_with_faults(
+            _inst(),
+            naive_triangles,
+            FaultPlan(seed=FAULT_SEED, drop_rate=SWEEP_DROP_RATE),
+            resilience=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )

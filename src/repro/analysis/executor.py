@@ -44,6 +44,30 @@ callables — closures and lambdas included).  On platforms without
 ``fork`` the specification is pickled to the workers; if it cannot be
 pickled the engine degrades to serial execution and says so in the run
 stats rather than failing the sweep.
+
+Self-healing execution
+----------------------
+With ``cell_timeout_s`` set or ``max_attempts > 1`` the engine switches
+from the plain ``ProcessPoolExecutor`` to a supervised worker pool that
+survives misbehaving cells and workers:
+
+* a worker that dies mid-cell (segfault, OOM kill, ``SIGKILL``) is
+  detected by liveness polling; the cell is retried on a freshly spawned
+  worker;
+* a cell that exceeds ``cell_timeout_s`` has its worker killed and
+  replaced, and the cell is retried;
+* a cell that raises is retried like any other failure;
+* between attempts the cell waits ``retry_backoff_s * 2**(attempt-1)``
+  (bounded exponential backoff);
+* a cell that fails ``max_attempts`` times is *quarantined*: the sweep
+  completes, the cell reports ``status="quarantined"`` with its
+  per-attempt failure log, and every other cell's result is bit-identical
+  to a fault-free run (cells are independent; retries reuse the same
+  deterministic per-cell RNG).
+
+Timeout enforcement needs real worker processes; if the work spec cannot
+reach workers (unpicklable under ``spawn``), the engine degrades to
+serial retries without preemption and says so in the run stats.
 """
 
 from __future__ import annotations
@@ -105,6 +129,15 @@ class CellResult:
     cache_misses: int = 0
     new_schedules: int = 0
     worker_pid: int = 0
+    #: "ok" | "failed" | "quarantined" — "failed" means the cell's error
+    #: was captured without retries (plain engine); "quarantined" means
+    #: the self-healing engine exhausted ``max_attempts`` on this cell
+    status: str = "ok"
+    #: number of delivery attempts the self-healing engine spent (1 for
+    #: the plain engine)
+    attempts: int = 1
+    #: one line per failed attempt: ``"attempt N: <what happened>"``
+    failure_log: list[str] = field(default_factory=list)
     #: output of the sweep's ``detail`` hook (small picklable payload
     #: extracted in-worker; the full MultiplyResult never crosses the
     #: process boundary)
@@ -182,6 +215,7 @@ def _exec_cell(cell: SweepCell) -> tuple[CellResult, dict[bytes, np.ndarray]]:
             result.details = state["detail"](inst, res)
     except Exception as exc:  # reassembly decides whether this is fatal
         result.error = f"{type(exc).__name__}: {exc}"
+        result.status = "failed"
     result.wall_s = time.perf_counter() - t0
     result.cache_hits = cache.hits - hits0
     result.cache_misses = cache.misses - misses0
@@ -191,12 +225,268 @@ def _exec_cell(cell: SweepCell) -> tuple[CellResult, dict[bytes, np.ndarray]]:
     return result, new
 
 
+def _resilient_worker_main(state, store_file, task_q, result_conn) -> None:
+    """Loop of one supervised worker: pull a cell, run it, ship the result.
+
+    Results travel over a dedicated pipe (one writer per pipe — a killed
+    sibling can never leave a shared queue lock held and wedge the rest
+    of the pool).  Cell-level exceptions are already captured inside
+    :func:`_exec_cell` (``CellResult.error``); anything escaping here is
+    engine breakage and is shipped as a transport-level error so the
+    parent can retry the cell elsewhere.
+    """
+    _worker_init(state, store_file)
+    while True:
+        cell = task_q.get()
+        if cell is None:
+            return
+        try:
+            res, new = _exec_cell(cell)
+        except BaseException as exc:
+            result_conn.send((cell.index, None, {}, f"{type(exc).__name__}: {exc}"))
+        else:
+            result_conn.send((cell.index, res, new, None))
+
+
 # ---------------------------------------------------------------------- #
 # Parent side
 # ---------------------------------------------------------------------- #
 def _preferred_context() -> mp.context.BaseContext:
     methods = mp.get_all_start_methods()
     return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+def _retry_delay_s(base: float, attempt: int) -> float:
+    """Bounded exponential backoff before attempt ``attempt + 1``."""
+    return min(base * (2 ** (attempt - 1)), 2.0) if base > 0 else 0.0
+
+
+def _quarantined_result(cell: SweepCell, attempts: int, log: list[str]) -> CellResult:
+    res = CellResult(cell.index, cell.axis_index, cell.axis_value, cell.algo_name)
+    res.status = "quarantined"
+    res.attempts = attempts
+    res.failure_log = log
+    res.error = log[-1] if log else "quarantined"
+    return res
+
+
+def _execute_resilient(
+    cells: Sequence[SweepCell],
+    ctx: mp.context.BaseContext,
+    state: dict[str, Any],
+    store_file: Path | None,
+    *,
+    workers: int,
+    cell_timeout_s: float | None,
+    max_attempts: int,
+    retry_backoff_s: float,
+    results: list[CellResult | None],
+    harvested: dict[bytes, np.ndarray],
+) -> dict[str, Any]:
+    """The supervised worker pool (see "Self-healing execution" above).
+
+    Each worker owns a private task queue (so the parent always knows
+    which cell a dead worker was holding) and a private result pipe
+    (single writer — killing a worker can never leave a shared queue
+    lock held and wedge its siblings).  The parent polls results,
+    liveness, and deadlines; a worker that dies or overruns is killed
+    and replaced by a fresh process, and its cell is retried or
+    quarantined.
+    """
+    from multiprocessing.connection import wait as _conn_wait
+
+    init_state = None if ctx.get_start_method() == "fork" else state
+    store_arg = str(store_file) if store_file else None
+    counters = {
+        "retries": 0,
+        "timeouts": 0,
+        "worker_crashes": 0,
+        "worker_replacements": 0,
+        "quarantined": 0,
+    }
+
+    def spawn() -> dict[str, Any]:
+        task_q = ctx.SimpleQueue()
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_resilient_worker_main,
+            args=(init_state, store_arg, task_q, send_conn),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()  # parent keeps only the read end
+        return {
+            "proc": proc,
+            "task_q": task_q,
+            "conn": recv_conn,
+            "job": None,
+            "deadline": None,
+        }
+
+    # (cell, attempt, earliest start, failure log) — attempt counts from 1
+    ready: list[tuple[SweepCell, int, float, list[str]]] = [
+        (cell, 1, 0.0, []) for cell in cells
+    ]
+    completed = 0
+
+    def record_failure(cell: SweepCell, attempt: int, log: list[str], msg: str) -> None:
+        nonlocal completed
+        log.append(f"attempt {attempt}: {msg}")
+        if attempt >= max_attempts:
+            results[cell.index] = _quarantined_result(cell, attempt, log)
+            counters["quarantined"] += 1
+            completed += 1
+        else:
+            counters["retries"] += 1
+            not_before = time.monotonic() + _retry_delay_s(retry_backoff_s, attempt)
+            ready.append((cell, attempt + 1, not_before, log))
+
+    def consume(w: dict[str, Any]) -> None:
+        """Handle everything currently readable on one worker's pipe."""
+        nonlocal completed
+        while True:
+            try:
+                if not w["conn"].poll():
+                    return
+                index, res, new, transport_err = w["conn"].recv()
+            except (EOFError, OSError):
+                return  # peer died; liveness polling recovers the cell
+            job = w["job"]
+            if job is None or job[0].index != index:
+                continue  # result of a task the parent already gave up on
+            w["job"] = None
+            w["deadline"] = None
+            cell, attempt, log = job
+            if transport_err is None and res is not None and res.error is None:
+                res.attempts = attempt
+                res.failure_log = log
+                results[index] = res
+                harvested.update(new)
+                completed += 1
+            else:
+                record_failure(cell, attempt, log, transport_err or res.error)
+
+    def replace(w: dict[str, Any]) -> None:
+        proc = w["proc"]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5)
+        w["conn"].close()
+        w.update(spawn())
+        counters["worker_replacements"] += 1
+
+    workers_live = [spawn() for _ in range(workers)]
+    try:
+        while completed < len(cells):
+            readable = _conn_wait([w["conn"] for w in workers_live], timeout=0.02)
+            for w in workers_live:
+                if w["conn"] in readable:
+                    consume(w)
+
+            tnow = time.monotonic()
+            for w in workers_live:
+                if w["job"] is not None:
+                    if not w["proc"].is_alive():
+                        consume(w)  # the result may have raced the death
+                        if w["job"] is None:
+                            replace(w)
+                            continue
+                        cell, attempt, log = w["job"]
+                        pid, code = w["proc"].pid, w["proc"].exitcode
+                        w["job"] = None
+                        counters["worker_crashes"] += 1
+                        record_failure(
+                            cell, attempt, log,
+                            f"worker crash: pid {pid} exited with code {code} mid-cell",
+                        )
+                        replace(w)
+                    elif w["deadline"] is not None and tnow > w["deadline"]:
+                        cell, attempt, log = w["job"]
+                        pid = w["proc"].pid
+                        w["job"] = None
+                        counters["timeouts"] += 1
+                        record_failure(
+                            cell, attempt, log,
+                            f"timeout: cell exceeded {cell_timeout_s:.3g}s "
+                            f"(worker pid {pid} killed)",
+                        )
+                        replace(w)
+                elif not w["proc"].is_alive():
+                    counters["worker_crashes"] += 1
+                    replace(w)
+
+            tnow = time.monotonic()
+            for w in workers_live:
+                if completed >= len(cells) or not ready:
+                    break
+                if w["job"] is not None:
+                    continue
+                for i, (cell, attempt, not_before, log) in enumerate(ready):
+                    if not_before <= tnow:
+                        del ready[i]
+                        w["job"] = (cell, attempt, log)
+                        if cell_timeout_s is not None:
+                            w["deadline"] = tnow + cell_timeout_s
+                        w["task_q"].put(cell)
+                        break
+    finally:
+        for w in workers_live:
+            if w["proc"].is_alive():
+                try:
+                    w["task_q"].put(None)
+                except Exception:
+                    pass
+        for w in workers_live:
+            w["proc"].join(timeout=2)
+            if w["proc"].is_alive():
+                w["proc"].kill()
+                w["proc"].join(timeout=5)
+            w["conn"].close()
+
+    return counters
+
+
+def _execute_resilient_serial(
+    cells: Sequence[SweepCell],
+    *,
+    max_attempts: int,
+    retry_backoff_s: float,
+    results: list[CellResult | None],
+    harvested: dict[bytes, np.ndarray],
+) -> dict[str, Any]:
+    """In-process retries + quarantine: the degraded mode when the work
+    spec cannot reach worker processes.  No preemption — a hung cell
+    hangs the sweep — but poisoned cells are still retried and
+    quarantined."""
+    counters = {
+        "retries": 0,
+        "timeouts": 0,
+        "worker_crashes": 0,
+        "worker_replacements": 0,
+        "quarantined": 0,
+    }
+    for cell in cells:
+        log: list[str] = []
+        attempt = 1
+        while True:
+            res, new = _exec_cell(cell)
+            if res.error is None:
+                res.attempts = attempt
+                res.failure_log = log
+                results[cell.index] = res
+                harvested.update(new)
+                break
+            log.append(f"attempt {attempt}: {res.error}")
+            if attempt >= max_attempts:
+                results[cell.index] = _quarantined_result(cell, attempt, log)
+                counters["quarantined"] += 1
+                break
+            counters["retries"] += 1
+            delay = _retry_delay_s(retry_backoff_s, attempt)
+            if delay:
+                time.sleep(delay)
+            attempt += 1
+    return counters
 
 
 def execute_cells(
@@ -209,6 +499,9 @@ def execute_cells(
     seed: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     detail: Callable[[Any, Any], Any] | None = None,
+    cell_timeout_s: float | None = None,
+    max_attempts: int = 1,
+    retry_backoff_s: float = 0.05,
 ) -> tuple[list[CellResult], dict[str, Any]]:
     """Run every cell; return ``(results_in_cell_order, run_stats)``.
 
@@ -223,8 +516,21 @@ def execute_cells(
     policy (``run_sweep(strict=True)`` re-raises, ``strict=False``
     records).  See the module docstring for the determinism and cache
     contracts.
+
+    ``cell_timeout_s`` / ``max_attempts`` / ``retry_backoff_s`` engage
+    the self-healing engine (see the module docstring): cells that hang,
+    crash their worker, or raise are retried with exponential backoff on
+    a fresh worker and quarantined after ``max_attempts`` failures, and
+    the sweep always completes with a per-cell ``status``.
     """
     global _STATE
+    if cell_timeout_s is not None and cell_timeout_s <= 0:
+        raise ValueError("cell_timeout_s must be positive (None = no timeout)")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if retry_backoff_s < 0:
+        raise ValueError("retry_backoff_s must be >= 0")
+    resilient = cell_timeout_s is not None or max_attempts > 1
     workers_requested = resolve_workers(workers)
     workers_effective = min(workers_requested, max(len(cells), 1))
     store_file: Path | None = None
@@ -247,18 +553,51 @@ def execute_cells(
     harvested: dict[bytes, np.ndarray] = {}
     mode = "serial"
     fallback_reason = None
+    resilience_counters: dict[str, Any] | None = None
 
-    if workers_effective > 1:
-        ctx = _preferred_context()
-        if ctx.get_start_method() != "fork":
-            try:
-                pickle.dumps(state)
-            except Exception as exc:
-                fallback_reason = (
-                    f"work spec not picklable under {ctx.get_start_method()!r} "
-                    f"start method ({type(exc).__name__}); ran serially"
-                )
-                workers_effective = 1
+    ctx = _preferred_context()
+    spec_reaches_workers = True
+    if ctx.get_start_method() != "fork":
+        try:
+            pickle.dumps(state)
+        except Exception as exc:
+            spec_reaches_workers = False
+            fallback_reason = (
+                f"work spec not picklable under {ctx.get_start_method()!r} "
+                f"start method ({type(exc).__name__}); ran serially"
+            )
+
+    if resilient:
+        # timeout enforcement needs a killable process, so the supervised
+        # pool is used even at workers=1
+        if spec_reaches_workers:
+            mode = f"resilient-{ctx.get_start_method()}"
+            _STATE = state  # inherited by forked children
+            resilience_counters = _execute_resilient(
+                cells, ctx, state, store_file,
+                workers=workers_effective,
+                cell_timeout_s=cell_timeout_s,
+                max_attempts=max_attempts,
+                retry_backoff_s=retry_backoff_s,
+                results=results,
+                harvested=harvested,
+            )
+        else:
+            mode = "resilient-serial"
+            fallback_reason += "; retries in-process, no timeout preemption"
+            workers_effective = 1
+            _STATE = state
+            _worker_init(None, str(store_file) if store_file else None)
+            resilience_counters = _execute_resilient_serial(
+                cells,
+                max_attempts=max_attempts,
+                retry_backoff_s=retry_backoff_s,
+                results=results,
+                harvested=harvested,
+            )
+    else:
+        if workers_effective > 1 and not spec_reaches_workers:
+            workers_effective = 1
         if workers_effective > 1:
             mode = ctx.get_start_method()
             _STATE = state  # inherited by forked children
@@ -276,14 +615,15 @@ def execute_cells(
                         res, new = fut.result()
                         results[res.index] = res
                         harvested.update(new)
-
-    if workers_effective <= 1:
-        _STATE = state
-        _worker_init(None, str(store_file) if store_file else None)
-        for cell in cells:
-            res, new = _exec_cell(cell)
-            results[res.index] = res
-            harvested.update(new)
+        else:
+            _STATE = state
+            _worker_init(None, str(store_file) if store_file else None)
+            for cell in cells:
+                res, new = _exec_cell(cell)
+                results[res.index] = res
+                harvested.update(new)
+        if fallback_reason and workers_requested <= 1:
+            fallback_reason = None  # serial was requested anyway
 
     wall_s = time.perf_counter() - t0
     out = [r for r in results if r is not None]
@@ -292,11 +632,12 @@ def execute_cells(
     store_stats = None
     if store_file is not None:
         merged_new = cache.merge(harvested)
-        # keep counters honest in serial mode, where the worker cache *is*
+        # keep counters honest in serial modes, where the worker cache *is*
         # the parent cache and harvested entries are already present
+        in_process = mode in ("serial", "resilient-serial")
         store_stats = save_store(store_file, cache)
         store_stats["warm_entries_loaded"] = warm_loaded
-        store_stats["new_schedules_merged"] = merged_new if mode != "serial" else len(harvested)
+        store_stats["new_schedules_merged"] = len(harvested) if in_process else merged_new
 
     busy = sum(r.wall_s for r in out)
     stats = {
@@ -315,8 +656,20 @@ def execute_cells(
             "store": store_stats,
         },
         "seed": seed,
+        "statuses": {
+            s: sum(1 for r in out if r.status == s)
+            for s in ("ok", "failed", "quarantined")
+        },
         "per_cell": [asdict(r) for r in out],
     }
+    if resilience_counters is not None:
+        stats["resilience"] = {
+            "cell_timeout_s": cell_timeout_s,
+            "max_attempts": max_attempts,
+            "retry_backoff_s": retry_backoff_s,
+            "preemptive": mode != "resilient-serial",
+            **resilience_counters,
+        }
     if fallback_reason:
         stats["fallback"] = fallback_reason
     return out, stats

@@ -44,6 +44,10 @@ class SweepResult:
     #: per-cell payloads of the sweep's ``detail`` hook
     #: (``details[algo][i]``); empty when no hook was passed.
     details: dict[str, list] = field(default_factory=dict)
+    #: per-cell engine status (``cell_status[algo][i]``): ``"ok"``,
+    #: ``"failed"``, or ``"quarantined"`` (self-healing engine gave up on
+    #: the cell after ``max_attempts``).
+    cell_status: dict[str, list[str]] = field(default_factory=dict)
     #: engine instrumentation from :func:`repro.analysis.executor.execute_cells`
     #: (worker counts, per-cell wall clock, utilization, cache counters).
     stats: dict[str, Any] = field(default_factory=dict)
@@ -90,6 +94,9 @@ def run_sweep(
     seed: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     detail: Callable | None = None,
+    cell_timeout_s: float | None = None,
+    max_attempts: int = 1,
+    retry_backoff_s: float = 0.05,
 ) -> SweepResult:
     """Run every algorithm on a fresh instance per axis value.
 
@@ -120,6 +127,13 @@ def run_sweep(
       per-cell verification status lands in ``SweepResult.cell_verified``,
       failed cells report rounds/messages of ``-1``, and ``verified`` is
       the conjunction over all cells.
+    * ``cell_timeout_s`` / ``max_attempts`` / ``retry_backoff_s`` — the
+      self-healing engine knobs (see
+      :func:`repro.analysis.executor.execute_cells`): hung, crashed, or
+      raising cells are retried with backoff on a fresh worker and
+      quarantined after ``max_attempts``; per-cell outcomes land in
+      ``SweepResult.cell_status``.  With ``strict=True`` a quarantined
+      cell still raises ``RuntimeError``.
     """
     name, values = axis
     cells = build_cells(values, algorithms)
@@ -132,6 +146,9 @@ def run_sweep(
         seed=seed,
         cache_dir=cache_dir,
         detail=detail,
+        cell_timeout_s=cell_timeout_s,
+        max_attempts=max_attempts,
+        retry_backoff_s=retry_backoff_s,
     )
     if strict:
         for res in results:
@@ -146,12 +163,14 @@ def run_sweep(
     rounds: dict[str, list[int]] = {a: [] for a in algorithms}
     messages: dict[str, list[int]] = {a: [] for a in algorithms}
     cell_verified: dict[str, list[bool | None]] = {a: [] for a in algorithms}
+    cell_status: dict[str, list[str]] = {a: [] for a in algorithms}
     details: dict[str, list] = {a: [] for a in algorithms} if detail else {}
     for res in results:  # already in axis-major, algorithm-minor order
         rounds[res.algo_name].append(res.rounds)
         messages[res.algo_name].append(res.messages)
         ok = res.verified if res.error is None else False
         cell_verified[res.algo_name].append(ok)
+        cell_status[res.algo_name].append(res.status)
         if detail:
             details[res.algo_name].append(res.details)
     all_ok = all(ok is not False for col in cell_verified.values() for ok in col)
@@ -162,6 +181,7 @@ def run_sweep(
         messages=messages,
         verified=all_ok,
         cell_verified=cell_verified,
+        cell_status=cell_status,
         details=details,
         stats=stats,
     )

@@ -1,0 +1,79 @@
+"""Validated parsing of the ``REPRO_*`` environment knobs.
+
+The benchmark drivers are configured through environment variables
+(`EXPERIMENTS.md`): ``REPRO_BENCH_WORKERS`` sets the sweep pool size and
+``REPRO_SWEEP_CACHE_DIR`` the persistent schedule-store directory.  Every
+driver used to parse these with a bare ``int()`` / ``os.environ.get``,
+so a typo (``REPRO_BENCH_WORKERS=four``) surfaced as an opaque
+``ValueError: invalid literal for int()`` traceback from deep inside a
+bench.  This module is the single place those variables are read and
+validated; garbage values raise :class:`EnvConfigError` naming the
+variable, the offending value, and what would be accepted.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["EnvConfigError", "env_workers", "env_cache_dir"]
+
+WORKERS_VAR = "REPRO_BENCH_WORKERS"
+CACHE_DIR_VAR = "REPRO_SWEEP_CACHE_DIR"
+
+
+class EnvConfigError(ValueError):
+    """An environment knob holds a value that cannot mean anything."""
+
+
+def env_workers(
+    default: int = 1, *, environ: Mapping[str, str] | None = None
+) -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS``.
+
+    Accepts a non-negative integer; ``0`` means auto-size (the executor
+    picks one worker per core, capped at 4).  Unset or empty falls back
+    to ``default``.  Anything else raises :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(WORKERS_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip(), 10)
+    except ValueError:
+        raise EnvConfigError(
+            f"{WORKERS_VAR} must be a non-negative integer "
+            f"(0 = auto-size), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise EnvConfigError(
+            f"{WORKERS_VAR} must be >= 0 (0 = auto-size), got {value}"
+        )
+    return value
+
+
+def env_cache_dir(
+    *, environ: Mapping[str, str] | None = None
+) -> str | None:
+    """Schedule-store directory from ``REPRO_SWEEP_CACHE_DIR``.
+
+    Unset or empty means no persistence (in-memory cache only) and
+    returns ``None``.  A set value is expanded (``~``) and must not name
+    an existing *non-directory* — pointing the store at a regular file
+    raises :class:`EnvConfigError` here instead of an opaque failure at
+    first save.  The directory itself may not exist yet; the store
+    creates it on first write.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(CACHE_DIR_VAR)
+    if raw is None or raw.strip() == "":
+        return None
+    path = Path(raw.strip()).expanduser()
+    if path.exists() and not path.is_dir():
+        raise EnvConfigError(
+            f"{CACHE_DIR_VAR} must name a directory (existing or to be "
+            f"created), but {raw!r} is an existing non-directory"
+        )
+    return str(path)

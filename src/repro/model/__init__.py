@@ -9,6 +9,13 @@ algorithms run on.  Round counts are *measured by execution*: the counter
 advances only when a communication round is actually carried out.
 """
 
+from repro.model.faults import (
+    FaultPlan,
+    ResilienceConfig,
+    ResilientExchange,
+    classify_outcome,
+    run_with_faults,
+)
 from repro.model.network import LowBandwidthNetwork, Message, NetworkError
 from repro.model.scheduling import (
     greedy_two_sided_schedule,
@@ -46,4 +53,9 @@ __all__ = [
     "ScheduleCache",
     "default_schedule_cache",
     "phase_digest",
+    "FaultPlan",
+    "ResilienceConfig",
+    "ResilientExchange",
+    "classify_outcome",
+    "run_with_faults",
 ]

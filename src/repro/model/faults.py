@@ -1,0 +1,574 @@
+"""Deterministic fault injection and resilient delivery for the simulator.
+
+The paper's model assumes a perfectly reliable network: every scheduled
+message arrives and every computer survives all rounds.  This module makes
+the *unreliable* regime a first-class, reproducible experiment:
+
+:class:`FaultPlan`
+    A seed-driven specification of what goes wrong.  Every decision —
+    "is message ``src -> dst`` scheduled for global round ``g`` dropped?"
+    — is a pure function of ``(plan.seed, kind, src, dst, g)`` via a
+    splitmix64-style integer hash, so fault patterns are *order
+    independent*: the same algorithm under the same plan sees the same
+    faults in strict and fast mode, with or without the schedule cache,
+    at any worker count.  Fault types (all optional, all default off):
+
+    * ``drop_rate`` — a scheduled message is lost in transit;
+    * ``dup_rate`` — a message is delivered twice (the duplicate occupies
+      a real extra receive slot: trailing rounds are charged);
+    * ``corrupt_rate`` — the delivered word is perturbed.  With
+      ``detect_corruption=True`` (default) words carry a checksum — the
+      model's words are ``O(log n)`` bits, so a constant-factor checksum
+      is free — and a corrupted word is discarded on receipt (corruption
+      becomes erasure, i.e. a detectable drop).  With detection off the
+      corrupted value lands silently;
+    * ``crashes`` — crash-stop failures: computer ``c`` stops
+      participating at global round ``r``; messages to or from it in any
+      later round are lost.  Its final local state still exists and is
+      inspected by the outcome classifier (stale outputs count as wrong);
+    * ``link_delays`` — every message on link ``(src, dst)`` arrives
+      ``k`` rounds late; the phase completes only when its last message
+      has arrived, so delays honestly extend the round count;
+    * ``drop_message_ordinals`` — surgical drops by global delivery
+      ordinal (the ``N``-th payload message the network attempts, acks
+      excluded), for targeted single-fault experiments.
+
+:class:`FaultInjector`
+    The per-network runtime: evaluates a plan against each communication
+    phase and keeps honest counters (:attr:`FaultInjector.counts`).
+
+:class:`ResilientExchange`
+    An ack/resend protocol over a (possibly faulty) network that stays
+    model-legal: after each delivery attempt the receivers acknowledge
+    through a reverse exchange (scheduled and charged like any phase —
+    acks can themselves be dropped), the sender waits a bounded
+    exponential backoff (idle rounds, charged), and re-sends unconfirmed
+    messages.  Re-delivery is idempotent (same key, same value), so a
+    lost ack merely costs a duplicate send.  Every retry, ack and backoff
+    round lands in ``net.phase_summary()`` under the phase's label
+    (``label/ack``, ``label/retry1``, ``label/backoff``).  Messages whose
+    endpoint has crashed can never be confirmed; after ``max_retries``
+    they are reported *unrecoverable* (raise or record, per
+    :class:`ResilienceConfig`) — the protocol has no oracle knowledge of
+    crashes.
+
+Outcome classification
+    :func:`run_with_faults` executes one algorithm under a plan and
+    labels the run against the NumPy reference:
+
+    * ``correct`` — output matches the reference;
+    * ``detected-failure`` — the run raised (a ``NetworkError``, a failed
+      resend budget, a strict-mode violation): the system *knows*
+      something went wrong;
+    * ``silent-corruption`` — the run completed without complaint but the
+      output is wrong.  The resilience experiments' central claim is that
+      strict mode with corruption detection never lands here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.network import LowBandwidthNetwork, Message
+    from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "PhaseFaults",
+    "ResilienceConfig",
+    "ResilientExchange",
+    "FaultRunOutcome",
+    "OUTCOME_CORRECT",
+    "OUTCOME_DETECTED",
+    "OUTCOME_SILENT",
+    "classify_outcome",
+    "run_with_faults",
+    "corrupt_word",
+]
+
+OUTCOME_CORRECT = "correct"
+OUTCOME_DETECTED = "detected-failure"
+OUTCOME_SILENT = "silent-corruption"
+
+# decision kinds: disjoint hash sub-spaces per fault type (payload vs ack)
+_KIND_DROP = 1
+_KIND_DUP = 2
+_KIND_CORRUPT = 3
+_KIND_ACK_DROP = 11
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, seed-driven fault specification (see module docs).
+
+    Plans are immutable value objects; all runtime state (counters, the
+    delivery-ordinal counter for ``drop_message_ordinals``) lives in the
+    per-network :class:`FaultInjector`.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    detect_corruption: bool = True
+    #: computer -> first global round at which it is dead (crash-stop)
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    #: (src, dst) -> extra rounds every message on that link takes
+    link_delays: Mapping[tuple[int, int], int] = field(default_factory=dict)
+    #: global payload-delivery ordinals to drop (targeted single faults)
+    drop_message_ordinals: tuple[int, ...] = ()
+
+    def validate(self) -> None:
+        """Reject rates outside ``[0, 1]`` and negative crash rounds or
+        link delays."""
+        for name in ("drop_rate", "dup_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"FaultPlan.{name} must be in [0, 1], got {rate!r}")
+        for comp, rnd in self.crashes.items():
+            if comp < 0 or rnd < 0:
+                raise ValueError(f"FaultPlan.crashes entry {comp}: {rnd} is negative")
+        for (s, d), k in self.link_delays.items():
+            if k < 0:
+                raise ValueError(f"FaultPlan.link_delays[{(s, d)}] must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Does this plan ever perturb a delivery?  A null plan (all rates
+        zero, no crashes/delays/targeted drops) leaves the network on its
+        unperturbed fast path — bit-identical to no plan at all."""
+        return bool(
+            self.drop_rate
+            or self.dup_rate
+            or self.corrupt_rate
+            or self.crashes
+            or self.link_delays
+            or self.drop_message_ordinals
+        )
+
+
+@dataclass
+class PhaseFaults:
+    """The injector's verdict on one communication phase."""
+
+    #: per-message: does the payload arrive?
+    deliver: np.ndarray
+    #: per-message: arrives but with a perturbed value (undetected corruption)
+    corrupt: np.ndarray
+    #: per-message corruption hashes (value perturbation inputs)
+    corrupt_h: np.ndarray | None
+    #: indices of messages that did not arrive
+    lost_idx: np.ndarray
+    #: rounds appended to the phase (delays, duplicate receive slots)
+    extra_rounds: int
+    #: extra word deliveries caused by duplication
+    duplicates: int
+
+
+# splitmix64-style mixing constants (uint64 arithmetic wraps mod 2^64)
+_C1 = np.uint64(0x9E3779B97F4A7C15)
+_C2 = np.uint64(0xC2B2AE3D27D4EB4F)
+_C3 = np.uint64(0x165667B19E3779F9)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix(src: np.ndarray, dst: np.ndarray, rnd: np.ndarray, salt: int) -> np.ndarray:
+    """Vectorized order-independent hash of ``(salt, src, dst, round)``."""
+    salted = np.uint64((salt * 0x27D4EB2F165667C5) & 0xFFFFFFFFFFFFFFFF)
+    x = (
+        src.astype(np.uint64) * _C1
+        ^ dst.astype(np.uint64) * _C2
+        ^ rnd.astype(np.uint64) * _C3
+        ^ salted
+    )
+    x ^= x >> np.uint64(30)
+    x *= _M1
+    x ^= x >> np.uint64(27)
+    x *= _M2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def corrupt_word(value: Any, h: int) -> Any:
+    """Deterministically perturb one delivered word (bit-flip flavour)."""
+    h = int(h)
+    if isinstance(value, (bool, np.bool_)):
+        return not bool(value)
+    if isinstance(value, (int, np.integer)):
+        return type(value)(int(value) ^ (1 << (h % 16)))
+    if isinstance(value, (float, np.floating)):
+        return value + type(value)(1 + h % 7)
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value + value.dtype.type(1 + h % 7)
+    return value  # non-numeric payloads pass through unperturbed
+
+
+class FaultInjector:
+    """Runtime fault evaluation for one network (see module docstring).
+
+    All counters are honest tallies of what actually happened on the
+    wire: ``dropped``, ``crash_lost``, ``corrupt_detected`` (discarded on
+    receipt), ``corrupt_silent`` (landed perturbed), ``duplicated``,
+    ``delayed``, ``acks_lost``, ``resent_messages``, ``retry_phases``,
+    ``backoff_rounds``, ``unrecoverable``.
+    """
+
+    _COUNT_KEYS = (
+        "dropped",
+        "crash_lost",
+        "corrupt_detected",
+        "corrupt_silent",
+        "duplicated",
+        "delayed",
+        "acks_lost",
+        "resent_messages",
+        "retry_phases",
+        "backoff_rounds",
+        "unrecoverable",
+    )
+
+    def __init__(self, plan: FaultPlan, *, n: int):
+        plan.validate()
+        self.plan = plan
+        self.active = plan.active
+        self.counts: dict[str, int] = {k: 0 for k in self._COUNT_KEYS}
+        self._ordinal = 0  # payload deliveries attempted so far (acks excluded)
+        self._crash_round = None
+        if plan.crashes:
+            crash = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+            for comp, rnd in plan.crashes.items():
+                if not (0 <= comp < n):
+                    raise ValueError(f"FaultPlan.crashes names computer {comp} outside the network")
+                crash[comp] = rnd
+            self._crash_round = crash
+        self._drop_ordinals = (
+            np.asarray(sorted(plan.drop_message_ordinals), dtype=np.int64)
+            if plan.drop_message_ordinals
+            else None
+        )
+
+    def _rate_mask(self, kind: int, src, dst, g, rate: float) -> np.ndarray:
+        u = _mix(src, dst, g, self.plan.seed * 64 + kind).astype(np.float64) / 2.0**64
+        return u < rate
+
+    def decide_phase(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        rounds_arr: np.ndarray,
+        *,
+        base_round: int,
+        acks: bool = False,
+    ) -> PhaseFaults:
+        """Evaluate the plan against one scheduled phase.
+
+        ``rounds_arr`` assigns each message its 0-indexed round within the
+        phase; ``base_round`` is the network's global round counter at
+        phase start, so decisions key on *global* rounds (a crash at round
+        ``r`` hits every later phase).  ``acks=True`` marks the reverse
+        acknowledgement phase of :class:`ResilientExchange`: acks can be
+        dropped or lost to crashes, but are never corrupted (presence is
+        the signal), duplicated, delayed, or counted against the payload
+        delivery ordinals.
+        """
+        plan = self.plan
+        n = int(src.size)
+        g = base_round + rounds_arr.astype(np.int64)
+        deliver = np.ones(n, dtype=bool)
+
+        if self._crash_round is not None:
+            dead = (g >= self._crash_round[src]) | (g >= self._crash_round[dst])
+            self.counts["crash_lost"] += int(dead.sum())
+            deliver &= ~dead
+
+        if plan.drop_rate > 0.0:
+            kind = _KIND_ACK_DROP if acks else _KIND_DROP
+            hit = self._rate_mask(kind, src, dst, g, plan.drop_rate) & deliver
+            self.counts["acks_lost" if acks else "dropped"] += int(hit.sum())
+            deliver &= ~hit
+
+        if self._drop_ordinals is not None and not acks:
+            ords = self._ordinal + np.arange(n, dtype=np.int64)
+            hit = np.isin(ords, self._drop_ordinals) & deliver
+            self.counts["dropped"] += int(hit.sum())
+            deliver &= ~hit
+        if not acks:
+            self._ordinal += n
+
+        corrupt = np.zeros(n, dtype=bool)
+        corrupt_h: np.ndarray | None = None
+        if plan.corrupt_rate > 0.0 and not acks:
+            h = _mix(src, dst, g, plan.seed * 64 + _KIND_CORRUPT)
+            hit = (h.astype(np.float64) / 2.0**64 < plan.corrupt_rate) & deliver
+            if plan.detect_corruption:
+                # checksum mismatch: the receiver discards the word, so
+                # corruption degrades to a detectable erasure
+                self.counts["corrupt_detected"] += int(hit.sum())
+                deliver &= ~hit
+            else:
+                self.counts["corrupt_silent"] += int(hit.sum())
+                corrupt = hit
+                corrupt_h = h
+
+        extra_rounds = 0
+        duplicates = 0
+        if plan.dup_rate > 0.0 and not acks:
+            dup = self._rate_mask(_KIND_DUP, src, dst, g, plan.dup_rate) & deliver
+            duplicates = int(dup.sum())
+            if duplicates:
+                self.counts["duplicated"] += duplicates
+                # duplicates occupy real receive slots: delivered in
+                # trailing rounds, at most one per receiver per round
+                extra_rounds = int(np.bincount(dst[dup]).max())
+
+        if plan.link_delays and not acks:
+            delays = np.zeros(n, dtype=np.int64)
+            for (s, d), k in plan.link_delays.items():
+                delays[(src == s) & (dst == d) & deliver] = k
+            if delays.any():
+                self.counts["delayed"] += int((delays > 0).sum())
+                makespan = int(rounds_arr.max()) + 1 if n else 0
+                arrival = rounds_arr.astype(np.int64) + delays
+                extra_rounds = max(extra_rounds, int(arrival.max()) + 1 - makespan)
+
+        return PhaseFaults(
+            deliver=deliver,
+            corrupt=corrupt,
+            corrupt_h=corrupt_h,
+            lost_idx=np.flatnonzero(~deliver),
+            extra_rounds=extra_rounds,
+            duplicates=duplicates,
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry policy for :class:`ResilientExchange`.
+
+    ``max_retries`` bounds re-send attempts beyond the first delivery;
+    backoff before retry ``t`` is ``min(backoff_base * 2**(t-1),
+    backoff_cap)`` idle rounds, charged honestly.  ``on_unrecoverable``
+    is ``"raise"`` (default: a ``NetworkError`` carrying the phase label
+    and round — a *detected* failure) or ``"record"`` (count and carry
+    on with a partial delivery)."""
+
+    max_retries: int = 4
+    backoff_base: int = 1
+    backoff_cap: int = 8
+    on_unrecoverable: str = "raise"
+
+    def validate(self) -> None:
+        """Reject negative retry budgets, inverted backoff bounds, and
+        unknown ``on_unrecoverable`` policies."""
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_cap")
+        if self.on_unrecoverable not in ("raise", "record"):
+            raise ValueError("on_unrecoverable must be 'raise' or 'record'")
+
+
+class ResilientExchange:
+    """Ack/resend delivery over a (possibly faulty) network.
+
+    Wrap a network and call :meth:`exchange` / :meth:`exchange_arrays`
+    exactly like the network's own methods; the wrapper drives the
+    protocol described in the module docstring and returns the total
+    rounds consumed (delivery + acks + backoff + retries, all recorded in
+    ``net.phases``).  A network constructed with ``resilience=...``
+    routes every exchange through this protocol transparently, so
+    unmodified algorithms recover from transient faults.
+    """
+
+    def __init__(self, net: "LowBandwidthNetwork", config: ResilienceConfig | None = None):
+        config = config or ResilienceConfig()
+        config.validate()
+        self.net = net
+        self.config = config
+
+    # -- public API mirroring LowBandwidthNetwork ----------------------- #
+    def exchange(self, messages: Sequence["Message"], *, label: str = "exchange") -> int:
+        """Deliver ``messages`` reliably; returns total rounds consumed."""
+        if not messages:
+            return 0
+        src = np.fromiter((m.src for m in messages), dtype=np.int64, count=len(messages))
+        dst = np.fromiter((m.dst for m in messages), dtype=np.int64, count=len(messages))
+        return self.exchange_arrays(
+            src,
+            dst,
+            [m.src_key for m in messages],
+            [m.dst_key for m in messages],
+            label=label,
+        )
+
+    def exchange_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: Sequence | None,
+        dst_keys: Sequence | None = None,
+        *,
+        label: str = "exchange",
+    ) -> int:
+        """Array-form reliable delivery (``exchange_arrays`` signature);
+        per-message keys are required so resends can be addressed."""
+        from repro.model.network import NetworkError
+
+        if src_keys is None:
+            raise NetworkError(
+                f"[{label} @ round {self.net.rounds}] resilient delivery needs "
+                "per-message keys; columnar phases cannot be acknowledged"
+            )
+        if dst_keys is None:
+            dst_keys = src_keys
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.size == 0:
+            return 0
+        src_keys = list(src_keys)
+        dst_keys = list(dst_keys)
+        if not (src.size == dst.size == len(src_keys) == len(dst_keys)):
+            raise ValueError("message component lengths differ")
+        return self._run(src, dst, src_keys, dst_keys, label=label)
+
+    # -- protocol core -------------------------------------------------- #
+    def _run(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list,
+        dst_keys: list,
+        *,
+        label: str,
+        attempt: int = 0,
+    ) -> int:
+        """Deliver-ack-backoff-retry until confirmed or budget exhausted.
+
+        ``attempt > 0`` resumes the protocol after an external first
+        delivery (the lockstep collectives' path): the next send is
+        already a retry and pays its backoff first.
+        """
+        from repro.model.network import NetworkError
+
+        net = self.net
+        cfg = self.config
+        inj = net._injector
+        pending = np.arange(src.size, dtype=np.int64)
+        total = 0
+        while True:
+            if attempt > 0:
+                backoff = min(cfg.backoff_base << (attempt - 1), cfg.backoff_cap)
+                charged = net.charge_idle_rounds(backoff, label=f"{label}/backoff")
+                total += charged
+                if inj is not None:
+                    inj.counts["backoff_rounds"] += charged
+                    inj.counts["retry_phases"] += 1
+                    inj.counts["resent_messages"] += int(pending.size)
+            used, lost_local = net._faulty_attempt(
+                src[pending],
+                dst[pending],
+                [src_keys[i] for i in pending],
+                [dst_keys[i] for i in pending],
+                label=label,
+                attempt=attempt,
+            )
+            total += used
+            lost = pending[lost_local]
+            delivered = np.delete(pending, lost_local)
+            # the receivers acknowledge through a scheduled reverse phase;
+            # a lost ack forces an idempotent duplicate send
+            ack_used, ack_lost_local = net._ack_attempt(
+                src[delivered], dst[delivered], label=label
+            )
+            total += ack_used
+            pending = np.sort(np.concatenate([lost, delivered[ack_lost_local]]))
+            if pending.size == 0:
+                return total
+            if attempt >= cfg.max_retries:
+                if inj is not None:
+                    inj.counts["unrecoverable"] += int(pending.size)
+                if cfg.on_unrecoverable == "raise":
+                    raise NetworkError(
+                        f"[{label} @ round {net.rounds}] {pending.size} message(s) "
+                        f"unrecoverable after {attempt + 1} delivery attempt(s) "
+                        "(endpoint crashed or retry budget exhausted)"
+                    )
+                return total
+            attempt += 1
+
+
+# ---------------------------------------------------------------------- #
+# Outcome classification
+# ---------------------------------------------------------------------- #
+def classify_outcome(verified: bool | None, error: str | None) -> str:
+    """Label one run: ``correct`` / ``detected-failure`` / ``silent-corruption``.
+
+    A raised error is a *detected* failure regardless of output state; a
+    completed run is ``correct`` iff verification against the reference
+    passed, otherwise the corruption went through silently."""
+    if error is not None:
+        return OUTCOME_DETECTED
+    return OUTCOME_CORRECT if verified else OUTCOME_SILENT
+
+
+@dataclass
+class FaultRunOutcome:
+    """One algorithm execution under a fault plan, classified."""
+
+    outcome: str
+    verified: bool | None
+    error: str | None
+    rounds: int
+    messages: int
+    fault_counts: dict[str, int]
+    phase_summary: dict[str, tuple[int, int]]
+    wall_s: float
+
+
+def run_with_faults(
+    inst: "SupportedInstance",
+    algorithm: Callable,
+    plan: FaultPlan | None = None,
+    *,
+    strict: bool = False,
+    resilience: ResilienceConfig | bool | None = None,
+    **algo_kwargs: Any,
+) -> FaultRunOutcome:
+    """Run ``algorithm(inst, net=...)`` under ``plan`` and classify it.
+
+    The algorithm runs on a fresh network carrying the plan (and the
+    resilient delivery protocol when ``resilience`` is set); any raised
+    exception is captured as a detected failure, a completed run is
+    verified against the instance's NumPy/semiring reference, and the
+    triple is condensed through :func:`classify_outcome`.
+    """
+    from repro.model.network import LowBandwidthNetwork
+
+    net = LowBandwidthNetwork(
+        inst.n, strict=strict, fault_plan=plan, resilience=resilience
+    )
+    t0 = time.perf_counter()
+    verified: bool | None = None
+    error: str | None = None
+    try:
+        res = algorithm(inst, net=net, **algo_kwargs)
+        verified = bool(inst.verify(res.x))
+    except Exception as exc:  # every failure mode ends in classification
+        error = f"{type(exc).__name__}: {exc}"
+    return FaultRunOutcome(
+        outcome=classify_outcome(verified, error),
+        verified=verified,
+        error=error,
+        rounds=net.rounds,
+        messages=net.messages_sent,
+        fault_counts=net.fault_counts() or {},
+        phase_summary=net.phase_summary(),
+        wall_s=time.perf_counter() - t0,
+    )

@@ -140,6 +140,21 @@ class LowBandwidthNetwork:
         Allow the columnar (array) delivery path in non-strict mode.
         Algorithms consult ``net.columnar`` to choose their bulk
         implementations; strict mode forces it off.
+    fault_plan:
+        A :class:`~repro.model.faults.FaultPlan` describing deterministic
+        message drops, duplications, word corruptions, crash-stop
+        failures and link delays to inject into every communication
+        phase.  ``None`` (default) and *null* plans (all rates zero, no
+        crashes/delays) leave every delivery path bit-identical to the
+        fault-free engine.  An active plan disables the columnar path:
+        per-word faults need per-message delivery.
+    resilience:
+        A :class:`~repro.model.faults.ResilienceConfig` (or ``True`` for
+        the defaults): route every exchange through the ack/resend
+        protocol of :class:`~repro.model.faults.ResilientExchange`, so
+        unmodified algorithms recover from transient faults.  All
+        protocol rounds (acks, backoff, retries) are real rounds,
+        recorded in :meth:`phase_summary`.
     """
 
     def __init__(
@@ -151,6 +166,8 @@ class LowBandwidthNetwork:
         schedule_method: str = "auto",
         schedule_cache: ScheduleCache | str | None = "auto",
         columnar: bool = True,
+        fault_plan: "object | None" = None,
+        resilience: "object | bool | None" = None,
     ):
         if n <= 0:
             raise ValueError("need at least one computer")
@@ -174,7 +191,32 @@ class LowBandwidthNetwork:
             raise ValueError(
                 "schedule_cache must be 'auto', None, a ScheduleCache or a store path"
             )
-        self.columnar = bool(columnar) and not self.strict
+        self._injector = None
+        self._resilience = None
+        if fault_plan is not None:
+            from repro.model.faults import FaultInjector, FaultPlan
+
+            if not isinstance(fault_plan, FaultPlan):
+                raise ValueError("fault_plan must be a repro.model.faults.FaultPlan")
+            self._injector = FaultInjector(fault_plan, n=self.n)
+        if resilience is not None and resilience is not False:
+            from repro.model.faults import ResilienceConfig
+
+            if resilience is True:
+                resilience = ResilienceConfig()
+            if not isinstance(resilience, ResilienceConfig):
+                raise ValueError(
+                    "resilience must be a ResilienceConfig, True, or None"
+                )
+            resilience.validate()
+            self._resilience = resilience
+        fault_active = self._injector is not None and self._injector.active
+        self.columnar = (
+            bool(columnar)
+            and not self.strict
+            and not fault_active
+            and self._resilience is None
+        )
         self.rounds = 0
         self.mem: list[dict[Key, Any]] = [dict() for _ in range(self.n)]
         self.phases: list[PhaseRecord] = []
@@ -326,28 +368,42 @@ class LowBandwidthNetwork:
             raise ValueError("message component lengths differ")
         if src.size != dst.size:
             raise ValueError("message component lengths differ")
+        if (self._injector is not None and self._injector.active) or (
+            self._resilience is not None
+        ):
+            return self._exchange_disturbed(src, dst, src_keys, dst_keys, label=label)
         t0 = time.perf_counter_ns()
-        self._check_ids(src, dst)
+        self._check_ids(src, dst, label=label)
         rounds_arr, cache_hit = self._schedule(src, dst)
         total = schedule_makespan(rounds_arr)
 
         if self.strict:
             if src_keys is None:
-                raise NetworkError("columnar delivery is unavailable in strict mode")
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] columnar delivery is "
+                    "unavailable in strict mode"
+                )
             validate_schedule(src, dst, rounds_arr)
             order = np.argsort(rounds_arr, kind="stable")
             for i in order:
                 i = int(i)
                 self._deliver_checked(
-                    Message(int(src[i]), int(dst[i]), src_keys[i], dst_keys[i])
+                    Message(int(src[i]), int(dst[i]), src_keys[i], dst_keys[i]),
+                    label=label,
+                    round_index=self.rounds + int(rounds_arr[i]),
                 )
         elif src_keys is not None:
             mem = self.mem
             sample = self._sample_memory if self.track_memory else None
-            for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
+            for idx, (s, d, sk, dk) in enumerate(
+                zip(src.tolist(), dst.tolist(), src_keys, dst_keys)
+            ):
                 mem_src = mem[s]
                 if sk not in mem_src:
-                    raise NetworkError(f"computer {s} cannot send {sk!r}: not held")
+                    raise NetworkError(
+                        f"[{label} @ round {self.rounds + int(rounds_arr[idx])}] "
+                        f"computer {s} cannot send {sk!r}: not held"
+                    )
                 mem[d][dk] = mem_src[sk]
                 if sample is not None:
                     sample(d)
@@ -366,6 +422,171 @@ class LowBandwidthNetwork:
             )
         )
         return total
+
+    # ------------------------------------------------------------------ #
+    # Fault-injected / resilient delivery (see repro.model.faults)
+    # ------------------------------------------------------------------ #
+    def charge_idle_rounds(self, k: int, *, label: str = "idle") -> int:
+        """Advance the round counter by ``k`` rounds in which every
+        computer stays silent (backoff waits are real, billable time)."""
+        k = int(k)
+        if k <= 0:
+            return 0
+        self.rounds += k
+        self.phases.append(PhaseRecord(label, k, 0))
+        return k
+
+    def _exchange_disturbed(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list | None,
+        dst_keys: list | None,
+        *,
+        label: str,
+    ) -> int:
+        """Exchange under an active fault plan and/or resilient delivery."""
+        if src_keys is None:
+            raise NetworkError(
+                f"[{label} @ round {self.rounds}] columnar delivery is "
+                "unavailable under fault injection"
+            )
+        if self._resilience is not None:
+            from repro.model.faults import ResilientExchange
+
+            return ResilientExchange(self, self._resilience)._run(
+                src, dst, src_keys, dst_keys, label=label
+            )
+        used, _lost = self._faulty_attempt(
+            src, dst, src_keys, dst_keys, label=label, attempt=0
+        )
+        return used
+
+    def _faulty_attempt(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list,
+        dst_keys: list,
+        *,
+        label: str,
+        attempt: int,
+    ) -> tuple[int, np.ndarray]:
+        """One delivery attempt of a scheduled phase with faults applied.
+
+        Returns ``(rounds_charged, lost_indices)``.  Scheduling, round
+        and message accounting are identical to the fault-free path; the
+        injector then withholds lost payloads, perturbs undetected
+        corruptions, and extends the phase for delays/duplicates."""
+        if src.size == 0:
+            return 0, np.empty(0, dtype=np.int64)
+        t0 = time.perf_counter_ns()
+        self._check_ids(src, dst, label=label)
+        rounds_arr, cache_hit = self._schedule(src, dst)
+        total = schedule_makespan(rounds_arr)
+        inj = self._injector
+        dec = (
+            inj.decide_phase(src, dst, rounds_arr, base_round=self.rounds)
+            if inj is not None and inj.active
+            else None
+        )
+        phase_label = label if attempt == 0 else f"{label}/retry{attempt}"
+
+        if self.strict:
+            validate_schedule(src, dst, rounds_arr)
+            order = np.argsort(rounds_arr, kind="stable")
+            for i in order:
+                i = int(i)
+                if dec is not None and not dec.deliver[i]:
+                    continue
+                corrupt_h = (
+                    int(dec.corrupt_h[i])
+                    if dec is not None and dec.corrupt[i]
+                    else None
+                )
+                self._deliver_checked(
+                    Message(int(src[i]), int(dst[i]), src_keys[i], dst_keys[i]),
+                    label=label,
+                    round_index=self.rounds + int(rounds_arr[i]),
+                    corrupt_h=corrupt_h,
+                )
+        else:
+            from repro.model.faults import corrupt_word
+
+            mem = self.mem
+            sample = self._sample_memory if self.track_memory else None
+            for idx, (s, d, sk, dk) in enumerate(
+                zip(src.tolist(), dst.tolist(), src_keys, dst_keys)
+            ):
+                if dec is not None and not dec.deliver[idx]:
+                    continue
+                mem_src = mem[s]
+                if sk not in mem_src:
+                    raise NetworkError(
+                        f"[{label} @ round {self.rounds + int(rounds_arr[idx])}] "
+                        f"computer {s} cannot send {sk!r}: not held"
+                    )
+                value = mem_src[sk]
+                if dec is not None and dec.corrupt[idx]:
+                    value = corrupt_word(value, int(dec.corrupt_h[idx]))
+                mem[d][dk] = value
+                if sample is not None:
+                    sample(d)
+
+        extra = dec.extra_rounds if dec is not None else 0
+        dups = dec.duplicates if dec is not None else 0
+        total += extra
+        self.rounds += total
+        self.messages_sent += int(src.size) + dups
+        self.phases.append(
+            PhaseRecord(
+                phase_label,
+                total,
+                int(src.size) + dups,
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=cache_hit,
+                columnar=False,
+            )
+        )
+        lost = dec.lost_idx if dec is not None else np.empty(0, dtype=np.int64)
+        return total, lost
+
+    def _ack_attempt(
+        self, src: np.ndarray, dst: np.ndarray, *, label: str
+    ) -> tuple[int, np.ndarray]:
+        """Charge the reverse acknowledgement phase for delivered messages.
+
+        Each receiver sends one ack word back to its sender (scheduled
+        and charged like any phase); the fault plan may drop acks or lose
+        them to crashes.  Acks move no payload state — presence is the
+        signal — so they are accounting-only on the memory side.  Returns
+        ``(rounds_charged, indices_whose_ack_was_lost)``."""
+        if src.size == 0:
+            return 0, np.empty(0, dtype=np.int64)
+        t0 = time.perf_counter_ns()
+        rounds_arr, cache_hit = self._schedule(dst, src)  # reverse direction
+        total = schedule_makespan(rounds_arr)
+        inj = self._injector
+        if inj is not None and inj.active:
+            dec = inj.decide_phase(
+                dst, src, rounds_arr, base_round=self.rounds, acks=True
+            )
+            lost = dec.lost_idx
+        else:
+            lost = np.empty(0, dtype=np.int64)
+        self.rounds += total
+        self.messages_sent += int(src.size)
+        self.phases.append(
+            PhaseRecord(
+                f"{label}/ack",
+                total,
+                int(src.size),
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=cache_hit,
+                columnar=False,
+            )
+        )
+        return total, lost
 
     def segmented_broadcast(
         self,
@@ -395,7 +616,8 @@ class LowBandwidthNetwork:
                 for c in seg:
                     if c in seen:
                         raise NetworkError(
-                            "broadcast segments overlap; parallel trees illegal"
+                            f"[{label} @ round {self.rounds}] broadcast segments "
+                            "overlap; parallel trees illegal"
                         )
                     seen.add(c)
         total = 0
@@ -438,7 +660,14 @@ class LowBandwidthNetwork:
                 src, dst, step_keys, tmp_keys, label=f"{label}/halving"
             )
             for comp, key, tmp_key in zip(dst_list, step_keys, tmp_keys):
-                acc = combine(self.mem[comp][key], self.mem[comp][tmp_key])
+                try:
+                    acc = combine(self.mem[comp][key], self.mem[comp][tmp_key])
+                except KeyError as exc:
+                    raise NetworkError(
+                        f"[{label} @ round {self.rounds}] convergecast combine at "
+                        f"computer {comp} is missing {exc.args[0]!r} "
+                        "(partial value never arrived?)"
+                    ) from exc
                 self.write(comp, key, acc, provenance=(key, tmp_key))
                 self.delete(comp, tmp_key)
         if self.strict:
@@ -448,7 +677,8 @@ class LowBandwidthNetwork:
                     for k in self.mem[comp]:
                         if isinstance(k, tuple) and k and k[0] == "__cc__":
                             raise NetworkError(
-                                f"convergecast temp key {k!r} leaked at computer {comp}"
+                                f"[{label} @ round {self.rounds}] convergecast temp "
+                                f"key {k!r} leaked at computer {comp}"
                             )
         return total
 
@@ -481,23 +711,40 @@ class LowBandwidthNetwork:
         is the columnar rounds-only form (non-strict callers moving values
         in planes)."""
         t0 = time.perf_counter_ns()
-        self._check_ids(src, dst)
+        self._check_ids(src, dst, label=label)
         if self.strict:
             if src_keys is None:
-                raise NetworkError("columnar delivery is unavailable in strict mode")
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] columnar delivery is "
+                    "unavailable in strict mode"
+                )
             if np.unique(src).size != src.size:
-                raise NetworkError(f"{label}: computer sends twice in one round")
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] computer sends twice in one round"
+                )
             if np.unique(dst).size != dst.size:
-                raise NetworkError(f"{label}: computer receives twice in one round")
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] computer receives twice in one round"
+                )
+        if (self._injector is not None and self._injector.active) or (
+            self._resilience is not None
+        ):
+            return self._lockstep_disturbed(src, dst, src_keys, dst_keys, label=label)
+        if self.strict:
             for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
-                self._deliver_checked(Message(s, d, sk, dk))
+                self._deliver_checked(
+                    Message(s, d, sk, dk), label=label, round_index=self.rounds
+                )
         elif src_keys is not None:
             mem = self.mem
             sample = self._sample_memory if self.track_memory else None
             for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
                 mem_src = mem[s]
                 if sk not in mem_src:
-                    raise NetworkError(f"computer {s} cannot send {sk!r}: not held")
+                    raise NetworkError(
+                        f"[{label} @ round {self.rounds}] "
+                        f"computer {s} cannot send {sk!r}: not held"
+                    )
                 mem[d][dk] = mem_src[sk]
                 if sample is not None:
                     sample(d)
@@ -515,24 +762,140 @@ class LowBandwidthNetwork:
         )
         return 1
 
-    def _deliver_checked(self, msg: Message) -> None:
+    def _lockstep_disturbed(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list | None,
+        dst_keys: list | None,
+        *,
+        label: str,
+    ) -> int:
+        """Single-round batch under faults: apply the plan to the one
+        round, then (if resilient) recover the losses through the generic
+        ack/resend protocol — the retried subset becomes an ordinary
+        scheduled exchange."""
+        from repro.model.faults import ResilientExchange, corrupt_word
+
+        if src_keys is None:
+            raise NetworkError(
+                f"[{label} @ round {self.rounds}] columnar delivery is "
+                "unavailable under fault injection"
+            )
+        t0 = time.perf_counter_ns()
+        zero_rounds = np.zeros(src.size, dtype=np.int64)
+        inj = self._injector
+        dec = (
+            inj.decide_phase(src, dst, zero_rounds, base_round=self.rounds)
+            if inj is not None and inj.active
+            else None
+        )
+        mem = self.mem
+        sample = self._sample_memory if self.track_memory else None
+        for idx, (s, d, sk, dk) in enumerate(
+            zip(src.tolist(), dst.tolist(), src_keys, dst_keys)
+        ):
+            if dec is not None and not dec.deliver[idx]:
+                continue
+            if self.strict:
+                corrupt_h = (
+                    int(dec.corrupt_h[idx])
+                    if dec is not None and dec.corrupt[idx]
+                    else None
+                )
+                self._deliver_checked(
+                    Message(s, d, sk, dk),
+                    label=label,
+                    round_index=self.rounds,
+                    corrupt_h=corrupt_h,
+                )
+                continue
+            mem_src = mem[s]
+            if sk not in mem_src:
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] "
+                    f"computer {s} cannot send {sk!r}: not held"
+                )
+            value = mem_src[sk]
+            if dec is not None and dec.corrupt[idx]:
+                value = corrupt_word(value, int(dec.corrupt_h[idx]))
+            mem[d][dk] = value
+            if sample is not None:
+                sample(d)
+        extra = dec.extra_rounds if dec is not None else 0
+        dups = dec.duplicates if dec is not None else 0
+        total = 1 + extra
+        self.rounds += total
+        self.messages_sent += int(src.size) + dups
+        self.phases.append(
+            PhaseRecord(
+                label,
+                total,
+                int(src.size) + dups,
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=False,
+                columnar=False,
+            )
+        )
+        if self._resilience is None:
+            return total
+        # resilient continuation: ack the delivered subset, then drive the
+        # generic retry loop over losses and unconfirmed deliveries
+        lost = dec.lost_idx if dec is not None else np.empty(0, dtype=np.int64)
+        all_idx = np.arange(src.size, dtype=np.int64)
+        delivered = np.setdiff1d(all_idx, lost, assume_unique=True)
+        ack_used, ack_lost_local = self._ack_attempt(
+            src[delivered], dst[delivered], label=label
+        )
+        total += ack_used
+        pending = np.sort(np.concatenate([lost, delivered[ack_lost_local]]))
+        if pending.size:
+            total += ResilientExchange(self, self._resilience)._run(
+                src[pending],
+                dst[pending],
+                [src_keys[i] for i in pending],
+                [dst_keys[i] for i in pending],
+                label=label,
+                attempt=1,
+            )
+        return total
+
+    def _deliver_checked(
+        self,
+        msg: Message,
+        *,
+        label: str = "exchange",
+        round_index: int | None = None,
+        corrupt_h: int | None = None,
+    ) -> None:
+        rnd = self.rounds if round_index is None else round_index
         if msg.src_key not in self.mem[msg.src]:
             raise NetworkError(
+                f"[{label} @ round {rnd}] "
                 f"computer {msg.src} cannot send {msg.src_key!r}: not held"
             )
         value = self.mem[msg.src][msg.src_key]
         if not _is_word(value):
             raise NetworkError(
+                f"[{label} @ round {rnd}] "
                 f"payload {value!r} does not fit in one O(log n)-bit word"
             )
+        if corrupt_h is not None:
+            from repro.model.faults import corrupt_word
+
+            value = corrupt_word(value, corrupt_h)
         self.mem[msg.dst][msg.dst_key] = value
         self._sample_memory(msg.dst)
 
-    def _check_ids(self, src: np.ndarray, dst: np.ndarray) -> None:
+    def _check_ids(
+        self, src: np.ndarray, dst: np.ndarray, *, label: str = "exchange"
+    ) -> None:
         if src.size and (
             src.min() < 0 or dst.min() < 0 or src.max() >= self.n or dst.max() >= self.n
         ):
-            raise NetworkError("message endpoint outside the network")
+            raise NetworkError(
+                f"[{label} @ round {self.rounds}] message endpoint outside the network"
+            )
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -579,6 +942,18 @@ class LowBandwidthNetwork:
     def schedule_cache_stats(self) -> dict[str, int] | None:
         """Stats of the attached schedule cache, or ``None`` if disabled."""
         return None if self._schedule_cache is None else self._schedule_cache.stats()
+
+    def fault_counts(self) -> dict[str, int] | None:
+        """Honest tallies of injected faults and recovery work (drops,
+        crash losses, corruptions, duplicates, delays, lost acks, resends,
+        backoff rounds, unrecoverable messages) — ``None`` when the
+        network carries no fault plan."""
+        return None if self._injector is None else dict(self._injector.counts)
+
+    @property
+    def fault_plan(self):
+        """The attached :class:`~repro.model.faults.FaultPlan`, if any."""
+        return None if self._injector is None else self._injector.plan
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -63,6 +63,7 @@ __all__ = [
     "store_path",
     "save_store",
     "load_store",
+    "store_crash_drill",
 ]
 
 #: On-disk store format version.  Bump when the entry layout changes; the
@@ -297,6 +298,77 @@ def load_store(path: str | os.PathLike) -> dict[bytes, np.ndarray]:
             return out
     except Exception:  # any damage (zip, pickle-refusal, header) = cold cache
         return {}
+
+
+def store_crash_drill(cache_dir: str | os.PathLike) -> dict:
+    """Prove the store's crash contract end to end inside ``cache_dir``.
+
+    Simulates the failure modes a crashed or killed sweep can leave
+    behind and checks that each one degrades to a cold cache rather than
+    corrupting results:
+
+    1. *round-trip*: a saved store loads back entry-for-entry;
+    2. *crash before replace*: a leftover ``*.tmp`` from a writer killed
+       mid-write is ignored and the committed store stays intact;
+    3. *torn write*: a store truncated mid-file (the failure
+       ``os.replace`` exists to prevent, injected directly) loads as
+       ``{}`` — cold cache, no exception;
+    4. *heal*: one :func:`save_store` over the torn file restores a
+       loadable store;
+    5. *stale version eviction*: saving removes store files of other
+       format versions from the directory.
+
+    Returns a report dict with one boolean per check plus ``"ok"`` (their
+    conjunction).  Raises nothing on check failure — callers assert on
+    the report — but does touch files inside ``cache_dir``.
+    """
+    cache_dir = Path(cache_dir)
+    path = store_path(cache_dir)
+    rng = np.random.default_rng(0)
+    entries = {
+        bytes([i]) * 16: np.ascontiguousarray(rng.integers(0, 8, size=6), dtype=np.int64)
+        for i in range(4)
+    }
+    report: dict = {"path": str(path)}
+
+    save_store(path, entries)
+    loaded = load_store(path)
+    report["round_trip"] = len(loaded) == len(entries) and all(
+        np.array_equal(loaded[k], v) for k, v in entries.items()
+    )
+
+    # a writer killed between mkstemp and os.replace leaves a .tmp behind
+    garbage = path.parent / f"{path.name}crashed.tmp"
+    garbage.write_bytes(b"\x00garbage left by a killed writer")
+    report["tmp_leftover_ignored"] = len(load_store(path)) == len(entries)
+    garbage.unlink()
+
+    # a torn/truncated store file (what os.replace prevents) = cold cache
+    blob = path.read_bytes()
+    path.write_bytes(blob[: max(1, len(blob) // 2)])
+    report["torn_store_cold_load"] = load_store(path) == {}
+
+    # healing: one save over the torn file makes it loadable again
+    save_store(path, entries)
+    report["heal_by_resave"] = len(load_store(path)) == len(entries)
+
+    # stale-version stores are evicted on save
+    stale = path.parent / f"{_STORE_STEM}{STORE_VERSION + 1}.npz"
+    stale.write_bytes(b"stale format")
+    save_store(path, entries)
+    report["stale_version_evicted"] = not stale.exists()
+
+    report["ok"] = all(
+        report[k]
+        for k in (
+            "round_trip",
+            "tmp_leftover_ignored",
+            "torn_store_cold_load",
+            "heal_by_resave",
+            "stale_version_evicted",
+        )
+    )
+    return report
 
 
 _DEFAULT = ScheduleCache()

@@ -1,0 +1,96 @@
+"""Unit tests for the validated benchmark environment knobs.
+
+``repro.envconfig`` is the single place ``REPRO_BENCH_WORKERS`` and
+``REPRO_SWEEP_CACHE_DIR`` are parsed; every consumer (benchmarks, make
+targets, CI) goes through it, so garbage values fail loudly here instead
+of deep inside a worker pool.  The ``environ=`` parameter lets these
+tests inject a plain dict instead of mutating the real environment.
+"""
+
+import pytest
+
+from repro.envconfig import (
+    CACHE_DIR_VAR,
+    WORKERS_VAR,
+    EnvConfigError,
+    env_cache_dir,
+    env_workers,
+)
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_BENCH_WORKERS
+# ---------------------------------------------------------------------- #
+def test_workers_unset_returns_default():
+    assert env_workers(default=1, environ={}) == 1
+    assert env_workers(default=7, environ={}) == 7
+
+
+def test_workers_empty_string_returns_default():
+    assert env_workers(default=3, environ={WORKERS_VAR: ""}) == 3
+    assert env_workers(default=3, environ={WORKERS_VAR: "   "}) == 3
+
+
+def test_workers_valid_values_parse():
+    assert env_workers(environ={WORKERS_VAR: "4"}) == 4
+    assert env_workers(environ={WORKERS_VAR: " 2 "}) == 2
+    assert env_workers(environ={WORKERS_VAR: "0"}) == 0  # 0 = auto-size
+
+
+def test_workers_garbage_raises_with_variable_name():
+    for bad in ("four", "2.5", "1e3", "-"):
+        with pytest.raises(EnvConfigError, match=WORKERS_VAR):
+            env_workers(environ={WORKERS_VAR: bad})
+
+
+def test_workers_negative_raises():
+    with pytest.raises(EnvConfigError, match=">= 0"):
+        env_workers(environ={WORKERS_VAR: "-2"})
+
+
+def test_workers_error_is_a_value_error():
+    with pytest.raises(ValueError):
+        env_workers(environ={WORKERS_VAR: "nope"})
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_SWEEP_CACHE_DIR
+# ---------------------------------------------------------------------- #
+def test_cache_dir_unset_or_empty_is_none():
+    assert env_cache_dir(environ={}) is None
+    assert env_cache_dir(environ={CACHE_DIR_VAR: ""}) is None
+    assert env_cache_dir(environ={CACHE_DIR_VAR: "  "}) is None
+
+
+def test_cache_dir_passes_through_paths(tmp_path):
+    target = tmp_path / "sweep-cache"  # need not exist yet; store mkdirs it
+    assert env_cache_dir(environ={CACHE_DIR_VAR: str(target)}) == str(target)
+    existing = tmp_path / "present"
+    existing.mkdir()
+    assert env_cache_dir(environ={CACHE_DIR_VAR: str(existing)}) == str(existing)
+
+
+def test_cache_dir_expands_home():
+    got = env_cache_dir(environ={CACHE_DIR_VAR: "~/sweep-cache"})
+    assert got is not None and "~" not in got
+
+
+def test_cache_dir_rejects_existing_non_directory(tmp_path):
+    clash = tmp_path / "file-in-the-way"
+    clash.write_text("not a directory")
+    with pytest.raises(EnvConfigError, match=CACHE_DIR_VAR):
+        env_cache_dir(environ={CACHE_DIR_VAR: str(clash)})
+
+
+# ---------------------------------------------------------------------- #
+# real-environment integration (the default environ=os.environ path)
+# ---------------------------------------------------------------------- #
+def test_reads_real_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv(WORKERS_VAR, "5")
+    monkeypatch.setenv(CACHE_DIR_VAR, str(tmp_path))
+    assert env_workers() == 5
+    assert env_cache_dir() == str(tmp_path)
+    monkeypatch.delenv(WORKERS_VAR)
+    monkeypatch.delenv(CACHE_DIR_VAR)
+    assert env_workers(default=2) == 2
+    assert env_cache_dir() is None

@@ -5,11 +5,17 @@ These tests encode the model's whole point — an implementation that
 teleports values, over-subscribes a round, or oversizes a payload is not
 a low-bandwidth algorithm, and the simulator must say so."""
 
+import re
+
 import numpy as np
 import pytest
 
 from repro.model.network import LowBandwidthNetwork, Message, NetworkError
 from repro.model.scheduling import validate_schedule
+
+#: Every NetworkError raised during an exchange opens with *where* it
+#: happened: ``[<phase label> @ round <index>] ...``.
+ERROR_CONTEXT = re.compile(r"^\[(?P<label>[^\]]+) @ round (?P<round>\d+)\] \S")
 
 
 def test_teleporting_value_caught_by_provenance():
@@ -111,3 +117,72 @@ def test_corrupted_algorithm_detected_end_to_end():
     init_outputs(net, inst)  # ... and never process any triangle
     result = inst.collect_result(net)
     assert not inst.verify(result)
+
+
+# ---------------------------------------------------------------------- #
+# Error-context contract: every exchange-path NetworkError says *when*
+# (phase label + round index), not just what broke.
+# ---------------------------------------------------------------------- #
+def _assert_context(excinfo, label: str, rounds: int):
+    msg = str(excinfo.value)
+    m = ERROR_CONTEXT.match(msg)
+    assert m, f"error lacks [label @ round N] prefix: {msg!r}"
+    assert m.group("label") == label, msg
+    assert int(m.group("round")) >= rounds, msg
+
+
+def test_not_held_error_carries_phase_and_round():
+    for strict in (True, False):
+        net = LowBandwidthNetwork(2, strict=strict)
+        with pytest.raises(NetworkError) as ei:
+            net.exchange([Message(0, 1, "ghost", "ghost")], label="routeA")
+        _assert_context(ei, "routeA", net.rounds)
+
+
+def test_word_size_error_carries_phase_and_round():
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, "row", np.arange(16.0))
+    with pytest.raises(NetworkError) as ei:
+        net.exchange([Message(0, 1, "row", "row")], label="bulk ship")
+    _assert_context(ei, "bulk ship", net.rounds)
+
+
+def test_lockstep_overload_error_carries_phase_and_round():
+    net = LowBandwidthNetwork(3, strict=True)
+    net.deal(0, "a", 1)
+    net.deal(1, "b", 2)
+    with pytest.raises(NetworkError) as ei:
+        net._execute_lockstep(
+            [Message(0, 2, "a", "a"), Message(1, 2, "b", "b")], label="fan-in"
+        )
+    _assert_context(ei, "fan-in", net.rounds)
+
+
+def test_endpoint_error_carries_phase_and_round():
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, "k", 1)
+    with pytest.raises(NetworkError) as ei:
+        net.exchange([Message(0, 7, "k", "k")], label="route")
+    _assert_context(ei, "route", net.rounds)
+
+
+def test_broadcast_overlap_error_carries_phase_and_round():
+    net = LowBandwidthNetwork(4, strict=True)
+    net.deal(0, "a", 1)
+    net.deal(1, "b", 2)
+    with pytest.raises(NetworkError) as ei:
+        net.segmented_broadcast([[0, 1, 2], [1, 3]], ["a", "b"], label="bcast")
+    _assert_context(ei, "bcast", net.rounds)
+
+
+def test_round_index_advances_in_error_context():
+    """The round in the prefix is the live counter, not a constant."""
+    net = LowBandwidthNetwork(2, strict=True)
+    net.deal(0, "a", 1)
+    net.exchange([Message(0, 1, "a", "a")], label="warmup")
+    burned = net.rounds
+    assert burned > 0
+    with pytest.raises(NetworkError) as ei:
+        net.exchange([Message(0, 1, "ghost", "ghost")], label="late")
+    m = ERROR_CONTEXT.match(str(ei.value))
+    assert m and int(m.group("round")) >= burned

@@ -1,0 +1,284 @@
+"""Tests for the deterministic fault-injection subsystem (`repro.model.faults`).
+
+Covers the satellite property test (a zero-probability `FaultPlan` is
+bit-identical to running with no plan at all, across strict and fast
+modes, for the two-phase and Strassen algorithms), injector determinism,
+outcome classification, and the ack/resend recovery protocol with honest
+round accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dense import dense_strassen
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.model import (
+    FaultPlan,
+    LowBandwidthNetwork,
+    NetworkError,
+    ResilienceConfig,
+    ResilientExchange,
+    classify_outcome,
+    run_with_faults,
+)
+from repro.model.faults import (
+    OUTCOME_CORRECT,
+    OUTCOME_DETECTED,
+    OUTCOME_SILENT,
+)
+from repro.sparsity.families import US
+from repro.supported.instance import make_hard_instance, make_instance
+
+
+def hard_inst(seed=0, n=48, d=3):
+    return make_hard_instance(n, d, np.random.default_rng(seed))
+
+
+def us_inst(seed=0, n=16, d=2):
+    return make_instance((US, US, US), n, d, np.random.default_rng(seed))
+
+
+def dense_x(x):
+    """Results may be scipy-sparse; compare in dense form."""
+    return np.asarray(x.todense()) if hasattr(x, "todense") else np.asarray(x)
+
+
+# ---------------------------------------------------------------------- #
+# Satellite: zero-fault plan == no plan, bit for bit
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("strict", [False, True], ids=["fast", "strict"])
+@pytest.mark.parametrize(
+    "algo", [multiply_two_phase, dense_strassen], ids=["two_phase", "strassen"]
+)
+def test_zero_fault_plan_bit_identical_to_no_plan(algo, strict):
+    """A null plan must leave the network on the untouched fast path:
+    identical rounds, messages, outputs, and phase summaries."""
+    inst_a = us_inst(seed=3)
+    net_a = LowBandwidthNetwork(inst_a.n, strict=strict)
+    res_a = algo(inst_a, net=net_a)
+
+    inst_b = us_inst(seed=3)
+    null_plan = FaultPlan()  # every rate zero, no crashes/delays/ordinals
+    assert not null_plan.active
+    net_b = LowBandwidthNetwork(inst_b.n, strict=strict, fault_plan=null_plan)
+    res_b = algo(inst_b, net=net_b)
+
+    assert res_a.rounds == res_b.rounds
+    assert net_a.messages_sent == net_b.messages_sent
+    assert np.array_equal(dense_x(res_a.x), dense_x(res_b.x))
+    assert net_a.phase_summary() == net_b.phase_summary()
+    assert net_a.columnar == net_b.columnar
+
+
+def test_active_plan_disables_columnar_fast_path():
+    plan = FaultPlan(drop_rate=0.1)
+    assert plan.active
+    net = LowBandwidthNetwork(8, fault_plan=plan)
+    assert not net.columnar
+    # the null plan does not
+    assert LowBandwidthNetwork(8, fault_plan=FaultPlan()).columnar
+
+
+# ---------------------------------------------------------------------- #
+# Injector determinism
+# ---------------------------------------------------------------------- #
+def test_fault_decisions_deterministic_across_runs():
+    plan = FaultPlan(seed=11, drop_rate=0.05, corrupt_rate=0.02)
+    runs = [
+        run_with_faults(hard_inst(seed=1), naive_triangles, plan) for _ in range(2)
+    ]
+    assert runs[0].outcome == runs[1].outcome
+    assert runs[0].rounds == runs[1].rounds
+    assert runs[0].fault_counts == runs[1].fault_counts
+
+
+def test_different_seeds_differ():
+    """Distinct fault seeds must not replay the same drop pattern."""
+    counts = [
+        run_with_faults(
+            hard_inst(seed=1), naive_triangles, FaultPlan(seed=s, drop_rate=0.05)
+        ).fault_counts["dropped"]
+        for s in range(6)
+    ]
+    assert len(set(counts)) > 1
+
+
+# ---------------------------------------------------------------------- #
+# Classification
+# ---------------------------------------------------------------------- #
+def test_classify_outcome_triples():
+    assert classify_outcome(True, None) == OUTCOME_CORRECT
+    assert classify_outcome(None, "NetworkError: boom") == OUTCOME_DETECTED
+    assert classify_outcome(False, "boom") == OUTCOME_DETECTED
+    assert classify_outcome(False, None) == OUTCOME_SILENT
+
+
+@pytest.mark.parametrize("strict", [False, True], ids=["fast", "strict"])
+def test_unprotected_drops_are_detected_not_silent(strict):
+    """Lost words leave holes the collection phase trips over — in both
+    modes the failure must surface as an error, never a wrong product."""
+    plan = FaultPlan(seed=5, drop_rate=0.05)
+    out = run_with_faults(hard_inst(seed=2), naive_triangles, plan, strict=strict)
+    assert out.fault_counts["dropped"] > 0
+    assert out.outcome == OUTCOME_DETECTED
+    assert out.error is not None
+
+
+def test_strict_faulty_runs_never_silent_across_seeds():
+    """The acceptance claim: under strict mode with corruption detection
+    on, every faulty run classifies as correct or detected — silent
+    corruption cannot happen."""
+    for s in range(8):
+        plan = FaultPlan(seed=s, drop_rate=0.03, corrupt_rate=0.03)
+        out = run_with_faults(hard_inst(seed=2), naive_triangles, plan, strict=True)
+        assert out.outcome in (OUTCOME_CORRECT, OUTCOME_DETECTED), (s, out.outcome)
+
+
+def test_undetected_corruption_is_silent_in_fast_mode():
+    """With the detection checksum disabled, corrupted words land as
+    plausible values and only verification can expose them."""
+    plan = FaultPlan(seed=1, corrupt_rate=0.3, detect_corruption=False)
+    out = run_with_faults(hard_inst(seed=2), naive_triangles, plan, strict=False)
+    assert out.fault_counts["corrupt_silent"] > 0
+    assert out.outcome == OUTCOME_SILENT
+    assert out.verified is False and out.error is None
+
+
+def test_detected_corruption_is_an_erasure():
+    """With detection on, a corrupted word is discarded on receipt — it
+    becomes a (detectable) drop, never a wrong value."""
+    plan = FaultPlan(seed=1, corrupt_rate=0.3, detect_corruption=True)
+    out = run_with_faults(hard_inst(seed=2), naive_triangles, plan, strict=False)
+    assert out.fault_counts["corrupt_detected"] > 0
+    assert out.fault_counts["corrupt_silent"] == 0
+    assert out.outcome != OUTCOME_SILENT
+
+
+def test_duplication_is_idempotent_and_charged():
+    baseline = run_with_faults(hard_inst(seed=2), naive_triangles)
+    plan = FaultPlan(seed=3, dup_rate=0.2)
+    out = run_with_faults(hard_inst(seed=2), naive_triangles, plan)
+    assert out.fault_counts["duplicated"] > 0
+    assert out.outcome == OUTCOME_CORRECT
+    assert out.rounds >= baseline.rounds
+
+
+def test_link_delay_extends_rounds():
+    """Delaying *every* link stretches each phase past its makespan (a
+    delay that lands inside the phase window costs nothing extra)."""
+    inst = hard_inst(seed=2)
+    baseline = run_with_faults(hard_inst(seed=2), naive_triangles)
+    delays = {(i, j): 3 for i in range(inst.n) for j in range(inst.n) if i != j}
+    out = run_with_faults(
+        hard_inst(seed=2), naive_triangles, FaultPlan(link_delays=delays)
+    )
+    assert out.fault_counts["delayed"] > 0
+    assert out.outcome == OUTCOME_CORRECT
+    assert out.rounds > baseline.rounds
+
+
+# ---------------------------------------------------------------------- #
+# ResilientExchange: ack/resend recovery with honest accounting
+# ---------------------------------------------------------------------- #
+def test_resilient_exchange_recovers_random_drops():
+    plan = FaultPlan(seed=5, drop_rate=0.05)
+    out = run_with_faults(
+        hard_inst(seed=2), naive_triangles, plan, resilience=True
+    )
+    assert out.fault_counts["dropped"] > 0
+    assert out.fault_counts["resent_messages"] > 0
+    assert out.outcome == OUTCOME_CORRECT, out.error
+
+
+def test_single_targeted_drop_fully_recovered_with_extra_rounds():
+    baseline = run_with_faults(hard_inst(seed=2), naive_triangles, resilience=True)
+    assert baseline.outcome == OUTCOME_CORRECT
+    plan = FaultPlan(drop_message_ordinals=(7,))
+    out = run_with_faults(
+        hard_inst(seed=2), naive_triangles, plan, resilience=True
+    )
+    assert out.outcome == OUTCOME_CORRECT
+    assert out.fault_counts["dropped"] == 1
+    assert out.fault_counts["resent_messages"] >= 1
+    assert out.rounds > baseline.rounds  # the retry consumed real rounds
+
+
+def test_resilient_rounds_accounted_in_phase_summary():
+    """Every round the protocol consumes (delivery, acks, retries,
+    backoff) must be visible in the phase summary — no free recovery."""
+    plan = FaultPlan(seed=5, drop_rate=0.05)
+    inst = hard_inst(seed=2)
+    net = LowBandwidthNetwork(inst.n, fault_plan=plan, resilience=True)
+    naive_triangles(inst, net=net)
+    summary = net.phase_summary()
+    assert sum(rounds for rounds, _msgs in summary.values()) == net.rounds
+    assert net.rounds > 0
+
+
+def test_crash_stop_exhausts_retries_and_is_detected():
+    """No oracle: the protocol cannot know computer 1 is dead, so it
+    retries its budget and reports the messages unrecoverable."""
+    plan = FaultPlan(crashes={1: 0})
+    out = run_with_faults(
+        hard_inst(seed=2), naive_triangles, plan, resilience=True
+    )
+    assert out.outcome == OUTCOME_DETECTED
+    assert out.fault_counts["unrecoverable"] > 0
+    assert "unrecoverable" in out.error
+
+
+def test_crash_stop_without_resilience_detected():
+    plan = FaultPlan(crashes={0: 4})
+    out = run_with_faults(hard_inst(seed=2), naive_triangles, plan, strict=False)
+    assert out.fault_counts["crash_lost"] > 0
+    assert out.outcome == OUTCOME_DETECTED
+
+
+def test_resilient_exchange_requires_per_message_keys():
+    net = LowBandwidthNetwork(4, resilience=True)
+    net.deal(0, "k", 1.0)
+    rex = ResilientExchange(net)
+    with pytest.raises(NetworkError, match=r"\[p @ round \d+\].*keys"):
+        rex.exchange_arrays(np.array([0]), np.array([1]), None, label="p")
+
+
+def test_unrecoverable_record_policy_completes():
+    cfg = ResilienceConfig(max_retries=1, on_unrecoverable="record")
+    plan = FaultPlan(crashes={1: 0})
+    out = run_with_faults(
+        hard_inst(seed=2), naive_triangles, plan, resilience=cfg
+    )
+    # delivery "succeeded" with holes; collection then fails loudly or the
+    # product is wrong — either way the run is classified, never lost
+    assert out.outcome in (OUTCOME_DETECTED, OUTCOME_SILENT)
+    assert out.fault_counts["unrecoverable"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# Validation
+# ---------------------------------------------------------------------- #
+def test_fault_plan_validation():
+    with pytest.raises(ValueError, match="drop_rate"):
+        FaultPlan(drop_rate=1.5).validate()
+    with pytest.raises(ValueError, match="crashes"):
+        FaultPlan(crashes={-1: 3}).validate()
+    with pytest.raises(ValueError, match="link_delays"):
+        FaultPlan(link_delays={(0, 1): -2}).validate()
+    FaultPlan(drop_rate=0.5, crashes={0: 0}).validate()
+
+
+def test_resilience_config_validation():
+    with pytest.raises(ValueError, match="max_retries"):
+        ResilienceConfig(max_retries=-1).validate()
+    with pytest.raises(ValueError, match="backoff"):
+        ResilienceConfig(backoff_base=4, backoff_cap=2).validate()
+    with pytest.raises(ValueError, match="on_unrecoverable"):
+        ResilienceConfig(on_unrecoverable="explode").validate()
+
+
+def test_network_rejects_bad_plan_types():
+    with pytest.raises(ValueError):
+        LowBandwidthNetwork(4, fault_plan="drop everything")
+    with pytest.raises(ValueError):
+        LowBandwidthNetwork(4, resilience="yes please")
