@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke fault-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke cert-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,7 +29,17 @@ bench-smoke:
 # schedule-store crash drill.  Emits benchmarks/results/BENCH_resilience.json.
 fault-smoke:
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 \
-		pytest benchmarks/bench_resilience.py --benchmark-only
+		pytest benchmarks/bench_resilience.py --benchmark-only -k "not certification"
+
+# Certification smoke: the distributed Freivalds certifier over an
+# algorithms x fault-plans grid (k >= 20 checks, zero silent corruption,
+# detection rate 1.0) plus the checkpoint crash/resume drill (a SIGKILL'd
+# sweep resumes bit-identically from its manifest).  Merges the
+# "certification" and "checkpoint_resume_drill" sections into
+# benchmarks/results/BENCH_resilience.json.
+cert-smoke:
+	REPRO_BENCH_SMOKE=1 \
+		pytest benchmarks/bench_resilience.py --benchmark-only -k certification
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

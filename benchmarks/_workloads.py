@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from functools import partial
 
 import numpy as np
@@ -151,6 +152,44 @@ def poisoned_cell(inst, *, poison_d: int = 3, drop_rate: float = 0.01, fault_see
     if inst.d == poison_d:
         raise ValueError(f"poisoned cell (d={poison_d})")
     return resilient_naive_cell(inst, drop_rate=drop_rate, fault_seed=fault_seed)
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint/resume drill (bench_resilience / make cert-smoke)
+# ---------------------------------------------------------------------- #
+def slow_naive_cell(inst, *, delay_s: float = 0.5):
+    """Trivial algorithm padded with wall-clock delay so a parent process
+    has time to ``SIGKILL`` the sweep between cell completions."""
+    time.sleep(delay_s)
+    return naive_triangles(inst)
+
+
+def checkpoint_drill_sweep(
+    checkpoint_dir,
+    *,
+    ds: tuple[int, ...] = (2, 3, 4),
+    delay_s: float = 0.5,
+    resume: bool = True,
+):
+    """The canonical checkpoint-drill sweep: three slow cells, serial,
+    checkpointed after every completion.  ``checkpoint_dir=None`` runs
+    the identical sweep without checkpointing (the reference run)."""
+    from repro.analysis.sweeps import run_sweep
+
+    return run_sweep(
+        axis=("d", tuple(ds)),
+        instance_factory=hard_us_cell,
+        algorithms={"slow_naive": partial(slow_naive_cell, delay_s=delay_s)},
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=1,
+        resume=resume,
+    )
+
+
+def checkpoint_drill_main(checkpoint_dir: str, delay_s: float = 0.5) -> None:
+    """Victim entry point for the crash drill: run the drill sweep in
+    this process (the parent SIGKILLs us mid-sweep and then resumes)."""
+    checkpoint_drill_sweep(checkpoint_dir, delay_s=delay_s)
 
 
 def twophase_phase_detail(inst, res) -> dict | None:

@@ -20,22 +20,38 @@ the paper never ran:
    other cell is bit-identical to a fault-free serial run.
 4. **Store crash drill** — the on-disk schedule store's atomic-replace +
    corruption-tolerant-load contract, exercised end to end.
+5. **Certification** (``bench_resilience_certification``) — the in-model
+   Freivalds certifier over a grid of algorithms × fault plans with
+   ``k >= 20`` checks: zero ``silent-corruption`` outcomes, every silent
+   corruption the uncertified run missed is detected (detection rate
+   1.0), certification rounds honestly billed in the phase summary, and
+   the repair/overhead accounting reported.
+6. **Checkpoint crash/resume drill** — a checkpointed sweep is SIGKILL'd
+   mid-run in a child process; the resumed sweep restores the completed
+   cells from the manifest and finishes bit-identically to an
+   uninterrupted run.
 
 Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized version (same assertions,
-smaller instances).  Emits ``BENCH_resilience.json`` under
-``benchmarks/results/`` (always) and at the repository root (full runs).
+smaller instances).  Both benches merge their sections into
+``BENCH_resilience.json`` under ``benchmarks/results/`` (always) and at
+the repository root (full runs).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
+import subprocess
+import sys
+import time
 from functools import partial
 from pathlib import Path
 
 from conftest import RESULTS_DIR, save_report
 from _workloads import (
     CRASH_MARKER_VAR,
+    checkpoint_drill_sweep,
     crash_worker_once_cell,
     hard_us,
     hard_us_cell,
@@ -45,13 +61,21 @@ from _workloads import (
 
 from repro.algorithms.trivial import naive_triangles
 from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.checkpoint import manifest_path
 from repro.analysis.sweeps import run_sweep
-from repro.model import FaultPlan, run_with_faults
-from repro.model.faults import OUTCOME_CORRECT, OUTCOME_SILENT
+from repro.model import CertifyConfig, FaultPlan, run_with_faults
+from repro.model.faults import (
+    OUTCOME_CERT_FAILURE,
+    OUTCOME_CERTIFIED,
+    OUTCOME_CORRECT,
+    OUTCOME_REPAIRED,
+    OUTCOME_SILENT,
+)
 from repro.model.schedule_cache import store_crash_drill
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
 
 N, D = (32, 2) if SMOKE else (64, 3)
 FAULT_RATES = (0.0, 0.01, 0.05)
@@ -61,6 +85,10 @@ DROP_ORDINALS = (0, 3, 7) if SMOKE else (0, 3, 7, 11, 19)
 SWEEP_DS = (2, 3) if SMOKE else (2, 3, 4)
 SWEEP_DROP_RATE = 0.01
 POISON_D = SWEEP_DS[-1]
+CERT_CHECKS = 20  # false-accept <= 2^-20 over fields
+CERT_SEEDS = range(6) if SMOKE else range(12)
+CERT_CORRUPT_RATE = 0.01
+DRILL_DELAY_S = 0.5
 
 
 def _inst():
@@ -209,6 +237,167 @@ def _self_healing_sweep(tmp_path: Path) -> dict:
     }
 
 
+def _certification() -> dict:
+    """Certifier grid: algorithms x fault plans, k >= 20 checks."""
+    grid = {}
+    for name, algo in ALGORITHMS.items():
+        # clean certified run: certification is the *only* overhead, and
+        # every certification round is attributed in the phase summary
+        clean = run_with_faults(_inst(), algo, certify=CERT_CHECKS)
+        assert clean.outcome == OUTCOME_CERTIFIED, (name, clean.outcome, clean.error)
+        assert clean.cert_rounds > 0
+        assert clean.overhead_rounds == clean.cert_rounds
+        billed = sum(
+            rounds
+            for label, (rounds, _msgs) in clean.phase_summary.items()
+            if label.startswith("certify")
+        )
+        assert billed == clean.cert_rounds, (name, billed, clean.cert_rounds)
+        product_rounds = clean.rounds - clean.cert_rounds
+
+        # drops + ack/resend recovery + certification still certifies
+        protected = run_with_faults(
+            _inst(), algo,
+            FaultPlan(seed=FAULT_SEED, drop_rate=SWEEP_DROP_RATE),
+            resilience=True, certify=CERT_CHECKS,
+        )
+        assert protected.outcome == OUTCOME_CERTIFIED, (
+            name, protected.outcome, protected.error,
+        )
+
+        # silent-corruption grid: with certification on, the silent
+        # outcome must be unreachable, and every corruption the
+        # *uncertified* run would have missed must be caught
+        outcomes: dict[str, int] = {}
+        caught = missed = silent_uncertified = 0
+        repaired = cert_failures = 0
+        total_overhead = total_cert_rounds = 0
+        for seed in CERT_SEEDS:
+            plan = FaultPlan(
+                seed=seed, corrupt_rate=CERT_CORRUPT_RATE, detect_corruption=False
+            )
+            bare = run_with_faults(_inst(), algo, plan)
+            cert = run_with_faults(
+                _inst(), algo, plan,
+                certify=CertifyConfig(checks=CERT_CHECKS, max_repair_attempts=2),
+            )
+            assert cert.outcome != OUTCOME_SILENT, (name, seed)
+            outcomes[cert.outcome] = outcomes.get(cert.outcome, 0) + 1
+            repaired += cert.outcome == OUTCOME_REPAIRED
+            cert_failures += cert.outcome == OUTCOME_CERT_FAILURE
+            total_overhead += cert.overhead_rounds
+            total_cert_rounds += cert.cert_rounds
+            if bare.outcome == OUTCOME_SILENT:
+                silent_uncertified += 1
+                if cert.outcome == OUTCOME_SILENT:
+                    missed += 1
+                else:
+                    caught += 1
+        detection_rate = caught / silent_uncertified if silent_uncertified else None
+        if silent_uncertified:
+            assert detection_rate == 1.0, (name, caught, silent_uncertified)
+        events = repaired + cert_failures
+        grid[name] = {
+            "product_rounds": product_rounds,
+            "cert_rounds_clean": clean.cert_rounds,
+            "cert_overhead_vs_product": clean.cert_rounds / product_rounds,
+            "drops_with_recovery_outcome": protected.outcome,
+            "corruption_outcomes": outcomes,
+            "silent_with_certification": outcomes.get(OUTCOME_SILENT, 0),
+            "silent_without_certification": silent_uncertified,
+            "detection_rate": detection_rate,
+            "repaired": repaired,
+            "certification_failures": cert_failures,
+            "repair_success_rate": repaired / events if events else None,
+            "mean_overhead_rounds": total_overhead / len(CERT_SEEDS),
+            "mean_cert_rounds": total_cert_rounds / len(CERT_SEEDS),
+        }
+    return {
+        "checks": CERT_CHECKS,
+        "false_accept_bound": 2.0 ** -CERT_CHECKS,
+        "corrupt_rate": CERT_CORRUPT_RATE,
+        "seeds": len(CERT_SEEDS),
+        "grid": grid,
+    }
+
+
+def _checkpoint_resume_drill(tmp_path: Path) -> dict:
+    """SIGKILL a checkpointed sweep mid-run in a child process, resume it
+    from the manifest, and demand bit-identity with an uninterrupted run."""
+    ckpt = tmp_path / "ckpt-drill"
+    total_cells = 3  # checkpoint_drill_sweep: d in (2, 3, 4), one algorithm
+    code = (
+        "from _workloads import checkpoint_drill_main; "
+        f"checkpoint_drill_main({str(ckpt)!r}, delay_s={DRILL_DELAY_S})"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(BENCH_DIR)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    victim = subprocess.Popen([sys.executable, "-c", code], env=env, cwd=str(BENCH_DIR))
+    mf = manifest_path(ckpt)
+    deadline = time.monotonic() + 120.0
+    cells_seen = 0
+    try:
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            try:
+                # atomic manifest writes: a visible file is always complete
+                cells_seen = len(json.loads(mf.read_text()).get("cells", {}))
+            except (OSError, ValueError):
+                cells_seen = 0
+            if cells_seen >= 1:
+                break
+            time.sleep(0.02)
+        assert victim.poll() is None, "victim sweep finished before the kill"
+        os.kill(victim.pid, signal.SIGKILL)
+        exitcode = victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait(timeout=30)
+    assert exitcode == -signal.SIGKILL, exitcode
+
+    resumed = checkpoint_drill_sweep(ckpt, delay_s=DRILL_DELAY_S)
+    ck = resumed.stats["checkpoint"]
+    assert 1 <= ck["restored_cells"] < total_cells, ck
+    assert ck["restored_cells"] + ck["executed_cells"] == total_cells
+
+    reference = checkpoint_drill_sweep(None, delay_s=0.0)
+    assert resumed.rounds == reference.rounds, (resumed.rounds, reference.rounds)
+    assert resumed.messages == reference.messages
+    assert resumed.verified and reference.verified
+    return {
+        "victim_exitcode": exitcode,
+        "cells_total": total_cells,
+        "cells_checkpointed_at_kill": cells_seen,
+        "restored_cells": ck["restored_cells"],
+        "executed_after_resume": ck["executed_cells"],
+        "bit_identical_to_uninterrupted": True,  # asserted above
+    }
+
+
+def _merge_into_reports(sections: dict) -> None:
+    """Merge sections into ``BENCH_resilience.json`` (both benches write
+    to the same artifact; load-if-present so they compose in any order)."""
+    targets = [RESULTS_DIR / "BENCH_resilience.json"]
+    if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
+        targets.append(REPO_ROOT / "BENCH_resilience.json")
+    for target in targets:
+        existing: dict = {}
+        if target.exists():
+            try:
+                loaded = json.loads(target.read_text())
+                if isinstance(loaded, dict):
+                    existing = loaded
+            except ValueError:
+                pass
+        existing.update(sections)
+        target.write_text(json.dumps(existing, indent=2) + "\n")
+
+
 def bench_resilience(benchmark, tmp_path):
     curves = _resilience_curves()
     single_drop = _single_drop_recovery()
@@ -230,10 +419,7 @@ def bench_resilience(benchmark, tmp_path):
         "self_healing_sweep": sweep_drill,
         "store_crash_drill": store_drill,
     }
-    payload = json.dumps(report, indent=2) + "\n"
-    (RESULTS_DIR / "BENCH_resilience.json").write_text(payload)
-    if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
-        (REPO_ROOT / "BENCH_resilience.json").write_text(payload)
+    _merge_into_reports(report)
 
     lines = [
         "Resilience curves — fault injection + ack/resend recovery",
@@ -266,6 +452,48 @@ def bench_resilience(benchmark, tmp_path):
             FaultPlan(seed=FAULT_SEED, drop_rate=SWEEP_DROP_RATE),
             resilience=True,
         ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def bench_resilience_certification(benchmark, tmp_path):
+    certification = _certification()
+    drill = _checkpoint_resume_drill(tmp_path)
+    _merge_into_reports(
+        {"certification": certification, "checkpoint_resume_drill": drill}
+    )
+
+    lines = [
+        "Result certification + checkpoint crash/resume drill",
+        "=" * 72,
+        f"workload: worst-case US, n={N}, d={D}"
+        + (" (SMOKE)" if SMOKE else ""),
+        f"Freivalds checks k={CERT_CHECKS} "
+        f"(field false-accept <= 2^-{CERT_CHECKS}), "
+        f"{len(CERT_SEEDS)} corruption seeds @ rate {CERT_CORRUPT_RATE}",
+        f"{'algorithm':<12}{'cert rounds':>12}{'overhead':>10}"
+        f"{'silent(bare)':>14}{'silent(cert)':>14}{'detect':>8}{'repaired':>10}",
+    ]
+    for name, g in certification["grid"].items():
+        detect = "n/a" if g["detection_rate"] is None else f"{g['detection_rate']:.2f}"
+        lines.append(
+            f"{name:<12}{g['cert_rounds_clean']:>12}"
+            f"{g['cert_overhead_vs_product']:>9.1%}"
+            f"{g['silent_without_certification']:>14}"
+            f"{g['silent_with_certification']:>14}{detect:>8}{g['repaired']:>10}"
+        )
+    lines.append(
+        f"checkpoint drill: victim SIGKILL'd after "
+        f"{drill['cells_checkpointed_at_kill']}/{drill['cells_total']} cell(s), "
+        f"resume restored {drill['restored_cells']} and ran "
+        f"{drill['executed_after_resume']}; bit-identical: "
+        f"{drill['bit_identical_to_uninterrupted']}"
+    )
+    save_report("resilience_certification", lines)
+
+    benchmark.pedantic(
+        lambda: run_with_faults(_inst(), naive_triangles, certify=CERT_CHECKS),
         rounds=1,
         iterations=1,
     )

@@ -87,14 +87,22 @@ def _cmd_landscape(args) -> int:
 
 
 def _cmd_selfcheck(args) -> int:
+    from repro.envconfig import env_cert_checks
     from repro.validation import run_selfcheck
 
-    results = run_selfcheck(n=args.n, d=args.d, seed=args.seed)
+    cert_checks = args.cert_checks if args.cert_checks is not None else env_cert_checks()
+    results = run_selfcheck(
+        n=args.n, d=args.d, seed=args.seed,
+        certify=args.certify, cert_checks=cert_checks,
+    )
     failed = 0
     for r in results:
         mark = "ok " if r.ok else "FAIL"
         extra = f"  {r.error}" if r.error else ""
-        print(f"[{mark}] {r.description:<28} {r.algorithm:<16} rounds={r.rounds}{extra}")
+        cert = ""
+        if r.certified is not None:
+            cert = f" certified={r.certified} cert_rounds={r.cert_rounds}"
+        print(f"[{mark}] {r.description:<28} {r.algorithm:<16} rounds={r.rounds}{cert}{extra}")
         failed += 0 if r.ok else 1
     print(f"{len(results) - failed}/{len(results)} cells passed")
     return 0 if failed == 0 else 1
@@ -160,6 +168,16 @@ def main(argv=None) -> int:
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--d", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--certify", action="store_true",
+        help="run the in-model Freivalds certifier on every cell "
+             "(all certification rounds billed)",
+    )
+    p.add_argument(
+        "--cert-checks", type=int, default=None,
+        help="independent certification checks "
+             "(default: REPRO_CERT_CHECKS or 20)",
+    )
     p.set_defaults(fn=_cmd_selfcheck)
 
     p = sub.add_parser("lowerbounds", help="print lower-bound certificates")

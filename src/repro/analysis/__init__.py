@@ -15,6 +15,13 @@ from repro.analysis.classification import (
     classify,
     classification_table,
 )
+from repro.analysis.checkpoint import (
+    load_manifest,
+    manifest_path,
+    row_complete,
+    save_manifest,
+    sweep_signature,
+)
 from repro.analysis.executor import (
     CellResult,
     SweepCell,
@@ -46,4 +53,9 @@ __all__ = [
     "resolve_workers",
     "SweepResult",
     "run_sweep",
+    "manifest_path",
+    "sweep_signature",
+    "row_complete",
+    "save_manifest",
+    "load_manifest",
 ]

@@ -1,0 +1,280 @@
+"""Crash-safe sweep checkpointing: the atomic cell manifest.
+
+A parameter sweep is a grid of independent cells, each of which is
+deterministic in ``(root seed, grid coordinates)`` alone (see
+:mod:`repro.analysis.executor`).  That independence makes a sweep
+resumable at cell granularity: if the process dies mid-sweep — power
+loss, OOM kill, ``kill -9`` — every *completed* cell's measurement is
+still valid, and a fresh run only needs to execute the cells that never
+finished.  This module is the persistence layer for that contract.
+
+The manifest
+------------
+One JSON file per checkpoint directory
+(:func:`manifest_path`, ``sweep-manifest-v1.json``) holding, per
+completed cell, the serialized :class:`~repro.analysis.executor.CellResult`
+row plus a per-row BLAKE2b integrity digest, under a sweep-level
+*signature*:
+
+* :func:`sweep_signature` fingerprints everything that determines a
+  cell's result — the full cell grid (axis values and algorithm names),
+  the root seed, the ``verify`` flag, and the identities of the instance
+  factory and every algorithm callable.  A manifest written by a
+  different sweep can never leak results into this one: on any
+  signature mismatch the loader reports a cold (empty) manifest.
+* :func:`save_manifest` writes atomically — serialize to a temp file in
+  the same directory, ``flush`` + ``fsync``, then ``os.replace`` over
+  the manifest — so a reader (including a resumed run after ``kill -9``
+  mid-save) sees either the previous complete manifest or the new one,
+  never a torn file.
+* :func:`load_manifest` is damage-tolerant the same way the schedule
+  store is (:mod:`repro.model.schedule_cache`): a missing, truncated,
+  corrupt, version-mismatched, or foreign-signature file *never raises*
+  — it loads as empty, and the sweep simply runs cold.  A manifest with
+  individually tampered rows keeps its intact rows; rows whose integrity
+  digest does not match their content are skipped.
+
+Only cells whose row passes :func:`row_complete` — status ``"ok"``, no
+error, and verification/certification not failed — are worth restoring;
+failed or quarantined cells are re-run by the resumed sweep.  Rows that
+cannot be represented as strict JSON (e.g. a ``detail`` hook returning a
+non-serializable payload) are skipped at save time: those cells are
+simply re-executed on resume rather than silently mangled.
+
+The manifest stores no pickled code objects — loading an untrusted or
+stale file is at worst a cold resume, never code execution.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "manifest_path",
+    "sweep_signature",
+    "row_complete",
+    "save_manifest",
+    "load_manifest",
+]
+
+#: On-disk manifest format version.  Bump when the row layout changes;
+#: the loader treats any other version as a cold (empty) manifest.
+MANIFEST_VERSION = 1
+
+_MANIFEST_MAGIC = "repro-sweep-manifest"
+_MANIFEST_STEM = "sweep-manifest-v"
+
+
+def manifest_path(checkpoint_dir: str | os.PathLike) -> Path:
+    """The current versioned manifest file inside ``checkpoint_dir``."""
+    return Path(checkpoint_dir) / f"{_MANIFEST_STEM}{MANIFEST_VERSION}.json"
+
+
+def _describe_callable(fn: Callable) -> str:
+    """A stable textual identity for a factory/algorithm callable.
+
+    ``functools.partial`` is unwrapped so partially-applied workloads
+    with different bound keywords get different signatures.
+    """
+    if isinstance(fn, functools.partial):
+        inner = _describe_callable(fn.func)
+        kwargs = sorted(fn.keywords.items()) if fn.keywords else []
+        return f"partial({inner}, args={fn.args!r}, kwargs={kwargs!r})"
+    mod = getattr(fn, "__module__", None) or type(fn).__module__
+    qual = getattr(fn, "__qualname__", None) or type(fn).__qualname__
+    return f"{mod}.{qual}"
+
+
+def sweep_signature(
+    cells: Sequence,
+    *,
+    instance_factory: Callable,
+    algorithms: Mapping[str, Callable],
+    verify: bool,
+    seed: int | None,
+) -> str:
+    """128-bit fingerprint of everything that determines the sweep's cells.
+
+    Two sweeps share a signature exactly when restoring one's completed
+    cells into the other is sound: same grid (cell order, axis values,
+    algorithm names), same root seed, same ``verify`` flag, and the same
+    factory/algorithm identities.
+    """
+    payload = {
+        "magic": _MANIFEST_MAGIC,
+        "version": MANIFEST_VERSION,
+        "cells": [
+            [c.index, c.axis_index, repr(c.axis_value), c.algo_index, c.algo_name]
+            for c in cells
+        ],
+        "verify": bool(verify),
+        "seed": seed,
+        "factory": _describe_callable(instance_factory),
+        "algorithms": [
+            [name, _describe_callable(fn)] for name, fn in algorithms.items()
+        ],
+    }
+    h = hashlib.blake2b(digest_size=16)
+    h.update(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def _plain(obj: Any) -> Any:
+    """Strict-JSON copy of ``obj``; raises ``TypeError`` when impossible.
+
+    NumPy scalars collapse to their Python equivalents; tuples become
+    lists; non-finite floats and non-string dict keys are rejected (the
+    manifest must round-trip bit-for-bit through ``json``).
+    """
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if obj is None or isinstance(obj, (str, bool, int)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise TypeError(f"non-finite float {obj!r} is not manifest-safe")
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_plain(x) for x in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"non-string dict key {key!r} is not manifest-safe")
+            out[key] = _plain(value)
+        return out
+    raise TypeError(f"{type(obj).__name__} is not manifest-safe")
+
+
+def _row_digest(row: Mapping[str, Any]) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    h.update(json.dumps(row, sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def row_complete(row: Mapping[str, Any]) -> bool:
+    """Is this row a finished, trustworthy measurement worth restoring?
+
+    ``status == "ok"`` with no captured error, and verification (when it
+    ran) did not fail.  Quarantined/failed cells return ``False`` so a
+    resumed sweep retries them instead of resurrecting the failure.
+    """
+    return (
+        row.get("status") == "ok"
+        and row.get("error") is None
+        and row.get("verified") is not False
+    )
+
+
+def save_manifest(
+    path: str | os.PathLike,
+    signature: str,
+    rows: Iterable[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Atomically write the manifest; returns save statistics.
+
+    ``rows`` are serialized :class:`~repro.analysis.executor.CellResult`
+    dicts, each carrying its cell ``index``.  Rows that are not strict
+    JSON (non-serializable ``details`` payloads) are skipped — counted in
+    the returned ``skipped_rows`` — so one exotic detail hook cannot
+    poison the whole checkpoint.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    cells: dict[str, dict[str, Any]] = {}
+    skipped = 0
+    for row in rows:
+        try:
+            plain = _plain(dict(row))
+            index = int(plain["index"])
+        except (TypeError, KeyError, ValueError):
+            skipped += 1
+            continue
+        cells[str(index)] = {"row": plain, "integrity": _row_digest(plain)}
+    doc = {
+        "magic": _MANIFEST_MAGIC,
+        "version": MANIFEST_VERSION,
+        "signature": str(signature),
+        "cells": cells,
+    }
+    data = json.dumps(doc, sort_keys=True).encode("utf-8")
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # best effort: persist the rename itself
+        dir_fd = os.open(str(path.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+    return {
+        "path": str(path),
+        "rows": len(cells),
+        "skipped_rows": skipped,
+        "bytes": len(data),
+    }
+
+
+def load_manifest(
+    path: str | os.PathLike, signature: str
+) -> dict[int, dict[str, Any]]:
+    """Rows by cell index from the manifest at ``path``; ``{}`` on damage.
+
+    Never raises on bad input: a missing, truncated, corrupt,
+    wrong-magic, wrong-version, or foreign-signature manifest loads as
+    empty (cold resume).  Rows whose integrity digest does not match
+    their content are skipped individually; the rest survive.
+    """
+    try:
+        data = Path(path).read_bytes()
+        doc = json.loads(data.decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return {}
+    if not isinstance(doc, dict):
+        return {}
+    if doc.get("magic") != _MANIFEST_MAGIC or doc.get("version") != MANIFEST_VERSION:
+        return {}
+    if doc.get("signature") != str(signature):
+        return {}
+    cells = doc.get("cells")
+    if not isinstance(cells, dict):
+        return {}
+    rows: dict[int, dict[str, Any]] = {}
+    for key, entry in cells.items():
+        try:
+            index = int(key)
+            row = entry["row"]
+            if not isinstance(row, dict):
+                continue
+            if entry["integrity"] != _row_digest(row):
+                continue
+            if int(row["index"]) != index:
+                continue
+        except (TypeError, KeyError, ValueError):
+            continue
+        rows[index] = row
+    return rows

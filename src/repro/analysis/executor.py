@@ -68,6 +68,18 @@ survives misbehaving cells and workers:
 Timeout enforcement needs real worker processes; if the work spec cannot
 reach workers (unpicklable under ``spawn``), the engine degrades to
 serial retries without preemption and says so in the run stats.
+
+Crash-safe checkpointing
+------------------------
+With ``checkpoint_dir`` set the engine periodically writes an atomic
+manifest of every completed cell (:mod:`repro.analysis.checkpoint`) and,
+on the next run with ``resume=True``, restores completed cells from a
+manifest whose sweep signature matches — same grid, seed, ``verify``
+flag, and factory/algorithm identities — executing only the missing or
+unfinished cells.  Because cells are deterministic in ``(seed, grid
+coordinates)`` alone, a resumed sweep is bit-identical to an
+uninterrupted one; a mid-sweep ``kill -9`` costs at most the cells that
+had not yet been checkpointed.
 """
 
 from __future__ import annotations
@@ -83,6 +95,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis.checkpoint import (
+    load_manifest,
+    manifest_path,
+    row_complete,
+    save_manifest,
+    sweep_signature,
+)
 from repro.model.schedule_cache import (
     default_schedule_cache,
     load_store,
@@ -142,6 +161,9 @@ class CellResult:
     #: extracted in-worker; the full MultiplyResult never crosses the
     #: process boundary)
     details: Any = None
+    #: True when this result was restored from a sweep checkpoint
+    #: manifest instead of being executed in this run
+    restored: bool = False
 
 
 def cell_rng(root_seed: int, axis_index: int, algo_index: int) -> np.random.Generator:
@@ -282,6 +304,7 @@ def _execute_resilient(
     retry_backoff_s: float,
     results: list[CellResult | None],
     harvested: dict[bytes, np.ndarray],
+    on_result: Callable[[], None] | None = None,
 ) -> dict[str, Any]:
     """The supervised worker pool (see "Self-healing execution" above).
 
@@ -336,6 +359,8 @@ def _execute_resilient(
             results[cell.index] = _quarantined_result(cell, attempt, log)
             counters["quarantined"] += 1
             completed += 1
+            if on_result is not None:
+                on_result()
         else:
             counters["retries"] += 1
             not_before = time.monotonic() + _retry_delay_s(retry_backoff_s, attempt)
@@ -363,6 +388,8 @@ def _execute_resilient(
                 results[index] = res
                 harvested.update(new)
                 completed += 1
+                if on_result is not None:
+                    on_result()
             else:
                 record_failure(cell, attempt, log, transport_err or res.error)
 
@@ -453,6 +480,7 @@ def _execute_resilient_serial(
     retry_backoff_s: float,
     results: list[CellResult | None],
     harvested: dict[bytes, np.ndarray],
+    on_result: Callable[[], None] | None = None,
 ) -> dict[str, Any]:
     """In-process retries + quarantine: the degraded mode when the work
     spec cannot reach worker processes.  No preemption — a hung cell
@@ -475,11 +503,15 @@ def _execute_resilient_serial(
                 res.failure_log = log
                 results[cell.index] = res
                 harvested.update(new)
+                if on_result is not None:
+                    on_result()
                 break
             log.append(f"attempt {attempt}: {res.error}")
             if attempt >= max_attempts:
                 results[cell.index] = _quarantined_result(cell, attempt, log)
                 counters["quarantined"] += 1
+                if on_result is not None:
+                    on_result()
                 break
             counters["retries"] += 1
             delay = _retry_delay_s(retry_backoff_s, attempt)
@@ -502,6 +534,9 @@ def execute_cells(
     cell_timeout_s: float | None = None,
     max_attempts: int = 1,
     retry_backoff_s: float = 0.05,
+    checkpoint_dir: str | os.PathLike | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
 ) -> tuple[list[CellResult], dict[str, Any]]:
     """Run every cell; return ``(results_in_cell_order, run_stats)``.
 
@@ -522,6 +557,16 @@ def execute_cells(
     crash their worker, or raise are retried with exponential backoff on
     a fresh worker and quarantined after ``max_attempts`` failures, and
     the sweep always completes with a per-cell ``status``.
+
+    ``checkpoint_dir`` engages crash-safe checkpointing (see
+    :mod:`repro.analysis.checkpoint`): every ``checkpoint_every``
+    completed cells the engine atomically rewrites a manifest of all
+    finished cells, and with ``resume=True`` (the default) a fresh run
+    restores completed cells from a matching manifest — same grid, seed,
+    ``verify`` flag, and factory/algorithm identities — and executes
+    only the missing or unfinished ones.  Restored cells are marked
+    ``CellResult.restored``; a mid-sweep ``kill -9`` costs at most the
+    cells that had not yet been checkpointed.
     """
     global _STATE
     if cell_timeout_s is not None and cell_timeout_s <= 0:
@@ -530,9 +575,65 @@ def execute_cells(
         raise ValueError("max_attempts must be >= 1")
     if retry_backoff_s < 0:
         raise ValueError("retry_backoff_s must be >= 0")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     resilient = cell_timeout_s is not None or max_attempts > 1
+
+    results: list[CellResult | None] = [None] * len(cells)
+    manifest_file: Path | None = None
+    signature = ""
+    restored_cells = 0
+    if checkpoint_dir is not None:
+        manifest_file = manifest_path(checkpoint_dir)
+        signature = sweep_signature(
+            cells,
+            instance_factory=instance_factory,
+            algorithms=algorithms,
+            verify=verify,
+            seed=seed,
+        )
+        if resume:
+            known = load_manifest(manifest_file, signature)
+            for cell in cells:
+                row = known.get(cell.index)
+                if (
+                    row is None
+                    or not row_complete(row)
+                    or row.get("algo_name") != cell.algo_name
+                    or row.get("axis_index") != cell.axis_index
+                ):
+                    continue
+                try:
+                    res = CellResult(**row)
+                except TypeError:
+                    continue  # row from an incompatible layout: re-run
+                res.axis_value = cell.axis_value  # keep the live grid's type
+                res.restored = True
+                results[cell.index] = res
+                restored_cells += 1
+    pending_cells = [c for c in cells if results[c.index] is None]
+
+    checkpoint_saves = 0
+
+    def _checkpoint_save() -> None:
+        nonlocal checkpoint_saves
+        save_manifest(
+            manifest_file, signature, [asdict(r) for r in results if r is not None]
+        )
+        checkpoint_saves += 1
+
+    completed_new = 0
+
+    def _on_checkpointable_result() -> None:
+        nonlocal completed_new
+        completed_new += 1
+        if completed_new % checkpoint_every == 0:
+            _checkpoint_save()
+
+    on_result = _on_checkpointable_result if manifest_file is not None else None
+
     workers_requested = resolve_workers(workers)
-    workers_effective = min(workers_requested, max(len(cells), 1))
+    workers_effective = min(workers_requested, max(len(pending_cells), 1))
     store_file: Path | None = None
     warm_loaded = 0
     cache = default_schedule_cache()
@@ -549,7 +650,6 @@ def execute_cells(
     }
 
     t0 = time.perf_counter()
-    results: list[CellResult | None] = [None] * len(cells)
     harvested: dict[bytes, np.ndarray] = {}
     mode = "serial"
     fallback_reason = None
@@ -574,13 +674,14 @@ def execute_cells(
             mode = f"resilient-{ctx.get_start_method()}"
             _STATE = state  # inherited by forked children
             resilience_counters = _execute_resilient(
-                cells, ctx, state, store_file,
+                pending_cells, ctx, state, store_file,
                 workers=workers_effective,
                 cell_timeout_s=cell_timeout_s,
                 max_attempts=max_attempts,
                 retry_backoff_s=retry_backoff_s,
                 results=results,
                 harvested=harvested,
+                on_result=on_result,
             )
         else:
             mode = "resilient-serial"
@@ -589,11 +690,12 @@ def execute_cells(
             _STATE = state
             _worker_init(None, str(store_file) if store_file else None)
             resilience_counters = _execute_resilient_serial(
-                cells,
+                pending_cells,
                 max_attempts=max_attempts,
                 retry_backoff_s=retry_backoff_s,
                 results=results,
                 harvested=harvested,
+                on_result=on_result,
             )
     else:
         if workers_effective > 1 and not spec_reaches_workers:
@@ -608,26 +710,32 @@ def execute_cells(
                 initializer=_worker_init,
                 initargs=(init_state, str(store_file) if store_file else None),
             ) as pool:
-                pending = {pool.submit(_exec_cell, cell) for cell in cells}
+                pending = {pool.submit(_exec_cell, cell) for cell in pending_cells}
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
                     for fut in done:
                         res, new = fut.result()
                         results[res.index] = res
                         harvested.update(new)
+                        if on_result is not None:
+                            on_result()
         else:
             _STATE = state
             _worker_init(None, str(store_file) if store_file else None)
-            for cell in cells:
+            for cell in pending_cells:
                 res, new = _exec_cell(cell)
                 results[res.index] = res
                 harvested.update(new)
+                if on_result is not None:
+                    on_result()
         if fallback_reason and workers_requested <= 1:
             fallback_reason = None  # serial was requested anyway
 
     wall_s = time.perf_counter() - t0
     out = [r for r in results if r is not None]
     assert len(out) == len(cells), "executor lost cells during reassembly"
+    if manifest_file is not None:
+        _checkpoint_save()  # the final manifest always covers every cell
 
     store_stats = None
     if store_file is not None:
@@ -639,7 +747,7 @@ def execute_cells(
         store_stats["warm_entries_loaded"] = warm_loaded
         store_stats["new_schedules_merged"] = len(harvested) if in_process else merged_new
 
-    busy = sum(r.wall_s for r in out)
+    busy = sum(r.wall_s for r in out if not r.restored)
     stats = {
         "cells": len(out),
         "errors": sum(1 for r in out if r.error is not None),
@@ -662,6 +770,16 @@ def execute_cells(
         },
         "per_cell": [asdict(r) for r in out],
     }
+    if manifest_file is not None:
+        stats["checkpoint"] = {
+            "dir": str(checkpoint_dir),
+            "manifest": str(manifest_file),
+            "resume": bool(resume),
+            "checkpoint_every": checkpoint_every,
+            "restored_cells": restored_cells,
+            "executed_cells": len(pending_cells),
+            "saves": checkpoint_saves,
+        }
     if resilience_counters is not None:
         stats["resilience"] = {
             "cell_timeout_s": cell_timeout_s,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.analysis.executor import build_cells, execute_cells
 from repro.analysis.fitting import ExponentFit, fit_exponent
+from repro.envconfig import env_checkpoint_dir
 
 __all__ = ["SweepResult", "run_sweep"]
 
@@ -97,6 +98,9 @@ def run_sweep(
     cell_timeout_s: float | None = None,
     max_attempts: int = 1,
     retry_backoff_s: float = 0.05,
+    checkpoint_dir: str | os.PathLike | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
 ) -> SweepResult:
     """Run every algorithm on a fresh instance per axis value.
 
@@ -134,7 +138,18 @@ def run_sweep(
       quarantined after ``max_attempts``; per-cell outcomes land in
       ``SweepResult.cell_status``.  With ``strict=True`` a quarantined
       cell still raises ``RuntimeError``.
+    * ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` — crash-safe
+      checkpointing (see :mod:`repro.analysis.checkpoint`): completed
+      cells are written to an atomic manifest every ``checkpoint_every``
+      completions, and a re-run with the same sweep specification
+      restores them instead of re-executing — a killed sweep resumes
+      bit-identically from its last checkpoint.  ``stats["checkpoint"]``
+      reports restored/executed counts.  When ``checkpoint_dir`` is
+      ``None``, the ``REPRO_SWEEP_CHECKPOINT_DIR`` environment variable
+      (:func:`repro.envconfig.env_checkpoint_dir`) supplies the default.
     """
+    if checkpoint_dir is None:
+        checkpoint_dir = env_checkpoint_dir()
     name, values = axis
     cells = build_cells(values, algorithms)
     results, stats = execute_cells(
@@ -149,6 +164,9 @@ def run_sweep(
         cell_timeout_s=cell_timeout_s,
         max_attempts=max_attempts,
         retry_backoff_s=retry_backoff_s,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     if strict:
         for res in results:

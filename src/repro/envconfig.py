@@ -1,8 +1,11 @@
 """Validated parsing of the ``REPRO_*`` environment knobs.
 
 The benchmark drivers are configured through environment variables
-(`EXPERIMENTS.md`): ``REPRO_BENCH_WORKERS`` sets the sweep pool size and
-``REPRO_SWEEP_CACHE_DIR`` the persistent schedule-store directory.  Every
+(`EXPERIMENTS.md`): ``REPRO_BENCH_WORKERS`` sets the sweep pool size,
+``REPRO_SWEEP_CACHE_DIR`` the persistent schedule-store directory,
+``REPRO_CERT_CHECKS`` the number of in-model Freivalds certification
+checks (0 disables), and ``REPRO_SWEEP_CHECKPOINT_DIR`` the crash-safe
+sweep-manifest directory.  Every
 driver used to parse these with a bare ``int()`` / ``os.environ.get``,
 so a typo (``REPRO_BENCH_WORKERS=four``) surfaced as an opaque
 ``ValueError: invalid literal for int()`` traceback from deep inside a
@@ -17,10 +20,18 @@ import os
 from pathlib import Path
 from typing import Mapping
 
-__all__ = ["EnvConfigError", "env_workers", "env_cache_dir"]
+__all__ = [
+    "EnvConfigError",
+    "env_workers",
+    "env_cache_dir",
+    "env_cert_checks",
+    "env_checkpoint_dir",
+]
 
 WORKERS_VAR = "REPRO_BENCH_WORKERS"
 CACHE_DIR_VAR = "REPRO_SWEEP_CACHE_DIR"
+CERT_CHECKS_VAR = "REPRO_CERT_CHECKS"
+CHECKPOINT_DIR_VAR = "REPRO_SWEEP_CHECKPOINT_DIR"
 
 
 class EnvConfigError(ValueError):
@@ -75,5 +86,58 @@ def env_cache_dir(
         raise EnvConfigError(
             f"{CACHE_DIR_VAR} must name a directory (existing or to be "
             f"created), but {raw!r} is an existing non-directory"
+        )
+    return str(path)
+
+
+def env_cert_checks(
+    default: int = 20, *, environ: Mapping[str, str] | None = None
+) -> int:
+    """Certification check count from ``REPRO_CERT_CHECKS``.
+
+    Accepts a non-negative integer: the number of independent Freivalds
+    checks (false-accept ≤ 2^-k over fields); ``0`` disables
+    certification.  Unset or empty falls back to ``default``.  Anything
+    else raises :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(CERT_CHECKS_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip(), 10)
+    except ValueError:
+        raise EnvConfigError(
+            f"{CERT_CHECKS_VAR} must be a non-negative integer "
+            f"(0 = certification off), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise EnvConfigError(
+            f"{CERT_CHECKS_VAR} must be >= 0 (0 = certification off), got {value}"
+        )
+    return value
+
+
+def env_checkpoint_dir(
+    *, environ: Mapping[str, str] | None = None
+) -> str | None:
+    """Sweep checkpoint directory from ``REPRO_SWEEP_CHECKPOINT_DIR``.
+
+    Unset or empty means no checkpointing and returns ``None``.  A set
+    value is expanded (``~``) and must not name an existing
+    *non-directory* — pointing the manifest at a regular file raises
+    :class:`EnvConfigError` here instead of an opaque failure at the
+    first periodic save.  The directory itself may not exist yet; the
+    checkpoint writer creates it on first write.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(CHECKPOINT_DIR_VAR)
+    if raw is None or raw.strip() == "":
+        return None
+    path = Path(raw.strip()).expanduser()
+    if path.exists() and not path.is_dir():
+        raise EnvConfigError(
+            f"{CHECKPOINT_DIR_VAR} must name a directory (existing or to "
+            f"be created), but {raw!r} is an existing non-directory"
         )
     return str(path)

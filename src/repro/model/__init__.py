@@ -9,6 +9,7 @@ algorithms run on.  Round counts are *measured by execution*: the counter
 advances only when a communication round is actually carried out.
 """
 
+from repro.model.certify import Certificate, CertifyConfig, certify_product
 from repro.model.faults import (
     FaultPlan,
     ResilienceConfig,
@@ -58,4 +59,7 @@ __all__ = [
     "ResilientExchange",
     "classify_outcome",
     "run_with_faults",
+    "Certificate",
+    "CertifyConfig",
+    "certify_product",
 ]

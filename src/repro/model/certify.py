@@ -1,0 +1,466 @@
+"""Distributed Freivalds certification of a computed product, in-model.
+
+After an algorithm has run, the network's final state holds the requested
+output words ``("X", i, k)`` at their owners — possibly wrong, if the run
+suffered silent corruption.  This module certifies the product *inside*
+the simulator, with every round billed, so a wrong output is detected at
+runtime without consulting the NumPy ground truth the real distributed
+system never has.
+
+The protocol (per independent check ``t``; all phases labelled
+``certify/...`` so they are attributable in ``phase_summary()``):
+
+1. **Shared randomness.**  Computer 0 draws one seed word and broadcasts
+   it to everyone (``ceil(log2 n)`` rounds).  Each computer then derives
+   the check's random vector ``r`` locally — a pure function of the seed,
+   so only the seed ever travels.
+2. **``Br``.**  Every owner of ``B`` entries locally sums
+   ``B[j, k] * r[k]`` per row ``j`` and sends one partial word to the
+   row's anchor (computer ``j``), which adds them into ``b_j = (Br)[j]``.
+3. **``A(Br)``.**  Anchors ship ``b_j`` to the owners of column-``j``
+   entries of ``A`` (one word per support entry); owners form per-row
+   partials ``A[i, j] * b_j`` and send them to the row anchor (computer
+   ``i``), which sums ``s_i = (A(Br))[i]``.
+4. **``Cr``.**  Owners of ``X`` entries form partials ``X[i, k] * r[k]``
+   and send them to the same row anchors, which sum ``t_i = (Cr)[i]``.
+5. **Verdict.**  Each row anchor compares ``s_i`` against ``t_i``
+   (semiring tolerance) and folds the result into a local flag; the
+   global conjunction is convergecast to computer 0.
+
+Over fields the random entries are drawn from a 16-element set, so one
+check false-accepts a wrong product with probability at most 1/16 by
+Schwartz–Zippel, and ``k`` independent checks give ≤ 2^-k (the reported
+bound).  Over the boolean/tropical semirings (no subtraction) ``r`` is a
+random zero/one selector: the check is *one-sided* — it never rejects a
+correct product, and a rejection is always genuine, but a pass carries no
+2^-k guarantee.
+
+**Masked products.**  Freivalds compares full matrix-vector slices, but
+the supported model only requests ``X`` on the support ``x_hat`` — which
+may be a *proper* subset of the structural product support
+``a_hat @ b_hat``.  Rows where the product support sticks out of
+``x_hat`` ("impure" rows) would make a correct output fail the
+comparison.  Purity is decided from the indicator matrices alone (free,
+supported-model preprocessing); impure rows are certified instead by an
+*exact replay*: fresh copies of the implicated ``A``/``B`` words are
+re-routed from their owners to the ``X`` owners (billed like any phase),
+which recompute their triangle sums and compare.  The replay is
+deterministic and exact, so completeness holds on every instance and any
+seed.
+
+**Fail-safe direction.**  All certification traffic runs under the same
+fault plan as the product it certifies.  A dropped partial surfaces as a
+missing key (a detected failure); a corrupted partial can only flip an
+anchor comparison toward *reject* — except for the final verdict word
+itself, which an in-flight corruption could flip to "pass".  The harness
+therefore cross-reads every anchor's local verdict from the final state
+(exactly as it reads the output words) and conjoins it with the
+convergecast word: acceptance requires both, so a single corrupted word
+can never manufacture a pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.network import LowBandwidthNetwork
+    from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "CertifyConfig",
+    "Certificate",
+    "certify_product",
+    "impure_rows",
+    "freivalds_vector",
+]
+
+_OK_KEY = ("cert", "ok")
+_SEED_KEY = ("cert", "seed")
+
+
+@dataclass(frozen=True)
+class CertifyConfig:
+    """Parameters of the certification layer.
+
+    ``checks`` independent Freivalds rounds (false-accept ≤ 2^-checks
+    over fields); ``seed`` feeds the shared-randomness broadcast;
+    ``max_repair_attempts`` bounds how many times ``run_with_faults``
+    re-runs a product whose certificate failed."""
+
+    checks: int = 20
+    seed: int = 0
+    max_repair_attempts: int = 2
+
+    def validate(self) -> None:
+        """Reject non-positive check counts and negative repair budgets."""
+        if self.checks < 1:
+            raise ValueError(f"CertifyConfig.checks must be >= 1, got {self.checks!r}")
+        if self.max_repair_attempts < 0:
+            raise ValueError("CertifyConfig.max_repair_attempts must be >= 0")
+
+
+@dataclass
+class Certificate:
+    """The outcome of one certification run (see module docstring)."""
+
+    ok: bool
+    checks: int
+    checks_run: int
+    #: index of the first failing Freivalds check; -1 when the exact
+    #: replay of impure rows failed; None when everything passed
+    failed_check: int | None
+    pure_rows: int
+    impure_rows: int
+    replayed_triangles: int
+    #: rounds / messages consumed by certification (billed in-model)
+    rounds: int
+    messages: int
+    #: conjunction of the anchors' local verdicts, read from final state
+    anchors_ok: bool
+    #: the verdict word that arrived at computer 0 through the convergecast
+    convergecast_ok: bool
+    one_sided: bool
+    false_accept_bound: float | None
+
+
+def _check_rng(seed: int, check: int) -> np.random.Generator:
+    """The shared-randomness derivation: a pure function of the broadcast
+    seed and the check index, identical at every computer."""
+    return np.random.default_rng(np.random.SeedSequence((int(seed), int(check))))
+
+
+def freivalds_vector(sr, seed: int, check: int, n: int) -> np.ndarray:
+    """The length-``n`` random vector of check ``check``, derived locally
+    from the broadcast ``seed`` (every computer computes the same one).
+
+    Fields: entries from a 16-element set — ``{1..16}`` (``{0, 1}`` for
+    GF(2), whose only elements those are).  Non-fields: a random
+    ``{zero, one}`` selector (one-sided check)."""
+    rng = _check_rng(seed, check)
+    if sr.is_field:
+        if np.dtype(sr.dtype) == np.uint8:  # GF(2): elements are {0, 1}
+            return sr.array(rng.integers(0, 2, size=n))
+        return sr.array(rng.integers(1, 17, size=n))
+    sel = rng.integers(0, 2, size=n).astype(bool)
+    r = sr.zeros(n)
+    r[sel] = sr.one
+    return r
+
+
+def impure_rows(inst: "SupportedInstance") -> np.ndarray:
+    """Rows whose structural product support ``a_hat @ b_hat`` is *not*
+    contained in the requested support ``x_hat`` — decided from the
+    indicator matrices alone (free, supported-model preprocessing).
+    Freivalds slice comparisons are only complete on the complement; these
+    rows are certified by exact replay instead."""
+    prod = (inst.a_hat.astype(np.int64) @ inst.b_hat.astype(np.int64)) > 0
+    missing = (prod.astype(np.int8) - (inst.x_hat > 0).astype(np.int8)) > 0
+    return np.unique(missing.tocoo().row.astype(np.int64))
+
+
+def _deliver_partials(net, entries, *, label: str) -> None:
+    """Write each ``(src, dst, key, value, provenance)`` at its source and
+    deliver it; a self-addressed partial is a local write (no message)."""
+    srcs: list[int] = []
+    dsts: list[int] = []
+    keys: list = []
+    for src, dst, key, value, prov in entries:
+        net.write(src, key, value, provenance=prov)
+        if src != dst:
+            srcs.append(src)
+            dsts.append(dst)
+            keys.append(key)
+    if srcs:
+        net.exchange_arrays(
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            keys,
+            keys,
+            label=label,
+        )
+
+
+def _fold_ok(net, comp: int, ok: bool, provenance=()) -> None:
+    current = bool(net.read(comp, _OK_KEY))
+    net.write(comp, _OK_KEY, current and bool(ok), provenance=(_OK_KEY, *provenance))
+
+
+def _group_by_owner_row(owners: dict, row_axis: int) -> dict:
+    """owner -> row -> [(i, j), ...] over one support's ownership map."""
+    grouped: dict[int, dict[int, list]] = {}
+    for (i, j), comp in owners.items():
+        row = (i, j)[row_axis]
+        grouped.setdefault(comp, {}).setdefault(row, []).append((i, j))
+    return grouped
+
+
+def _replay_impure(inst, net, impure: np.ndarray) -> tuple[int, int]:
+    """Exact certification of impure rows: re-route fresh ``A``/``B``
+    words from their owners to the ``X`` owners (billed), recompute each
+    requested entry's triangle sum there and compare.  Returns
+    ``(#rows replayed, #triangles replayed)``."""
+    sr = inst.semiring
+    tri = inst.triangles.triangles
+    impure_set = set(int(i) for i in impure)
+    if tri.shape[0]:
+        mask = np.isin(tri[:, 0], impure)
+        tri = tri[mask]
+    else:
+        tri = tri[:0]
+
+    owner_a, owner_b, owner_x = inst.owner_a, inst.owner_b, inst.owner_x
+    # route fresh input copies, deduplicated per (destination, word)
+    route: dict[tuple[int, tuple], tuple[int, tuple]] = {}
+    by_dest: dict[tuple[int, int, int], list[tuple]] = {}
+    for i, j, k in tri.tolist():
+        xo = owner_x[(i, k)]
+        a_key, b_key = ("A", i, j), ("B", j, k)
+        route[(xo, a_key)] = (owner_a[(i, j)], ("cert", "rA", i, j))
+        route[(xo, b_key)] = (owner_b[(j, k)], ("cert", "rB", j, k))
+        by_dest.setdefault((xo, i, k), []).append((a_key, b_key))
+    if route:
+        srcs, dsts, src_keys, dst_keys = [], [], [], []
+        for (xo, key), (owner, ckey) in sorted(route.items()):
+            if owner == xo:
+                net.write(xo, ckey, net.read(xo, key), provenance=(key,))
+            else:
+                srcs.append(owner)
+                dsts.append(xo)
+                src_keys.append(key)
+                dst_keys.append(ckey)
+        if srcs:
+            net.exchange_arrays(
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(dsts, dtype=np.int64),
+                src_keys,
+                dst_keys,
+                label="certify/replay",
+            )
+    # every requested entry in an impure row is checked, including the
+    # triangle-free ones (which must hold the semiring zero)
+    zero = sr.scalar(sr.zero)
+    for (i, k), xo in owner_x.items():
+        if i not in impure_set:
+            continue
+        acc = zero
+        prov = [("X", i, k)]
+        for a_key, b_key in by_dest.get((xo, i, k), ()):
+            ca = ("cert", "rA", a_key[1], a_key[2])
+            cb = ("cert", "rB", b_key[1], b_key[2])
+            acc = sr.add(acc, sr.mul(net.read(xo, ca), net.read(xo, cb)))
+            prov += [ca, cb]
+        _fold_ok(net, xo, sr.close(acc, net.read(xo, ("X", i, k))), provenance=prov)
+    return len(impure_set), int(tri.shape[0])
+
+
+def _freivalds_check(inst, net, check: int, seed: int, pure: np.ndarray) -> None:
+    """One billed Freivalds round over the pure rows (module docstring
+    steps 2–4); row anchors fold their comparison into the local flag."""
+    sr = inst.semiring
+    n = inst.n
+    pure_set = set(int(i) for i in pure)
+    r = freivalds_vector(sr, seed, check, n)
+
+    # -- Br: owner partials per B row -> row anchor (computer j) -------- #
+    b_owned = _group_by_owner_row(inst.owner_b, 0)
+    entries = []
+    b_contrib: dict[int, list] = {}
+    for comp, rows in sorted(b_owned.items()):
+        for j, cells in sorted(rows.items()):
+            acc = sr.scalar(sr.zero)
+            prov = [_SEED_KEY]
+            for (jj, k) in cells:
+                acc = sr.add(acc, sr.mul(net.read(comp, ("B", jj, k)), r[k]))
+                prov.append(("B", jj, k))
+            key = ("cert", check, "pB", j, comp)
+            entries.append((comp, j, key, acc, tuple(prov)))
+            b_contrib.setdefault(j, []).append(key)
+    _deliver_partials(net, entries, label="certify/b-partials")
+
+    # which b_j words are needed where (pure rows of A only)
+    a_owned = _group_by_owner_row(inst.owner_a, 0)
+    need: dict[tuple[int, int], None] = {}
+    for comp, rows in a_owned.items():
+        for i, cells in rows.items():
+            if i not in pure_set:
+                continue
+            for (_, j) in cells:
+                need[(comp, j)] = None
+    # anchors assemble b_j (a row with no B support contributes zero)
+    needed_j = sorted({j for (_, j) in need})
+    for j in needed_j:
+        acc = sr.scalar(sr.zero)
+        prov = []
+        for key in b_contrib.get(j, ()):
+            acc = sr.add(acc, net.read(j, key))
+            prov.append(key)
+        net.write(j, ("cert", check, "Br", j), acc, provenance=tuple(prov))
+    if need:
+        srcs, dsts, src_keys = [], [], []
+        for (comp, j) in sorted(need):
+            if comp == j:
+                continue
+            srcs.append(j)
+            dsts.append(comp)
+            src_keys.append(("cert", check, "Br", j))
+        if srcs:
+            net.exchange_arrays(
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(dsts, dtype=np.int64),
+                src_keys,
+                src_keys,
+                label="certify/b-dist",
+            )
+
+    # -- A(Br): owner partials per pure A row -> row anchor (computer i) -- #
+    entries = []
+    s_contrib: dict[int, list] = {}
+    for comp, rows in sorted(a_owned.items()):
+        for i, cells in sorted(rows.items()):
+            if i not in pure_set:
+                continue
+            acc = sr.scalar(sr.zero)
+            prov = []
+            for (ii, j) in cells:
+                br = ("cert", check, "Br", j)
+                acc = sr.add(acc, sr.mul(net.read(comp, ("A", ii, j)), net.read(comp, br)))
+                prov += [("A", ii, j), br]
+            key = ("cert", check, "pS", i, comp)
+            entries.append((comp, i, key, acc, tuple(prov)))
+            s_contrib.setdefault(i, []).append(key)
+    _deliver_partials(net, entries, label="certify/a-partials")
+
+    # -- Cr: X-owner partials per pure row -> the same row anchors ------ #
+    x_owned = _group_by_owner_row(inst.owner_x, 0)
+    entries = []
+    t_contrib: dict[int, list] = {}
+    for comp, rows in sorted(x_owned.items()):
+        for i, cells in sorted(rows.items()):
+            if i not in pure_set:
+                continue
+            acc = sr.scalar(sr.zero)
+            prov = [_SEED_KEY]
+            for (ii, k) in cells:
+                acc = sr.add(acc, sr.mul(net.read(comp, ("X", ii, k)), r[k]))
+                prov.append(("X", ii, k))
+            key = ("cert", check, "pT", i, comp)
+            entries.append((comp, i, key, acc, tuple(prov)))
+            t_contrib.setdefault(i, []).append(key)
+    _deliver_partials(net, entries, label="certify/x-partials")
+
+    # -- anchors compare s_i against t_i -------------------------------- #
+    zero = sr.scalar(sr.zero)
+    for i in sorted(set(s_contrib) | set(t_contrib)):
+        s_i = zero
+        prov = []
+        for key in s_contrib.get(i, ()):
+            s_i = sr.add(s_i, net.read(i, key))
+            prov.append(key)
+        t_i = zero
+        for key in t_contrib.get(i, ()):
+            t_i = sr.add(t_i, net.read(i, key))
+            prov.append(key)
+        _fold_ok(net, i, sr.close(s_i, t_i), provenance=tuple(prov))
+
+
+def _anchors_ok(net) -> bool:
+    """Harness-side conjunction of every computer's local verdict flag —
+    read from final state exactly like the output words are collected."""
+    return all(
+        bool(net.read(c, _OK_KEY)) for c in range(net.n) if net.holds(c, _OK_KEY)
+    )
+
+
+def _cleanup(net) -> None:
+    for c in range(net.n):
+        for key in [k for k in net.mem[c] if isinstance(k, tuple) and k and k[0] == "cert"]:
+            net.delete(c, key)
+
+
+def certify_product(
+    inst: "SupportedInstance",
+    net: "LowBandwidthNetwork",
+    *,
+    config: CertifyConfig | None = None,
+    checks: int | None = None,
+    seed: int | None = None,
+) -> Certificate:
+    """Certify the product held in ``net``'s final state, in-model.
+
+    Runs the distributed protocol of the module docstring on the same
+    network the algorithm ran on — same fault plan, same resilience
+    policy, every round billed under ``certify/...`` phase labels — and
+    returns a :class:`Certificate`.  ``config`` (or the ``checks`` /
+    ``seed`` shorthands) controls the number of independent checks."""
+    if config is None:
+        config = CertifyConfig(
+            checks=20 if checks is None else checks,
+            seed=0 if seed is None else seed,
+        )
+    config.validate()
+    sr = inst.semiring
+    n = inst.n
+    rounds0, messages0 = net.rounds, net.messages_sent
+
+    # structure-only preprocessing (free in the supported model)
+    impure = impure_rows(inst)
+    pure = np.setdiff1d(np.arange(n, dtype=np.int64), impure)
+
+    # every computer starts with a passing local flag (local write, free)
+    for c in range(n):
+        net.write(c, _OK_KEY, True)
+
+    # shared randomness: one seed word, broadcast to everyone
+    net.write(0, _SEED_KEY, int(config.seed))
+    net.segmented_broadcast([list(range(n))], [_SEED_KEY], label="certify/seed")
+
+    checks_run = 0
+    failed_check: int | None = None
+    replayed_rows = replayed_triangles = 0
+    if impure.size:
+        replayed_rows, replayed_triangles = _replay_impure(inst, net, impure)
+        if not _anchors_ok(net):
+            failed_check = -1
+    if failed_check is None:
+        for t in range(config.checks):
+            _freivalds_check(inst, net, t, config.seed, pure)
+            checks_run += 1
+            if not _anchors_ok(net):  # early exit: the verdict is already final
+                failed_check = t
+                break
+
+    # the in-model verdict: global AND convergecast to computer 0
+    anchors_ok = _anchors_ok(net)
+    net.segmented_convergecast(
+        [list(range(n))],
+        [_OK_KEY],
+        lambda a, b: bool(a) and bool(b),
+        label="certify/verdict",
+    )
+    convergecast_ok = bool(net.read(0, _OK_KEY))
+    ok = anchors_ok and convergecast_ok
+
+    rounds = net.rounds - rounds0
+    messages = net.messages_sent - messages0
+    _cleanup(net)
+    one_sided = not sr.is_field
+    return Certificate(
+        ok=ok,
+        checks=config.checks,
+        checks_run=checks_run,
+        failed_check=failed_check,
+        pure_rows=int(pure.size),
+        impure_rows=int(impure.size),
+        replayed_triangles=replayed_triangles,
+        rounds=rounds,
+        messages=messages,
+        anchors_ok=anchors_ok,
+        convergecast_ok=convergecast_ok,
+        one_sided=one_sided,
+        false_accept_bound=None if one_sided else math.ldexp(1.0, -config.checks),
+    )

@@ -62,11 +62,20 @@ Outcome classification
       something went wrong;
     * ``silent-corruption`` — the run completed without complaint but the
       output is wrong.  The resilience experiments' central claim is that
-      strict mode with corruption detection never lands here.
+      strict mode with corruption detection never lands here;
+    * ``unverified`` — the run completed but verification was disabled
+      (``verify=False``): correctness is *unknown*, never assumed;
+    * ``certified-correct`` / ``repaired`` / ``certification-failure`` —
+      the extended taxonomy when in-model certification is requested
+      (``certify=``): the distributed Freivalds certificate accepted the
+      result (immediately / after bounded self-repair re-runs under fresh
+      fault offsets / not at all within the repair budget).  See
+      :mod:`repro.model.certify`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
@@ -87,6 +96,10 @@ __all__ = [
     "OUTCOME_CORRECT",
     "OUTCOME_DETECTED",
     "OUTCOME_SILENT",
+    "OUTCOME_UNVERIFIED",
+    "OUTCOME_CERTIFIED",
+    "OUTCOME_REPAIRED",
+    "OUTCOME_CERT_FAILURE",
     "classify_outcome",
     "run_with_faults",
     "corrupt_word",
@@ -95,6 +108,10 @@ __all__ = [
 OUTCOME_CORRECT = "correct"
 OUTCOME_DETECTED = "detected-failure"
 OUTCOME_SILENT = "silent-corruption"
+OUTCOME_UNVERIFIED = "unverified"
+OUTCOME_CERTIFIED = "certified-correct"
+OUTCOME_REPAIRED = "repaired"
+OUTCOME_CERT_FAILURE = "certification-failure"
 
 # decision kinds: disjoint hash sub-spaces per fault type (payload vs ack)
 _KIND_DROP = 1
@@ -196,18 +213,58 @@ def _mix(src: np.ndarray, dst: np.ndarray, rnd: np.ndarray, salt: int) -> np.nda
     return x
 
 
+#: itemsize -> (float view, int view, highest mantissa bit index)
+_FLOAT_VIEWS = {
+    2: (np.float16, np.int16, 9),
+    4: (np.float32, np.int32, 22),
+    8: (np.float64, np.int64, 51),
+}
+
+
+def _flip_mantissa(value: Any, h: int):
+    """XOR a *high* mantissa bit of a finite float: a perturbation that
+    survives any magnitude (``1e300 + 7 == 1e300``, but no float equals
+    itself with a flipped mantissa bit) and any closeness tolerance (the
+    relative change is at least ``2^-5``, far outside the semirings'
+    ``1e-8`` comparison slack).  The exponent is untouched, so a finite
+    input stays finite."""
+    arr = np.asarray(value)
+    ftype, itype, hi_bit = _FLOAT_VIEWS.get(
+        arr.dtype.itemsize, (np.float64, np.int64, 51)
+    )
+    arr = arr.astype(ftype)
+    mask = itype(1) << itype(hi_bit - h % 4)
+    return (arr.view(itype) ^ mask).view(ftype)[()]
+
+
 def corrupt_word(value: Any, h: int) -> Any:
-    """Deterministically perturb one delivered word (bit-flip flavour)."""
+    """Deterministically perturb one delivered word (bit-flip flavour).
+
+    Total: every word type maps to a *different* word — an in-flight
+    corruption that reproduces the original bit pattern is not a
+    corruption.  Bit flips cannot perturb non-finite floats without
+    changing their class, so those degrade to a finite garbage value,
+    and non-numeric payloads are replaced by a tagged wrapper (a
+    different word)."""
     h = int(h)
     if isinstance(value, (bool, np.bool_)):
         return not bool(value)
     if isinstance(value, (int, np.integer)):
         return type(value)(int(value) ^ (1 << (h % 16)))
     if isinstance(value, (float, np.floating)):
-        return value + type(value)(1 + h % 7)
+        if np.isinf(value) or np.isnan(value):
+            return type(value)(float(1 + h % 7))
+        return type(value)(_flip_mantissa(value, h))
     if isinstance(value, np.ndarray) and value.ndim == 0:
+        scalar = value[()]
+        if value.dtype == np.bool_:
+            return np.bool_(not bool(scalar))
+        if np.issubdtype(value.dtype, np.floating):
+            if np.isinf(scalar) or np.isnan(scalar):
+                return value.dtype.type(1 + h % 7)
+            return np.array(_flip_mantissa(scalar, h))
         return value + value.dtype.type(1 + h % 7)
-    return value  # non-numeric payloads pass through unperturbed
+    return ("__corrupted__", h % 16, repr(value))  # non-numeric: replaced
 
 
 class FaultInjector:
@@ -239,6 +296,9 @@ class FaultInjector:
         self.plan = plan
         self.active = plan.active
         self.counts: dict[str, int] = {k: 0 for k in self._COUNT_KEYS}
+        #: phase label (prefix before "/") -> silently corrupted words:
+        #: attribution for the repair layer's diagnostics
+        self.silent_phases: dict[str, int] = {}
         self._ordinal = 0  # payload deliveries attempted so far (acks excluded)
         self._crash_round = None
         if plan.crashes:
@@ -266,6 +326,7 @@ class FaultInjector:
         *,
         base_round: int,
         acks: bool = False,
+        label: str | None = None,
     ) -> PhaseFaults:
         """Evaluate the plan against one scheduled phase.
 
@@ -282,6 +343,10 @@ class FaultInjector:
         n = int(src.size)
         g = base_round + rounds_arr.astype(np.int64)
         deliver = np.ones(n, dtype=bool)
+        # a self-addressed message never leaves the computer: in-flight
+        # faults (drops, corruption, duplication, delays, lost acks)
+        # cannot touch it — only a crash of the computer itself can
+        wired = src != dst
 
         if self._crash_round is not None:
             dead = (g >= self._crash_round[src]) | (g >= self._crash_round[dst])
@@ -290,37 +355,46 @@ class FaultInjector:
 
         if plan.drop_rate > 0.0:
             kind = _KIND_ACK_DROP if acks else _KIND_DROP
-            hit = self._rate_mask(kind, src, dst, g, plan.drop_rate) & deliver
+            hit = self._rate_mask(kind, src, dst, g, plan.drop_rate) & deliver & wired
             self.counts["acks_lost" if acks else "dropped"] += int(hit.sum())
             deliver &= ~hit
 
         if self._drop_ordinals is not None and not acks:
-            ords = self._ordinal + np.arange(n, dtype=np.int64)
-            hit = np.isin(ords, self._drop_ordinals) & deliver
+            # ordinals index words that actually cross the wire, so a
+            # targeted ordinal always names a droppable delivery
+            wired_idx = np.flatnonzero(wired)
+            ords = self._ordinal + np.arange(wired_idx.size, dtype=np.int64)
+            hit = np.zeros(n, dtype=bool)
+            hit[wired_idx[np.isin(ords, self._drop_ordinals)]] = True
+            hit &= deliver
             self.counts["dropped"] += int(hit.sum())
             deliver &= ~hit
         if not acks:
-            self._ordinal += n
+            self._ordinal += int(wired.sum())
 
         corrupt = np.zeros(n, dtype=bool)
         corrupt_h: np.ndarray | None = None
         if plan.corrupt_rate > 0.0 and not acks:
             h = _mix(src, dst, g, plan.seed * 64 + _KIND_CORRUPT)
-            hit = (h.astype(np.float64) / 2.0**64 < plan.corrupt_rate) & deliver
+            hit = (h.astype(np.float64) / 2.0**64 < plan.corrupt_rate) & deliver & wired
             if plan.detect_corruption:
                 # checksum mismatch: the receiver discards the word, so
                 # corruption degrades to a detectable erasure
                 self.counts["corrupt_detected"] += int(hit.sum())
                 deliver &= ~hit
             else:
-                self.counts["corrupt_silent"] += int(hit.sum())
+                silent = int(hit.sum())
+                self.counts["corrupt_silent"] += silent
+                if silent and label is not None:
+                    phase = label.split("/", 1)[0]
+                    self.silent_phases[phase] = self.silent_phases.get(phase, 0) + silent
                 corrupt = hit
                 corrupt_h = h
 
         extra_rounds = 0
         duplicates = 0
         if plan.dup_rate > 0.0 and not acks:
-            dup = self._rate_mask(_KIND_DUP, src, dst, g, plan.dup_rate) & deliver
+            dup = self._rate_mask(_KIND_DUP, src, dst, g, plan.dup_rate) & deliver & wired
             duplicates = int(dup.sum())
             if duplicates:
                 self.counts["duplicated"] += duplicates
@@ -331,7 +405,7 @@ class FaultInjector:
         if plan.link_delays and not acks:
             delays = np.zeros(n, dtype=np.int64)
             for (s, d), k in plan.link_delays.items():
-                delays[(src == s) & (dst == d) & deliver] = k
+                delays[(src == s) & (dst == d) & deliver & wired] = k
             if delays.any():
                 self.counts["delayed"] += int((delays > 0).sum())
                 makespan = int(rounds_arr.max()) + 1 if n else 0
@@ -507,15 +581,39 @@ class ResilientExchange:
 # ---------------------------------------------------------------------- #
 # Outcome classification
 # ---------------------------------------------------------------------- #
-def classify_outcome(verified: bool | None, error: str | None) -> str:
-    """Label one run: ``correct`` / ``detected-failure`` / ``silent-corruption``.
+def classify_outcome(
+    verified: bool | None,
+    error: str | None,
+    *,
+    certified: bool | None = None,
+    repair_attempts: int = 0,
+) -> str:
+    """Label one run.
 
-    A raised error is a *detected* failure regardless of output state; a
-    completed run is ``correct`` iff verification against the reference
-    passed, otherwise the corruption went through silently."""
+    * ``detected-failure`` — the run raised: the system *knows* something
+      went wrong.
+    * ``certification-failure`` — the in-model certificate rejected the
+      output and the repair budget could not produce a passing one (a
+      detected failure with a certificate attached).
+    * ``silent-corruption`` — the output is wrong against the reference
+      and nothing flagged it: reachable only with certification disabled,
+      or through the certifier's 2^-k false-accept event.
+    * ``certified-correct`` / ``repaired`` — the certificate passed
+      (immediately / after ``repair_attempts`` re-runs).
+    * ``correct`` — no certificate, but reference verification passed.
+    * ``unverified`` — the run completed but nothing checked the output
+      (verification skipped, certification off): explicitly *not* a
+      success label.
+    """
     if error is not None:
         return OUTCOME_DETECTED
-    return OUTCOME_CORRECT if verified else OUTCOME_SILENT
+    if certified is False:
+        return OUTCOME_CERT_FAILURE
+    if verified is False:
+        return OUTCOME_SILENT
+    if certified is True:
+        return OUTCOME_REPAIRED if repair_attempts > 0 else OUTCOME_CERTIFIED
+    return OUTCOME_CORRECT if verified else OUTCOME_UNVERIFIED
 
 
 @dataclass
@@ -530,6 +628,46 @@ class FaultRunOutcome:
     fault_counts: dict[str, int]
     phase_summary: dict[str, tuple[int, int]]
     wall_s: float
+    #: the final attempt's in-model certificate (None: certification off)
+    certificate: Any = None
+    #: certificate verdict (None when certification is off)
+    certified: bool | None = None
+    #: re-runs triggered by a failed certificate
+    repair_attempts: int = 0
+    #: total algorithm executions (1 + repair_attempts actually used)
+    attempts: int = 1
+    #: rounds spent inside certification, across all attempts
+    cert_rounds: int = 0
+    #: everything beyond the final product itself: certification rounds
+    #: plus every discarded repair attempt, all billed
+    overhead_rounds: int = 0
+    #: phase labels in which silent corruption actually struck (union over
+    #: attempts) — what a failed certificate implicates
+    implicated_phases: tuple[str, ...] = ()
+
+
+def _resolve_certify(certify) -> "Any":
+    """``certify`` may be None/False (off), True (defaults), an int
+    (check count) or a :class:`~repro.model.certify.CertifyConfig`."""
+    if certify is None or certify is False:
+        return None
+    from repro.model.certify import CertifyConfig
+
+    if certify is True:
+        return CertifyConfig()
+    if isinstance(certify, int):
+        return CertifyConfig(checks=certify)
+    return certify
+
+
+def _offset_plan(plan: FaultPlan | None, attempt: int) -> FaultPlan | None:
+    """Fresh fault offsets for repair attempt ``attempt``: the same rates
+    under a re-derived hash seed, so a repair re-run does not replay the
+    exact corruption pattern that poisoned the original (targeted
+    ordinals and crash schedules are positional and deliberately kept)."""
+    if plan is None or attempt == 0:
+        return plan
+    return dataclasses.replace(plan, seed=plan.seed + 0x9E3779B9 * attempt)
 
 
 def run_with_faults(
@@ -539,36 +677,101 @@ def run_with_faults(
     *,
     strict: bool = False,
     resilience: ResilienceConfig | bool | None = None,
+    certify: Any = None,
+    verify: bool = True,
     **algo_kwargs: Any,
 ) -> FaultRunOutcome:
     """Run ``algorithm(inst, net=...)`` under ``plan`` and classify it.
 
     The algorithm runs on a fresh network carrying the plan (and the
     resilient delivery protocol when ``resilience`` is set); any raised
-    exception is captured as a detected failure, a completed run is
-    verified against the instance's NumPy/semiring reference, and the
-    triple is condensed through :func:`classify_outcome`.
+    exception is captured as a detected failure.  With ``certify`` set
+    (True / a check count / a ``CertifyConfig``) the product is then
+    certified *in-model* (:func:`repro.model.certify.certify_product`,
+    every round billed under ``certify/...`` labels); a failed
+    certificate triggers bounded self-repair — the run is re-executed
+    with fresh fault-plan offsets up to ``max_repair_attempts`` times,
+    discarded attempts and all certification rounds accumulating into
+    ``overhead_rounds``.  ``verify=False`` skips the reference comparison
+    (the real distributed system cannot do it); without a certificate
+    such a run is classified ``unverified``, never silently successful.
     """
     from repro.model.network import LowBandwidthNetwork
 
-    net = LowBandwidthNetwork(
-        inst.n, strict=strict, fault_plan=plan, resilience=resilience
-    )
+    cert_cfg = _resolve_certify(certify)
+    max_attempts = 1 + (cert_cfg.max_repair_attempts if cert_cfg is not None else 0)
+
     t0 = time.perf_counter()
-    verified: bool | None = None
+    total_rounds = total_messages = 0
+    fault_counts: dict[str, int] = {}
+    phase_summary: dict[str, tuple[int, int]] = {}
+    implicated: dict[str, int] = {}
+    cert_rounds_total = 0
+    repair_attempts = 0
+    attempts = 0
+    res = None
+    certificate = None
     error: str | None = None
-    try:
-        res = algorithm(inst, net=net, **algo_kwargs)
+    final_product_rounds = 0
+
+    for attempt in range(max_attempts):
+        attempts = attempt + 1
+        net = LowBandwidthNetwork(
+            inst.n,
+            strict=strict,
+            fault_plan=_offset_plan(plan, attempt),
+            resilience=resilience,
+        )
+        error = None
+        certificate = None
+        attempt_cert_rounds = 0
+        try:
+            res = algorithm(inst, net=net, **algo_kwargs)
+            if cert_cfg is not None:
+                from repro.model.certify import certify_product
+
+                certificate = certify_product(inst, net, config=cert_cfg)
+                attempt_cert_rounds = certificate.rounds
+        except Exception as exc:  # every failure mode ends in classification
+            error = f"{type(exc).__name__}: {exc}"
+        total_rounds += net.rounds
+        total_messages += net.messages_sent
+        cert_rounds_total += attempt_cert_rounds
+        final_product_rounds = net.rounds - attempt_cert_rounds
+        for key, val in (net.fault_counts() or {}).items():
+            fault_counts[key] = fault_counts.get(key, 0) + val
+        for lbl, (r, m) in net.phase_summary().items():
+            pr, pm = phase_summary.get(lbl, (0, 0))
+            phase_summary[lbl] = (pr + r, pm + m)
+        for lbl, cnt in (net.fault_phase_attribution() or {}).items():
+            implicated[lbl] = implicated.get(lbl, 0) + cnt
+        if error is not None:
+            break  # a raised error is already a *detected* failure
+        if certificate is None or certificate.ok:
+            break
+        if attempt + 1 < max_attempts:
+            repair_attempts += 1
+
+    verified: bool | None = None
+    if error is None and verify and res is not None:
         verified = bool(inst.verify(res.x))
-    except Exception as exc:  # every failure mode ends in classification
-        error = f"{type(exc).__name__}: {exc}"
+    certified = None if certificate is None else bool(certificate.ok)
     return FaultRunOutcome(
-        outcome=classify_outcome(verified, error),
+        outcome=classify_outcome(
+            verified, error, certified=certified, repair_attempts=repair_attempts
+        ),
         verified=verified,
         error=error,
-        rounds=net.rounds,
-        messages=net.messages_sent,
-        fault_counts=net.fault_counts() or {},
-        phase_summary=net.phase_summary(),
+        rounds=total_rounds,
+        messages=total_messages,
+        fault_counts=fault_counts,
+        phase_summary=phase_summary,
         wall_s=time.perf_counter() - t0,
+        certificate=certificate,
+        certified=certified,
+        repair_attempts=repair_attempts,
+        attempts=attempts,
+        cert_rounds=cert_rounds_total,
+        overhead_rounds=total_rounds - final_product_rounds,
+        implicated_phases=tuple(sorted(implicated)),
     )

@@ -486,7 +486,7 @@ class LowBandwidthNetwork:
         total = schedule_makespan(rounds_arr)
         inj = self._injector
         dec = (
-            inj.decide_phase(src, dst, rounds_arr, base_round=self.rounds)
+            inj.decide_phase(src, dst, rounds_arr, base_round=self.rounds, label=label)
             if inj is not None and inj.active
             else None
         )
@@ -786,7 +786,7 @@ class LowBandwidthNetwork:
         zero_rounds = np.zeros(src.size, dtype=np.int64)
         inj = self._injector
         dec = (
-            inj.decide_phase(src, dst, zero_rounds, base_round=self.rounds)
+            inj.decide_phase(src, dst, zero_rounds, base_round=self.rounds, label=label)
             if inj is not None and inj.active
             else None
         )
@@ -949,6 +949,11 @@ class LowBandwidthNetwork:
         backoff rounds, unrecoverable messages) — ``None`` when the
         network carries no fault plan."""
         return None if self._injector is None else dict(self._injector.counts)
+
+    def fault_phase_attribution(self) -> dict[str, int] | None:
+        """Phase label -> silently corrupted words: which phases a failed
+        certificate implicates (``None`` without a fault plan)."""
+        return None if self._injector is None else dict(self._injector.silent_phases)
 
     @property
     def fault_plan(self):

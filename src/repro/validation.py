@@ -4,9 +4,16 @@ Runs a compact matrix of instances (families x semirings x distributions)
 through every applicable algorithm on the *strict* simulator and reports
 pass/fail per cell — the one-command health check behind
 ``python -m repro selfcheck``.
+
+With ``certify=True`` every cell additionally runs the in-model Freivalds
+certifier (:mod:`repro.model.certify`) after the product: the cell passes
+only if the distributed certificate accepts, and the certification rounds
+are reported separately (``python -m repro selfcheck --certify``).
 """
 
 from __future__ import annotations
+
+import functools
 
 from dataclasses import dataclass
 
@@ -29,6 +36,10 @@ class SelfCheckResult:
     ok: bool
     rounds: int
     error: str = ""
+    #: in-model certificate verdict (None: certification was not requested)
+    certified: bool | None = None
+    #: rounds billed to the certification protocol (0 when off)
+    cert_rounds: int = 0
 
 
 def _cases():
@@ -40,11 +51,42 @@ def _cases():
     yield "[GM:GM:GM] gf2", (GM, GM, GM), GF2, "rows", ["dense_3d", "strassen", "gather_all"]
 
 
-def run_selfcheck(*, n: int = 16, d: int = 2, seed: int = 0, strict: bool = True) -> list[SelfCheckResult]:
+def _certified_cell(description, algo_name, algorithm, inst, *, strict, cert_checks):
+    """One self-check cell executed under the in-model certifier."""
+    from repro.model.faults import run_with_faults
+
+    out = run_with_faults(
+        inst, algorithm, strict=strict, certify=cert_checks
+    )
+    if out.error is not None:
+        return SelfCheckResult(
+            description, algo_name, False, -1, out.error,
+            certified=out.certified, cert_rounds=out.cert_rounds,
+        )
+    ok = bool(out.verified) and bool(out.certified)
+    return SelfCheckResult(
+        description, algo_name, ok, out.rounds,
+        certified=out.certified, cert_rounds=out.cert_rounds,
+    )
+
+
+def run_selfcheck(
+    *,
+    n: int = 16,
+    d: int = 2,
+    seed: int = 0,
+    strict: bool = True,
+    certify: bool = False,
+    cert_checks: int = 20,
+) -> list[SelfCheckResult]:
     """Execute the self-check matrix; returns one result per cell.
 
     Also runs a worst-case hard instance through the full two-phase
-    pipeline (both kernels).
+    pipeline (both kernels).  With ``certify=True`` every cell runs the
+    distributed Freivalds certifier after the product (``cert_checks``
+    independent checks, all rounds billed); a cell then passes only if
+    both the reference verification *and* the in-model certificate
+    accept.
     """
     results: list[SelfCheckResult] = []
     for description, fams, sr, dist, algos in _cases():
@@ -53,6 +95,14 @@ def run_selfcheck(*, n: int = 16, d: int = 2, seed: int = 0, strict: bool = True
             nn = n if GM not in fams else max(8, n // 2)
             inst = make_instance(fams, nn, d, rng, semiring=sr, distribution=dist)
             try:
+                if certify:
+                    results.append(
+                        _certified_cell(
+                            description, algo, ALGORITHMS[algo], inst,
+                            strict=strict, cert_checks=cert_checks,
+                        )
+                    )
+                    continue
                 res = multiply(inst, algorithm=algo, strict=strict)
                 ok = inst.verify(res.x)
                 results.append(
@@ -67,6 +117,15 @@ def run_selfcheck(*, n: int = 16, d: int = 2, seed: int = 0, strict: bool = True
         try:
             from repro.algorithms.twophase import multiply_two_phase
 
+            if certify:
+                results.append(
+                    _certified_cell(
+                        f"hard blocks (kernel={kernel})", "two_phase",
+                        functools.partial(multiply_two_phase, kernel=kernel),
+                        inst, strict=strict, cert_checks=cert_checks,
+                    )
+                )
+                continue
             res = multiply_two_phase(inst, kernel=kernel, strict=strict)
             ok = inst.verify(res.x)
             results.append(

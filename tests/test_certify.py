@@ -1,0 +1,258 @@
+"""Tests for the in-model Freivalds certifier (`repro.model.certify`).
+
+Covers the satellite property tests — the certifier never rejects a
+correct product (completeness, across semirings, algorithms, and seeds)
+and detects a single corrupted output entry at the advertised rate over
+200 seeded trials — plus honest round billing (every certification round
+appears under a ``certify/`` phase label) and the ``run_with_faults``
+integration (certified-correct / unverified / never-silent outcomes).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.dense import dense_3d, dense_strassen
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.model import (
+    CertifyConfig,
+    FaultPlan,
+    LowBandwidthNetwork,
+    certify_product,
+    run_with_faults,
+)
+from repro.model.certify import freivalds_vector, impure_rows
+from repro.model.faults import (
+    OUTCOME_CERT_FAILURE,
+    OUTCOME_CERTIFIED,
+    OUTCOME_REPAIRED,
+    OUTCOME_SILENT,
+    OUTCOME_UNVERIFIED,
+)
+from repro.semirings import (
+    BOOLEAN,
+    GF2,
+    INTEGER_RING,
+    MIN_PLUS,
+    REAL_FIELD,
+)
+from repro.sparsity.families import US
+from repro.supported.instance import make_hard_instance, make_instance
+
+
+def hard_inst(seed=0, n=32, d=3):
+    return make_hard_instance(n, d, np.random.default_rng(seed))
+
+
+def us_inst(seed=0, n=16, d=2, sr=REAL_FIELD):
+    return make_instance((US, US, US), n, d, np.random.default_rng(seed), semiring=sr)
+
+
+def run_and_certify(inst, algo, *, checks=8, seed=0, strict=False):
+    net = LowBandwidthNetwork(inst.n, strict=strict)
+    res = algo(inst, net=net)
+    cert = certify_product(inst, net, checks=checks, seed=seed)
+    return net, res, cert
+
+
+# ---------------------------------------------------------------------- #
+# Satellite: completeness — a correct product is never rejected
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "sr", [REAL_FIELD, BOOLEAN, MIN_PLUS, GF2, INTEGER_RING],
+    ids=lambda s: s.name,
+)
+def test_never_rejects_correct_product_across_semirings(sr):
+    inst = us_inst(seed=1, sr=sr)
+    net, res, cert = run_and_certify(inst, naive_triangles, checks=6)
+    assert inst.verify(res.x)
+    assert cert.ok, f"certifier rejected a correct product over {sr.name}"
+    assert cert.anchors_ok and cert.convergecast_ok
+
+
+@pytest.mark.parametrize(
+    "algo", [naive_triangles, multiply_two_phase, dense_strassen, dense_3d],
+    ids=["naive", "two_phase", "strassen", "dense_3d"],
+)
+def test_never_rejects_correct_product_across_algorithms(algo):
+    inst = hard_inst(seed=2)
+    net, res, cert = run_and_certify(inst, algo, checks=6)
+    assert cert.ok
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_never_rejects_correct_product_any_certification_seed(seed):
+    """Completeness must hold for *every* randomness seed, not on average."""
+    inst = us_inst(seed=4)
+    net = LowBandwidthNetwork(inst.n)
+    naive_triangles(inst, net=net)
+    cert = certify_product(inst, net, checks=4, seed=seed)
+    assert cert.ok
+
+
+def test_partial_support_impure_rows_certified_by_replay():
+    """Rows where x_hat drops part of the structural product support are
+    decided free from indicators and certified by exact billed replay."""
+    inst = us_inst(seed=7, n=24, d=3)
+    impure = impure_rows(inst)
+    net, res, cert = run_and_certify(inst, naive_triangles, checks=4)
+    assert cert.ok
+    assert cert.impure_rows == len(impure)
+    assert cert.pure_rows == inst.n - len(impure)
+    if len(impure):
+        assert cert.replayed_triangles > 0
+
+
+# ---------------------------------------------------------------------- #
+# Satellite: a single corrupted entry is detected
+# ---------------------------------------------------------------------- #
+def test_single_corruption_detected_over_200_trials():
+    """Detection rate of one corrupted output word must be >= 1 - 2^-k
+    (over the real field a single-entry corruption is always caught:
+    the random entry multiplying it is never zero)."""
+    checks = 8
+    inst = hard_inst(seed=3)
+    net = LowBandwidthNetwork(inst.n)
+    naive_triangles(inst, net=net)
+    keys = sorted(inst.owner_x)
+    trials, detected = 200, 0
+    rng = np.random.default_rng(123)
+    for trial in range(trials):
+        i, k = keys[int(rng.integers(len(keys)))]
+        comp = inst.owner_x[(i, k)]
+        original = net.mem[comp][("X", i, k)]
+        net.mem[comp][("X", i, k)] = original + 1.0
+        cert = certify_product(inst, net, checks=checks, seed=trial)
+        if not cert.ok:
+            detected += 1
+        net.mem[comp][("X", i, k)] = original
+    assert detected / trials >= 1.0 - math.ldexp(1.0, -checks)
+    # the product is intact again: the certifier accepts
+    assert certify_product(inst, net, checks=checks).ok
+
+
+def test_false_accept_bound_reported():
+    inst = us_inst(seed=5)
+    net = LowBandwidthNetwork(inst.n)
+    naive_triangles(inst, net=net)
+    cert = certify_product(inst, net, checks=10)
+    assert cert.false_accept_bound == pytest.approx(math.ldexp(1.0, -10))
+    assert not cert.one_sided
+
+    inst_b = us_inst(seed=5, sr=BOOLEAN)
+    net_b = LowBandwidthNetwork(inst_b.n)
+    naive_triangles(inst_b, net=net_b)
+    cert_b = certify_product(inst_b, net_b, checks=4)
+    assert cert_b.ok and cert_b.one_sided
+    assert cert_b.false_accept_bound is None
+
+
+def test_freivalds_vector_deterministic_and_in_range():
+    r1 = freivalds_vector(REAL_FIELD, seed=9, check=3, n=64)
+    r2 = freivalds_vector(REAL_FIELD, seed=9, check=3, n=64)
+    assert np.array_equal(r1, r2)
+    assert r1.min() >= 1
+    r3 = freivalds_vector(REAL_FIELD, seed=9, check=4, n=64)
+    assert not np.array_equal(r1, r3)
+    rg = freivalds_vector(GF2, seed=9, check=3, n=64)
+    assert set(np.unique(rg)) <= {0, 1}
+
+
+# ---------------------------------------------------------------------- #
+# Honest round accounting
+# ---------------------------------------------------------------------- #
+def test_certification_rounds_billed_under_certify_labels():
+    inst = hard_inst(seed=6)
+    net = LowBandwidthNetwork(inst.n)
+    res = naive_triangles(inst, net=net)
+    rounds_before = net.rounds
+    cert = certify_product(inst, net, checks=5)
+    assert cert.ok
+    assert cert.rounds == net.rounds - rounds_before > 0
+    summary = net.phase_summary()
+    certify_rounds = sum(
+        rounds for label, (rounds, _msgs) in summary.items()
+        if label.startswith("certify")
+    )
+    assert certify_rounds == cert.rounds
+    # the summary stays exhaustive: all labels sum to the total
+    assert sum(r for r, _m in summary.values()) == net.rounds
+
+
+def test_certifier_cleans_up_its_working_keys():
+    inst = us_inst(seed=8)
+    net = LowBandwidthNetwork(inst.n)
+    naive_triangles(inst, net=net)
+    certify_product(inst, net, checks=3)
+    leftovers = [
+        key
+        for mem in net.mem
+        for key in mem
+        if isinstance(key, tuple) and key and key[0] == "cert"
+    ]
+    assert leftovers == []
+
+
+# ---------------------------------------------------------------------- #
+# run_with_faults integration
+# ---------------------------------------------------------------------- #
+def test_clean_run_is_certified_correct():
+    out = run_with_faults(hard_inst(seed=1), naive_triangles, certify=8)
+    assert out.outcome == OUTCOME_CERTIFIED
+    assert out.certified is True and out.repair_attempts == 0
+    assert out.cert_rounds > 0
+    assert out.overhead_rounds == out.cert_rounds
+
+
+def test_unverifiable_run_without_certificate_is_unverified():
+    out = run_with_faults(hard_inst(seed=1), naive_triangles, verify=False)
+    assert out.outcome == OUTCOME_UNVERIFIED
+    assert out.verified is None and out.certified is None
+
+
+def test_corruption_with_certification_never_silent():
+    """With k >= 20 checks a corrupted product is either repaired or
+    flagged; the silent-corruption outcome must be unreachable."""
+    plan_rates = [0.05, 0.004]
+    outcomes = []
+    for rate in plan_rates:
+        for seed in range(8):
+            plan = FaultPlan(seed=seed, corrupt_rate=rate, detect_corruption=False)
+            out = run_with_faults(
+                hard_inst(seed=seed), naive_triangles, plan, certify=20
+            )
+            outcomes.append(out.outcome)
+            assert out.outcome != OUTCOME_SILENT
+            assert out.outcome in (
+                OUTCOME_CERTIFIED, OUTCOME_REPAIRED, OUTCOME_CERT_FAILURE,
+                "detected-failure",
+            )
+    # the grid is hot enough that certification actually fires somewhere
+    assert any(
+        o in (OUTCOME_REPAIRED, OUTCOME_CERT_FAILURE) for o in outcomes
+    )
+
+
+def test_repair_accounting_and_phase_attribution():
+    hits = [
+        out
+        for seed in range(12)
+        if (
+            out := run_with_faults(
+                hard_inst(seed=seed), naive_triangles,
+                FaultPlan(seed=seed, corrupt_rate=0.004, detect_corruption=False),
+                certify=CertifyConfig(checks=12, max_repair_attempts=3),
+            )
+        ).outcome in (OUTCOME_REPAIRED, OUTCOME_CERT_FAILURE)
+    ]
+    assert hits, "corruption grid produced no certification events"
+    for out in hits:
+        assert out.implicated_phases, "failed certificate names no phase"
+        assert out.attempts == out.repair_attempts + 1
+        assert out.overhead_rounds >= out.cert_rounds > 0
+    repaired = [o for o in hits if o.outcome == OUTCOME_REPAIRED]
+    for out in repaired:
+        assert out.verified is True and out.certified is True
+        assert out.repair_attempts >= 1

@@ -1,0 +1,256 @@
+"""Tests for crash-safe sweep checkpointing (`repro.analysis.checkpoint`)
+and its executor/sweep integration.
+
+The manifest must be atomic and damage-tolerant (a corrupt, torn,
+version-mismatched, or foreign file is a cold resume, never an
+exception; a tampered row is skipped individually), and a resumed sweep
+must execute only the missing cells while remaining bit-identical to an
+uninterrupted run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis.checkpoint import (
+    MANIFEST_VERSION,
+    load_manifest,
+    manifest_path,
+    row_complete,
+    save_manifest,
+    sweep_signature,
+)
+from repro.analysis.executor import build_cells, execute_cells
+from repro.analysis.sweeps import run_sweep
+from repro.supported.instance import make_hard_instance
+
+ALGOS = {"naive": naive_triangles, "two_phase": multiply_two_phase}
+
+
+def factory(d, rng):
+    return make_hard_instance(8 * d, d, rng)
+
+
+def sweep_kwargs(tmp_path, **extra):
+    kw = dict(
+        axis=("d", [2, 4]),
+        instance_factory=factory,
+        algorithms=ALGOS,
+        seed=42,
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    kw.update(extra)
+    return kw
+
+
+def demo_rows():
+    return [
+        {"index": 0, "algo_name": "naive", "axis_index": 0, "rounds": 10,
+         "verified": True, "error": None, "status": "ok"},
+        {"index": 1, "algo_name": "naive", "axis_index": 1, "rounds": 12,
+         "verified": True, "error": None, "status": "ok"},
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Manifest round-trip and damage tolerance
+# ---------------------------------------------------------------------- #
+def test_manifest_round_trip(tmp_path):
+    mf = manifest_path(tmp_path)
+    stats = save_manifest(mf, "sig", demo_rows())
+    assert stats["rows"] == 2 and stats["skipped_rows"] == 0
+    rows = load_manifest(mf, "sig")
+    assert set(rows) == {0, 1}
+    assert rows[0]["rounds"] == 10
+
+
+def test_missing_file_loads_empty(tmp_path):
+    assert load_manifest(manifest_path(tmp_path), "sig") == {}
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [b"", b'{"mag', b"\x00\xff garbage", b'["not", "a", "dict"]', b'{"magic": "other"}'],
+    ids=["empty", "torn", "binary", "wrong-type", "wrong-magic"],
+)
+def test_damaged_manifest_loads_empty(tmp_path, payload):
+    mf = manifest_path(tmp_path)
+    mf.parent.mkdir(parents=True, exist_ok=True)
+    mf.write_bytes(payload)
+    assert load_manifest(mf, "sig") == {}
+
+
+def test_version_mismatch_loads_empty(tmp_path):
+    mf = manifest_path(tmp_path)
+    save_manifest(mf, "sig", demo_rows())
+    doc = json.loads(mf.read_text())
+    doc["version"] = MANIFEST_VERSION + 1
+    mf.write_text(json.dumps(doc))
+    assert load_manifest(mf, "sig") == {}
+
+
+def test_signature_mismatch_loads_empty(tmp_path):
+    mf = manifest_path(tmp_path)
+    save_manifest(mf, "sig-a", demo_rows())
+    assert load_manifest(mf, "sig-b") == {}
+    assert len(load_manifest(mf, "sig-a")) == 2
+
+
+def test_tampered_row_skipped_others_survive(tmp_path):
+    mf = manifest_path(tmp_path)
+    save_manifest(mf, "sig", demo_rows())
+    doc = json.loads(mf.read_text())
+    doc["cells"]["0"]["row"]["rounds"] = 999999  # integrity digest now stale
+    mf.write_text(json.dumps(doc))
+    rows = load_manifest(mf, "sig")
+    assert 0 not in rows and 1 in rows
+
+
+def test_unserializable_row_skipped_at_save(tmp_path):
+    mf = manifest_path(tmp_path)
+    rows = demo_rows()
+    rows[0]["details"] = object()  # not JSON: this cell is not checkpointed
+    stats = save_manifest(mf, "sig", rows)
+    assert stats["rows"] == 1 and stats["skipped_rows"] == 1
+    assert set(load_manifest(mf, "sig")) == {1}
+
+
+def test_row_complete_semantics():
+    assert row_complete({"status": "ok", "error": None, "verified": True})
+    assert row_complete({"status": "ok", "error": None, "verified": None})
+    assert not row_complete({"status": "ok", "error": None, "verified": False})
+    assert not row_complete({"status": "ok", "error": "boom", "verified": True})
+    assert not row_complete({"status": "quarantined", "error": None, "verified": True})
+    assert not row_complete({})
+
+
+def test_sweep_signature_sensitivity():
+    cells = build_cells([2, 4], ALGOS)
+    base = dict(instance_factory=factory, algorithms=ALGOS, verify=True, seed=42)
+    sig = sweep_signature(cells, **base)
+    assert sig == sweep_signature(build_cells([2, 4], ALGOS), **base)
+    assert sig != sweep_signature(cells, **{**base, "seed": 7})
+    assert sig != sweep_signature(cells, **{**base, "verify": False})
+    assert sig != sweep_signature(
+        cells, **{**base, "instance_factory": naive_triangles}
+    )
+    assert sig != sweep_signature(build_cells([2, 8], ALGOS), **base)
+
+
+# ---------------------------------------------------------------------- #
+# Executor / sweep integration
+# ---------------------------------------------------------------------- #
+def test_resume_restores_all_and_is_bit_identical(tmp_path):
+    base = run_sweep(axis=("d", [2, 4]), instance_factory=factory,
+                     algorithms=ALGOS, seed=42)
+    first = run_sweep(**sweep_kwargs(tmp_path))
+    assert first.stats["checkpoint"]["restored_cells"] == 0
+    assert first.stats["checkpoint"]["executed_cells"] == 4
+    second = run_sweep(**sweep_kwargs(tmp_path))
+    assert second.stats["checkpoint"]["restored_cells"] == 4
+    assert second.stats["checkpoint"]["executed_cells"] == 0
+    for sweep in (first, second):
+        assert sweep.rounds == base.rounds
+        assert sweep.messages == base.messages
+        assert sweep.verified is True
+
+
+def test_resume_runs_only_missing_cells(tmp_path):
+    base = run_sweep(axis=("d", [2, 4]), instance_factory=factory,
+                     algorithms=ALGOS, seed=42)
+    run_sweep(**sweep_kwargs(tmp_path))
+    mf = manifest_path(tmp_path / "ckpt")
+    doc = json.loads(mf.read_text())
+    doc["cells"].pop("1")
+    doc["cells"].pop("3")
+    mf.write_text(json.dumps(doc))
+    resumed = run_sweep(**sweep_kwargs(tmp_path))
+    ck = resumed.stats["checkpoint"]
+    assert ck["restored_cells"] == 2 and ck["executed_cells"] == 2
+    assert resumed.rounds == base.rounds and resumed.messages == base.messages
+    restored_flags = [r["restored"] for r in resumed.stats["per_cell"]]
+    assert restored_flags == [True, False, True, False]
+
+
+def test_resume_false_ignores_manifest(tmp_path):
+    run_sweep(**sweep_kwargs(tmp_path))
+    fresh = run_sweep(**sweep_kwargs(tmp_path, resume=False))
+    assert fresh.stats["checkpoint"]["restored_cells"] == 0
+    assert fresh.stats["checkpoint"]["executed_cells"] == 4
+
+
+def test_different_seed_resumes_cold(tmp_path):
+    run_sweep(**sweep_kwargs(tmp_path))
+    other = run_sweep(**sweep_kwargs(tmp_path, seed=7))
+    assert other.stats["checkpoint"]["restored_cells"] == 0
+
+
+def test_checkpoint_every_batches_saves(tmp_path):
+    sweep = run_sweep(**sweep_kwargs(tmp_path, checkpoint_every=4))
+    # one periodic save at the 4th completion plus the final save
+    assert sweep.stats["checkpoint"]["saves"] == 2
+    assert len(load_manifest(
+        manifest_path(tmp_path / "ckpt"),
+        json.loads(manifest_path(tmp_path / "ckpt").read_text())["signature"],
+    )) == 4
+
+
+def test_checkpointing_under_resilient_engine(tmp_path):
+    base = run_sweep(axis=("d", [2, 4]), instance_factory=factory,
+                     algorithms=ALGOS, seed=42)
+    first = run_sweep(**sweep_kwargs(tmp_path, max_attempts=2, workers=2))
+    assert first.rounds == base.rounds
+    resumed = run_sweep(**sweep_kwargs(tmp_path, max_attempts=2, workers=2))
+    assert resumed.stats["checkpoint"]["restored_cells"] == 4
+    assert resumed.rounds == base.rounds and resumed.messages == base.messages
+
+
+def test_failed_cells_are_not_restored(tmp_path):
+    def exploding(inst, **kw):
+        raise RuntimeError("boom")
+
+    algos = {"exploding": exploding, "naive": naive_triangles}
+    cells = build_cells([2], algos)
+    results, stats = execute_cells(
+        cells, instance_factory=factory, algorithms=algos, seed=42,
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    assert {r.algo_name: r.status for r in results} == {
+        "exploding": "failed", "naive": "ok"
+    }
+    # the failed cell is in the manifest but row_complete rejects it
+    results2, stats2 = execute_cells(
+        cells, instance_factory=factory, algorithms=algos, seed=42,
+        checkpoint_dir=tmp_path / "ckpt",
+    )
+    assert stats2["checkpoint"]["restored_cells"] == 1
+    assert stats2["checkpoint"]["executed_cells"] == 1
+    assert [r.restored for r in results2] == [False, True]
+
+
+def test_env_var_supplies_default_checkpoint_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_CHECKPOINT_DIR", str(tmp_path / "env-ckpt"))
+    kwargs = dict(
+        axis=("d", [2]), instance_factory=factory, algorithms=ALGOS, seed=42
+    )
+    first = run_sweep(**kwargs)
+    assert first.stats["checkpoint"]["restored_cells"] == 0
+    assert manifest_path(tmp_path / "env-ckpt").exists()
+    second = run_sweep(**kwargs)
+    assert second.stats["checkpoint"]["restored_cells"] == 2
+    # an explicit checkpoint_dir still wins over the environment
+    third = run_sweep(**kwargs, checkpoint_dir=tmp_path / "explicit")
+    assert third.stats["checkpoint"]["restored_cells"] == 0
+    assert manifest_path(tmp_path / "explicit").exists()
+
+
+def test_checkpoint_every_validation(tmp_path):
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        execute_cells(
+            build_cells([2], ALGOS), instance_factory=factory,
+            algorithms=ALGOS, seed=42, checkpoint_dir=tmp_path,
+            checkpoint_every=0,
+        )

@@ -11,9 +11,13 @@ import pytest
 
 from repro.envconfig import (
     CACHE_DIR_VAR,
+    CERT_CHECKS_VAR,
+    CHECKPOINT_DIR_VAR,
     WORKERS_VAR,
     EnvConfigError,
     env_cache_dir,
+    env_cert_checks,
+    env_checkpoint_dir,
     env_workers,
 )
 
@@ -83,14 +87,77 @@ def test_cache_dir_rejects_existing_non_directory(tmp_path):
 
 
 # ---------------------------------------------------------------------- #
+# REPRO_CERT_CHECKS
+# ---------------------------------------------------------------------- #
+def test_cert_checks_unset_or_empty_returns_default():
+    assert env_cert_checks(environ={}) == 20
+    assert env_cert_checks(default=8, environ={}) == 8
+    assert env_cert_checks(default=8, environ={CERT_CHECKS_VAR: "  "}) == 8
+
+
+def test_cert_checks_valid_values_parse():
+    assert env_cert_checks(environ={CERT_CHECKS_VAR: "32"}) == 32
+    assert env_cert_checks(environ={CERT_CHECKS_VAR: " 5 "}) == 5
+    assert env_cert_checks(environ={CERT_CHECKS_VAR: "0"}) == 0  # 0 = off
+
+
+def test_cert_checks_garbage_raises_with_variable_name():
+    for bad in ("twenty", "2.5", "1e2", "-"):
+        with pytest.raises(EnvConfigError, match=CERT_CHECKS_VAR):
+            env_cert_checks(environ={CERT_CHECKS_VAR: bad})
+
+
+def test_cert_checks_negative_raises():
+    with pytest.raises(EnvConfigError, match=CERT_CHECKS_VAR):
+        env_cert_checks(environ={CERT_CHECKS_VAR: "-3"})
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_SWEEP_CHECKPOINT_DIR
+# ---------------------------------------------------------------------- #
+def test_checkpoint_dir_unset_or_empty_is_none():
+    assert env_checkpoint_dir(environ={}) is None
+    assert env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: ""}) is None
+    assert env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: "  "}) is None
+
+
+def test_checkpoint_dir_passes_through_paths(tmp_path):
+    target = tmp_path / "ckpt"  # need not exist yet; writer mkdirs it
+    assert env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: str(target)}) == str(target)
+    existing = tmp_path / "present"
+    existing.mkdir()
+    assert env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: str(existing)}) == str(existing)
+
+
+def test_checkpoint_dir_expands_home():
+    got = env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: "~/sweep-ckpt"})
+    assert got is not None and "~" not in got
+
+
+def test_checkpoint_dir_rejects_existing_non_directory(tmp_path):
+    clash = tmp_path / "file-in-the-way"
+    clash.write_text("not a directory")
+    with pytest.raises(EnvConfigError, match=CHECKPOINT_DIR_VAR):
+        env_checkpoint_dir(environ={CHECKPOINT_DIR_VAR: str(clash)})
+
+
+# ---------------------------------------------------------------------- #
 # real-environment integration (the default environ=os.environ path)
 # ---------------------------------------------------------------------- #
 def test_reads_real_environment(monkeypatch, tmp_path):
     monkeypatch.setenv(WORKERS_VAR, "5")
     monkeypatch.setenv(CACHE_DIR_VAR, str(tmp_path))
+    monkeypatch.setenv(CERT_CHECKS_VAR, "12")
+    monkeypatch.setenv(CHECKPOINT_DIR_VAR, str(tmp_path))
     assert env_workers() == 5
     assert env_cache_dir() == str(tmp_path)
+    assert env_cert_checks() == 12
+    assert env_checkpoint_dir() == str(tmp_path)
     monkeypatch.delenv(WORKERS_VAR)
     monkeypatch.delenv(CACHE_DIR_VAR)
+    monkeypatch.delenv(CERT_CHECKS_VAR)
+    monkeypatch.delenv(CHECKPOINT_DIR_VAR)
     assert env_workers(default=2) == 2
     assert env_cache_dir() is None
+    assert env_cert_checks() == 20
+    assert env_checkpoint_dir() is None

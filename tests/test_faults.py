@@ -23,9 +23,15 @@ from repro.model import (
     run_with_faults,
 )
 from repro.model.faults import (
+    OUTCOME_CERT_FAILURE,
+    OUTCOME_CERTIFIED,
     OUTCOME_CORRECT,
     OUTCOME_DETECTED,
+    OUTCOME_REPAIRED,
     OUTCOME_SILENT,
+    OUTCOME_UNVERIFIED,
+    FaultInjector,
+    corrupt_word,
 )
 from repro.sparsity.families import US
 from repro.supported.instance import make_hard_instance, make_instance
@@ -112,6 +118,28 @@ def test_classify_outcome_triples():
     assert classify_outcome(None, "NetworkError: boom") == OUTCOME_DETECTED
     assert classify_outcome(False, "boom") == OUTCOME_DETECTED
     assert classify_outcome(False, None) == OUTCOME_SILENT
+
+
+def test_classify_outcome_unverified_and_certified():
+    """The extended taxonomy: no verification signal at all is its own
+    outcome, and a certificate refines correct into certified/repaired."""
+    assert classify_outcome(None, None) == OUTCOME_UNVERIFIED
+    assert classify_outcome(True, None, certified=True) == OUTCOME_CERTIFIED
+    assert classify_outcome(None, None, certified=True) == OUTCOME_CERTIFIED
+    assert (
+        classify_outcome(True, None, certified=True, repair_attempts=1)
+        == OUTCOME_REPAIRED
+    )
+    assert classify_outcome(True, None, certified=False) == OUTCOME_CERT_FAILURE
+    assert classify_outcome(None, "boom", certified=False) == OUTCOME_DETECTED
+    # a certificate never hides a reference-verification failure signal
+    assert classify_outcome(False, None, certified=None) == OUTCOME_SILENT
+
+
+def test_unverified_outcome_surfaced_by_run_with_faults():
+    out = run_with_faults(hard_inst(seed=1), naive_triangles, verify=False)
+    assert out.outcome == OUTCOME_UNVERIFIED
+    assert out.verified is None and out.certified is None and out.error is None
 
 
 @pytest.mark.parametrize("strict", [False, True], ids=["fast", "strict"])
@@ -282,3 +310,78 @@ def test_network_rejects_bad_plan_types():
         LowBandwidthNetwork(4, fault_plan="drop everything")
     with pytest.raises(ValueError):
         LowBandwidthNetwork(4, resilience="yes please")
+
+
+# ---------------------------------------------------------------------- #
+# corrupt_word totality: corruption is never the identity
+# ---------------------------------------------------------------------- #
+def test_corrupt_word_never_maps_a_value_to_itself():
+    """Satellite property: for every representable word class and every
+    hash, the corrupted word differs from the original — otherwise a
+    "corruption" event would silently be a no-op and the injector's
+    counters would lie."""
+    values = [
+        0, 1, -17, 2**40,
+        0.0, 1.5, -3.25, 1e300,
+        float("inf"), float("-inf"), float("nan"),
+        True, False,
+        np.float64(2.5), np.int64(9), np.bool_(True),
+        np.array(3.0), np.array(np.inf), np.array(True),
+        "header", ("tuple", 1), None,
+    ]
+    for value in values:
+        for h in range(16):
+            corrupted = corrupt_word(value, h)
+            if isinstance(value, float) and value != value:  # NaN
+                assert corrupted == corrupted, "NaN must corrupt to a real value"
+            elif isinstance(value, np.ndarray):
+                assert not np.array_equal(
+                    corrupted, value, equal_nan=False
+                ) or np.isnan(value).any(), (value, h, corrupted)
+            else:
+                assert corrupted != value or corrupted is not value and not (
+                    corrupted == value
+                ), (value, h, corrupted)
+                assert not (corrupted == value), (value, h, corrupted)
+
+
+# ---------------------------------------------------------------------- #
+# Self-messages never cross the wire
+# ---------------------------------------------------------------------- #
+def test_self_messages_exempt_from_wire_faults():
+    """A computer "sending" to itself is a local copy: drop, corruption,
+    duplication, and link delay must never touch it (crash-stop still
+    does — a dead computer loses everything)."""
+    plan = FaultPlan(
+        seed=0, drop_rate=1.0, corrupt_rate=1.0, dup_rate=1.0,
+        link_delays={(2, 2): 5},
+    )
+    inj = FaultInjector(plan, n=4)
+    src = np.array([0, 1, 2, 3], dtype=np.int64)
+    dst = np.array([0, 2, 2, 0], dtype=np.int64)  # 0->0 and 2->2 are local
+    rounds_arr = np.zeros(4, dtype=np.int64)
+    pf = inj.decide_phase(src, dst, rounds_arr, base_round=0, label="t")
+    local = src == dst
+    assert pf.deliver[local].all(), "self-messages must always arrive"
+    assert not pf.corrupt[local].any(), "self-messages must arrive intact"
+    # the wired messages, by contrast, are all dropped at rate 1.0
+    assert not pf.deliver[~local].any()
+
+
+def test_targeted_drop_ordinals_count_only_wired_messages():
+    """`drop_message_ordinals` indexes deliveries that can actually fail;
+    self-messages do not consume ordinals."""
+    plan = FaultPlan(seed=0, drop_message_ordinals=(0, 2))
+    inj = FaultInjector(plan, n=4)
+    src = np.array([0, 1, 2, 3], dtype=np.int64)
+    dst = np.array([0, 2, 2, 0], dtype=np.int64)  # wired: 1->2, 3->0
+    rounds_arr = np.zeros(4, dtype=np.int64)
+    pf = inj.decide_phase(src, dst, rounds_arr, base_round=0, label="t")
+    # ordinal 0 is the first *wired* message (index 1); ordinal 2 is in a
+    # later phase
+    assert not pf.deliver[1]
+    assert pf.deliver[0] and pf.deliver[2] and pf.deliver[3]
+    pf2 = inj.decide_phase(src, dst, rounds_arr, base_round=1, label="t")
+    # the next phase's wired messages hold ordinals 2 and 3: index 1 drops
+    assert not pf2.deliver[1]
+    assert pf2.deliver[3]
