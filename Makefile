@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke fault-smoke cert-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -40,6 +40,18 @@ fault-smoke:
 cert-smoke:
 	REPRO_BENCH_SMOKE=1 \
 		pytest benchmarks/bench_resilience.py --benchmark-only -k certification
+
+# Kernel + zero-copy executor smoke: backend parity (Numba/NumPy
+# bit-identity, silent-fallback reporting) and the shared-memory
+# work-stealing engine (serial equivalence, crash recovery, segment
+# hygiene), then the sweep bench with two workers so BENCH_sweeps.json
+# records the shm engine's per-cell payload accounting.  Runs the same
+# whether or not the `perf` extra (Numba) is installed — the JSON's
+# "kernels" note names the active backend.
+kernel-smoke:
+	pytest tests/test_kernels.py tests/test_shm_executor.py -q
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 \
+		pytest benchmarks/bench_sweep_executor.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

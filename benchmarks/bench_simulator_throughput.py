@@ -9,6 +9,10 @@ scheduler, columnar value delivery, and a structure-keyed schedule cache
 counts must agree bit-for-bit between the two; the fast path must be at
 least 5x faster on the warm d=64 two-phase sweep.
 
+The JSON artifact records the fast path's engine configuration
+(:meth:`repro.model.network.LowBandwidthNetwork.engine_info`), including
+the active compiled-kernel backend and any silent NumPy fallback.
+
 Set ``REPRO_BENCH_SMOKE=1`` to run a tiny instance (CI smoke — asserts
 equality only, no timing threshold).
 
@@ -66,6 +70,10 @@ def _run_sweep(instances, *, fast: bool, cache: ScheduleCache | None) -> tuple[f
 def bench_simulator_throughput(benchmark):
     instances = _sweep_instances()
 
+    # name the engine that produced the numbers (fast-path configuration
+    # plus the active compiled-kernel backend and any silent fallback)
+    engine = LowBandwidthNetwork(instances[0].n).engine_info()
+
     baseline_s, baseline_rounds = _run_sweep(instances, fast=False, cache=None)
 
     cache = ScheduleCache()
@@ -94,6 +102,7 @@ def bench_simulator_throughput(benchmark):
         "rounds": baseline_rounds,
         "rounds_identical": True,
         "schedule_cache": cache.stats(),
+        "engine": engine,
     }
     payload = json.dumps(report, indent=2) + "\n"
     if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
@@ -111,6 +120,7 @@ def bench_simulator_throughput(benchmark):
         f"{'fast, warm cache':<40}{warm_s:>10.3f}{warm_speedup:>10.2f}",
         f"rounds identical across all configurations: {baseline_rounds}",
         f"schedule cache: {cache.stats()}",
+        f"kernels: {engine['kernels']['note']}",
     ]
     save_report("simulator_throughput", lines)
 

@@ -45,6 +45,37 @@ callables — closures and lambdas included).  On platforms without
 pickled the engine degrades to serial execution and says so in the run
 stats rather than failing the sweep.
 
+Zero-copy shared memory and work stealing
+-----------------------------------------
+The plain parallel path (``workers > 1`` without the self-healing knobs)
+runs on a shared-memory engine (:mod:`repro.analysis.shm`) instead of a
+pickling ``ProcessPoolExecutor``:
+
+* instance matrices (legacy deterministic ``factory(value)`` form), the
+  warm schedule store, and a per-cell result table live in named
+  ``multiprocessing.shared_memory`` segments; workers receive only
+  ``(segment name, dtype, shape, offset)`` descriptors and attach
+  zero-copy views;
+* newly computed schedules are appended to a per-worker *harvest*
+  segment; a cell's completion message shrinks to its index, optional
+  error text, and a byte range — per-cell serialized payload drops by
+  orders of magnitude (both sides are measured and reported in
+  ``stats["payload"]`` and per cell on :class:`CellResult`);
+* dispatch is work stealing: instead of a static partition, the parent
+  hands the next pending cell to whichever worker frees up, so one slow
+  cell no longer idles the rest of the pool;
+* a worker that dies mid-cell is detected, its cell is re-dispatched to
+  a fresh worker (then run inline in the parent as a last resort), and
+  every segment is unlinked in a ``finally`` — a crashed sweep leaks
+  nothing in ``/dev/shm``.
+
+Determinism is untouched: per-cell RNGs still derive from the root seed
+and grid coordinates alone, and results are reassembled in grid order,
+so the engine is bit-identical to serial for any worker count.  When
+segments cannot be created (no ``/dev/shm``), the engine falls back to
+the historical pickling pool and says so in the run stats; the
+``engine`` parameter ("auto" / "shm" / "pool") pins either path.
+
 Self-healing execution
 ----------------------
 With ``cell_timeout_s`` set or ``max_attempts > 1`` the engine switches
@@ -95,6 +126,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis import shm
 from repro.analysis.checkpoint import (
     load_manifest,
     manifest_path,
@@ -164,6 +196,12 @@ class CellResult:
     #: True when this result was restored from a sweep checkpoint
     #: manifest instead of being executed in this run
     restored: bool = False
+    #: bytes the pickling pool would have shipped for this cell (the
+    #: pickled ``(CellResult, new schedules)`` pair), measured in-worker
+    payload_baseline_bytes: int = 0
+    #: bytes that actually crossed the worker pipe under the zero-copy
+    #: engine (the tiny completion message); 0 for in-process execution
+    payload_shipped_bytes: int = 0
 
 
 def cell_rng(root_seed: int, axis_index: int, algo_index: int) -> np.random.Generator:
@@ -215,7 +253,9 @@ def _worker_init(state: dict[str, Any] | None, store_file: str | None) -> None:
     cache.drain_new_entries()
 
 
-def _exec_cell(cell: SweepCell) -> tuple[CellResult, dict[bytes, np.ndarray]]:
+def _exec_cell(
+    cell: SweepCell, *, instance: Any | None = None
+) -> tuple[CellResult, dict[bytes, np.ndarray]]:
     state = _STATE
     assert state is not None, "executor worker used before initialization"
     cache = default_schedule_cache()
@@ -223,7 +263,11 @@ def _exec_cell(cell: SweepCell) -> tuple[CellResult, dict[bytes, np.ndarray]]:
     result = CellResult(cell.index, cell.axis_index, cell.axis_value, cell.algo_name)
     t0 = time.perf_counter()
     try:
-        if state["seed"] is not None:
+        if instance is not None:
+            # prebuilt (shared-memory) instance: sound because the legacy
+            # factory(value) contract requires determinism in value alone
+            inst = instance
+        elif state["seed"] is not None:
             rng = cell_rng(state["seed"], cell.axis_index, cell.algo_index)
             inst = state["factory"](cell.axis_value, rng)
         else:
@@ -271,6 +315,128 @@ def _resilient_worker_main(state, store_file, task_q, result_conn) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# Zero-copy shared-memory engine (worker side)
+# ---------------------------------------------------------------------- #
+#: per-worker capacity for newly computed schedule arrays; overflow spills
+#: to the (counted) pipe instead of failing the cell
+_HARVEST_SEGMENT_BYTES = 8 << 20
+
+
+class _ShmUnavailable(RuntimeError):
+    """Shared-memory segments cannot be created on this host; raised
+    before any worker starts so the caller can fall back to the pool."""
+
+
+# Like _STATE: the zero-copy work spec, inherited by forked children.
+# Holds only segment descriptors plus the state dict — a few hundred
+# bytes however large the sweep data is.
+_SHM_SPEC: dict[str, Any] | None = None
+
+
+def _result_row_write(row: np.void, res: CellResult) -> None:
+    """Store a cell's numeric outcome into its shared result-table row."""
+    row["rounds"] = res.rounds
+    row["messages"] = res.messages
+    row["wall_s"] = res.wall_s
+    row["cache_hits"] = res.cache_hits
+    row["cache_misses"] = res.cache_misses
+    row["new_schedules"] = res.new_schedules
+    row["worker_pid"] = res.worker_pid
+    row["verified"] = -1 if res.verified is None else int(res.verified)
+    row["status"] = 0 if res.status == "ok" else 1
+
+
+def _result_from_row(
+    cell: SweepCell, row: np.void, error: str | None, details: Any
+) -> CellResult:
+    """Rebuild a :class:`CellResult` from its shared row plus the (tiny)
+    completion-message fields that do not fit a fixed-width table."""
+    res = CellResult(cell.index, cell.axis_index, cell.axis_value, cell.algo_name)
+    res.rounds = int(row["rounds"])
+    res.messages = int(row["messages"])
+    res.wall_s = float(row["wall_s"])
+    res.cache_hits = int(row["cache_hits"])
+    res.cache_misses = int(row["cache_misses"])
+    res.new_schedules = int(row["new_schedules"])
+    res.worker_pid = int(row["worker_pid"])
+    v = int(row["verified"])
+    res.verified = None if v < 0 else bool(v)
+    res.status = "ok" if int(row["status"]) == 0 else "failed"
+    res.error = error
+    res.details = details
+    res.payload_baseline_bytes = int(row["baseline_bytes"])
+    res.payload_shipped_bytes = int(row["shipped_bytes"])
+    return res
+
+
+def _shm_worker_main(spec, task_q, result_conn) -> None:
+    """Loop of one zero-copy worker (see "Zero-copy shared memory" above).
+
+    The worker attaches to the segments named in its spec — warm schedule
+    pack (spawn only; forked children inherit the warm cache), shared
+    instances, result table, and its private harvest segment — then pulls
+    cells off its task queue.  Finishing a cell means: write the numeric
+    outcome into the cell's result row, append new schedules to the
+    harvest segment, and send a completion message that is nothing but
+    ``(index, error, details, spill, byte range)``.  Both payload sizes —
+    what the pickling pool would have shipped and what actually crossed
+    the pipe — are measured here and recorded in the row.
+    """
+    global _STATE
+    if spec is None:
+        spec = _SHM_SPEC
+    assert spec is not None, "shm worker started without a work spec"
+    if spec.get("state") is not None:
+        _STATE = spec["state"]
+    tracker = shm.ShmArena()  # attach-side bookkeeping only; creates nothing
+    try:
+        cache = default_schedule_cache()
+        warm = spec.get("warm")
+        if warm is not None:
+            name, end = warm
+            seg = tracker.track(shm.attach_segment(name))
+            # zero-copy views are safe here: the mapping outlives the cache
+            # use (worker lifetime), so no copy is forced
+            cache.merge(dict(shm.iter_entries(seg.buf, end)), copy=False)
+        cache.drain_new_entries()
+        rows, row_seg = shm.attach_array(spec["results"])
+        tracker.track(row_seg)
+        harvest = tracker.track(shm.attach_segment(spec["harvest"]))
+        cursor = 0
+        attached: dict[int, Any] = {}
+        while True:
+            cell = task_q.get()
+            if cell is None:
+                return
+            inst = None
+            desc = spec["instances"].get(cell.axis_index)
+            if desc is not None:
+                inst = attached.get(cell.axis_index)
+                if inst is None:
+                    inst = attached[cell.axis_index] = shm.attach_instance(desc, tracker)
+            res, new = _exec_cell(cell, instance=inst)
+            # what the pickling pool would have shipped for this cell
+            baseline = len(pickle.dumps((res, new)))
+            start = cursor
+            spill: dict[bytes, np.ndarray] = {}
+            for digest, arr in new.items():
+                try:
+                    cursor = shm.append_entry(harvest.buf, cursor, digest, arr)
+                except ValueError:
+                    spill[digest] = arr  # harvest segment full: ship via pipe
+            row = rows[cell.index]
+            _result_row_write(row, res)
+            payload = pickle.dumps(
+                (cell.index, res.error, res.details, spill, start, cursor)
+            )
+            row["baseline_bytes"] = baseline
+            row["shipped_bytes"] = len(payload)
+            result_conn.send_bytes(payload)
+    finally:
+        tracker.close()
+
+
+# ---------------------------------------------------------------------- #
 # Parent side
 # ---------------------------------------------------------------------- #
 def _preferred_context() -> mp.context.BaseContext:
@@ -290,6 +456,247 @@ def _quarantined_result(cell: SweepCell, attempts: int, log: list[str]) -> CellR
     res.failure_log = log
     res.error = log[-1] if log else "quarantined"
     return res
+
+
+def _share_instances(arena: shm.ShmArena, state: dict[str, Any], cells) -> dict:
+    """Build one shared instance per axis value (legacy ``factory(value)``
+    form only).
+
+    Sound because that form's contract requires determinism in ``value``
+    alone — every cell of an axis value would build the same instance, so
+    building it once in the parent and attaching zero-copy views in every
+    worker is bit-identical and skips ``algorithms - 1`` rebuilds per
+    value.  Seeded factories draw a distinct per-cell RNG, so their
+    instances stay per-cell and are built in the workers as before.
+    A factory error or an unshareable instance type simply leaves the
+    value out of the map: workers rebuild and report errors per cell,
+    preserving the per-cell error semantics.
+    """
+    if state["seed"] is not None:
+        return {}
+    out: dict[int, Any] = {}
+    seen: set[int] = set()
+    for cell in cells:
+        if cell.axis_index in seen:
+            continue
+        seen.add(cell.axis_index)
+        try:
+            inst = state["factory"](cell.axis_value)
+        except Exception:
+            continue  # workers rebuild and report the error per cell
+        desc = shm.share_instance(arena, inst)
+        if desc is None:
+            return {}  # unsupported instance type: don't build the rest
+        out[cell.axis_index] = desc
+    return out
+
+
+def _execute_shm(
+    cells: Sequence[SweepCell],
+    ctx: mp.context.BaseContext,
+    state: dict[str, Any],
+    *,
+    workers: int,
+    num_rows: int,
+    results: list[CellResult | None],
+    harvested: dict[bytes, np.ndarray],
+    on_result: Callable[[], None] | None = None,
+) -> dict[str, Any]:
+    """The zero-copy work-stealing engine (see the module docstring).
+
+    The parent owns every shared segment through one :class:`ShmArena`
+    and hands the next pending cell to whichever worker frees up — no
+    static partition, so a slow cell never idles the rest of the pool.
+    A worker that dies mid-cell has its cell re-dispatched once to a
+    fresh worker and then, as a last resort, executed inline in the
+    parent (per-cell RNGs make every path bit-identical).  The arena is
+    closed in a ``finally``: no ``/dev/shm`` entry survives the call,
+    crashes included.
+
+    Raises :class:`_ShmUnavailable` before any worker starts when
+    segments cannot be created; the caller falls back to the pool.
+    """
+    global _SHM_SPEC
+    from multiprocessing.connection import wait as _conn_wait
+
+    counters = {
+        "worker_crashes": 0,
+        "worker_replacements": 0,
+        "requeued_cells": 0,
+        "inline_recoveries": 0,
+        "harvest_spills": 0,
+    }
+    info: dict[str, Any] = {
+        "shared_instances": 0,
+        "instance_bytes": 0,
+        "warm_pack_bytes": 0,
+        "harvest_segment_bytes": _HARVEST_SEGMENT_BYTES,
+        "segments": 0,
+    }
+    arena = shm.ShmArena()
+    try:
+        cache = default_schedule_cache()
+        fork = ctx.get_start_method() == "fork"
+        try:
+            warm = None
+            if not fork:
+                # spawned workers cannot inherit the warm cache; pack it
+                # once and let every worker attach zero-copy
+                warm = shm.pack_entries(arena, cache.export_entries())
+                if warm is not None:
+                    info["warm_pack_bytes"] = warm[1]
+            instances = _share_instances(arena, state, cells)
+            results_desc, rows = shm.result_block(arena, num_rows)
+        except OSError as exc:
+            raise _ShmUnavailable(
+                f"cannot create shared-memory segments: {exc}"
+            ) from exc
+        info["shared_instances"] = len(instances)
+        info["instance_bytes"] = sum(
+            spec[part].nbytes
+            for desc in instances.values()
+            for spec in desc.csr.values()
+            for part in ("data", "indices", "indptr")
+        )
+        # inline recoveries run _exec_cell in this process: start from a
+        # drained cache so only their own schedules are attributed to them
+        cache.drain_new_entries()
+
+        spec_base = {
+            "state": None if fork else state,
+            "warm": warm,
+            "instances": instances,
+            "results": results_desc,
+        }
+
+        def spawn() -> dict[str, Any]:
+            global _SHM_SPEC
+            harvest = arena.create(_HARVEST_SEGMENT_BYTES)
+            spec = dict(spec_base, harvest=harvest.name)
+            task_q = ctx.SimpleQueue()
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            _SHM_SPEC = spec  # snapshot inherited by the forked child
+            proc = ctx.Process(
+                target=_shm_worker_main,
+                args=(None if fork else spec, task_q, send_conn),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()  # parent keeps only the read end
+            return {
+                "proc": proc,
+                "task_q": task_q,
+                "conn": recv_conn,
+                "harvest": harvest,
+                "job": None,  # (cell, attempt) currently dispatched
+            }
+
+        ready: list[tuple[SweepCell, int]] = [(cell, 1) for cell in cells]
+        completed = 0
+
+        def finish(res: CellResult) -> None:
+            nonlocal completed
+            results[res.index] = res
+            completed += 1
+            if on_result is not None:
+                on_result()
+
+        def consume(w: dict[str, Any]) -> None:
+            """Handle everything currently readable on one worker's pipe."""
+            while True:
+                try:
+                    if not w["conn"].poll():
+                        return
+                    payload = w["conn"].recv_bytes()
+                except (EOFError, OSError):
+                    return  # peer died; liveness polling recovers the cell
+                index, error, details, spill, h_start, h_end = pickle.loads(payload)
+                job = w["job"]
+                if job is None or job[0].index != index:
+                    continue  # result of a cell the parent already gave up on
+                cell, attempt = job
+                w["job"] = None
+                if h_end > h_start:
+                    # copy=True: these arrays outlive the arena's segments
+                    harvested.update(
+                        shm.iter_entries(
+                            w["harvest"].buf, h_end, start=h_start, copy=True
+                        )
+                    )
+                if spill:
+                    counters["harvest_spills"] += len(spill)
+                    harvested.update(spill)
+                res = _result_from_row(cell, rows[index], error, details)
+                res.attempts = attempt
+                finish(res)
+
+        def recover(cell: SweepCell, attempt: int) -> None:
+            """A worker died mid-cell: requeue once, then run inline."""
+            if attempt < 2:
+                counters["requeued_cells"] += 1
+                ready.append((cell, attempt + 1))
+                return
+            counters["inline_recoveries"] += 1
+            res, new = _exec_cell(cell)
+            res.attempts = attempt
+            harvested.update(new)
+            finish(res)
+
+        def replace(w: dict[str, Any]) -> None:
+            proc = w["proc"]
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+            w["conn"].close()
+            w.update(spawn())
+            counters["worker_replacements"] += 1
+
+        workers_live = [spawn() for _ in range(workers)]
+        try:
+            while completed < len(cells):
+                readable = _conn_wait([w["conn"] for w in workers_live], timeout=0.02)
+                for w in workers_live:
+                    if w["conn"] in readable:
+                        consume(w)
+
+                for w in workers_live:
+                    if not w["proc"].is_alive():
+                        consume(w)  # the result may have raced the death
+                        if w["job"] is not None:
+                            cell, attempt = w["job"]
+                            w["job"] = None
+                            counters["worker_crashes"] += 1
+                            recover(cell, attempt)
+                        if completed < len(cells):
+                            replace(w)
+
+                # work stealing: the next pending cell goes to whichever
+                # worker is idle right now
+                for w in workers_live:
+                    if not ready:
+                        break
+                    if w["job"] is None and w["proc"].is_alive():
+                        job = ready.pop(0)
+                        w["job"] = job
+                        w["task_q"].put(job[0])
+        finally:
+            for w in workers_live:
+                if w["proc"].is_alive():
+                    try:
+                        w["task_q"].put(None)
+                    except Exception:
+                        pass
+            for w in workers_live:
+                w["proc"].join(timeout=2)
+                if w["proc"].is_alive():
+                    w["proc"].kill()
+                    w["proc"].join(timeout=5)
+                w["conn"].close()
+        info["segments"] = len(arena._segments)
+    finally:
+        arena.close()
+        _SHM_SPEC = None
+    return {**info, **counters}
 
 
 def _execute_resilient(
@@ -537,6 +944,7 @@ def execute_cells(
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_every: int = 1,
     resume: bool = True,
+    engine: str = "auto",
 ) -> tuple[list[CellResult], dict[str, Any]]:
     """Run every cell; return ``(results_in_cell_order, run_stats)``.
 
@@ -567,8 +975,17 @@ def execute_cells(
     only the missing or unfinished ones.  Restored cells are marked
     ``CellResult.restored``; a mid-sweep ``kill -9`` costs at most the
     cells that had not yet been checkpointed.
+
+    ``engine`` selects the plain parallel path's transport: ``"auto"``
+    (the default) runs the zero-copy shared-memory work-stealing engine
+    and falls back to the pickling process pool when segments cannot be
+    created; ``"shm"`` pins the shared-memory engine (raising when it is
+    unavailable); ``"pool"`` pins the historical pool.  Serial and
+    self-healing (``cell_timeout_s`` / ``max_attempts``) runs ignore it.
     """
     global _STATE
+    if engine not in ("auto", "shm", "pool"):
+        raise ValueError("engine must be one of 'auto', 'shm', 'pool'")
     if cell_timeout_s is not None and cell_timeout_s <= 0:
         raise ValueError("cell_timeout_s must be positive (None = no timeout)")
     if max_attempts < 1:
@@ -654,6 +1071,7 @@ def execute_cells(
     mode = "serial"
     fallback_reason = None
     resilience_counters: dict[str, Any] | None = None
+    shm_stats: dict[str, Any] | None = None
 
     ctx = _preferred_context()
     spec_reaches_workers = True
@@ -701,24 +1119,43 @@ def execute_cells(
         if workers_effective > 1 and not spec_reaches_workers:
             workers_effective = 1
         if workers_effective > 1:
-            mode = ctx.get_start_method()
-            _STATE = state  # inherited by forked children
-            init_state = None if mode == "fork" else state
-            with ProcessPoolExecutor(
-                max_workers=workers_effective,
-                mp_context=ctx,
-                initializer=_worker_init,
-                initargs=(init_state, str(store_file) if store_file else None),
-            ) as pool:
-                pending = {pool.submit(_exec_cell, cell) for cell in pending_cells}
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        res, new = fut.result()
-                        results[res.index] = res
-                        harvested.update(new)
-                        if on_result is not None:
-                            on_result()
+            _STATE = state  # inherited by forked children (and used by
+            # the shm engine's inline crash recovery)
+            used_shm = False
+            if engine in ("auto", "shm"):
+                try:
+                    shm_stats = _execute_shm(
+                        pending_cells, ctx, state,
+                        workers=workers_effective,
+                        num_rows=len(results),
+                        results=results,
+                        harvested=harvested,
+                        on_result=on_result,
+                    )
+                    mode = f"shm-{ctx.get_start_method()}"
+                    used_shm = True
+                except _ShmUnavailable as exc:
+                    if engine == "shm":
+                        raise
+                    fallback_reason = f"{exc}; used the pickling process pool"
+            if not used_shm:
+                mode = ctx.get_start_method()
+                init_state = None if mode == "fork" else state
+                with ProcessPoolExecutor(
+                    max_workers=workers_effective,
+                    mp_context=ctx,
+                    initializer=_worker_init,
+                    initargs=(init_state, str(store_file) if store_file else None),
+                ) as pool:
+                    pending = {pool.submit(_exec_cell, cell) for cell in pending_cells}
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for fut in done:
+                            res, new = fut.result()
+                            results[res.index] = res
+                            harvested.update(new)
+                            if on_result is not None:
+                                on_result()
         else:
             _STATE = state
             _worker_init(None, str(store_file) if store_file else None)
@@ -779,6 +1216,16 @@ def execute_cells(
             "restored_cells": restored_cells,
             "executed_cells": len(pending_cells),
             "saves": checkpoint_saves,
+        }
+    if shm_stats is not None:
+        stats["shm"] = shm_stats
+        executed = [r for r in out if not r.restored]
+        baseline = sum(r.payload_baseline_bytes for r in executed)
+        shipped = sum(r.payload_shipped_bytes for r in executed)
+        stats["payload"] = {
+            "baseline_bytes": baseline,
+            "shipped_bytes": shipped,
+            "reduction_x": (baseline / shipped) if shipped else None,
         }
     if resilience_counters is not None:
         stats["resilience"] = {

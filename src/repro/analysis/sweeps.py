@@ -101,6 +101,7 @@ def run_sweep(
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_every: int = 1,
     resume: bool = True,
+    engine: str = "auto",
 ) -> SweepResult:
     """Run every algorithm on a fresh instance per axis value.
 
@@ -147,6 +148,9 @@ def run_sweep(
       reports restored/executed counts.  When ``checkpoint_dir`` is
       ``None``, the ``REPRO_SWEEP_CHECKPOINT_DIR`` environment variable
       (:func:`repro.envconfig.env_checkpoint_dir`) supplies the default.
+    * ``engine`` — transport of the plain parallel path: ``"auto"``
+      (zero-copy shared-memory work stealing, pool fallback), ``"shm"``,
+      or ``"pool"`` (see :func:`repro.analysis.executor.execute_cells`).
     """
     if checkpoint_dir is None:
         checkpoint_dir = env_checkpoint_dir()
@@ -167,6 +171,7 @@ def run_sweep(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        engine=engine,
     )
     if strict:
         for res in results:

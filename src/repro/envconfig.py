@@ -4,8 +4,10 @@ The benchmark drivers are configured through environment variables
 (`EXPERIMENTS.md`): ``REPRO_BENCH_WORKERS`` sets the sweep pool size,
 ``REPRO_SWEEP_CACHE_DIR`` the persistent schedule-store directory,
 ``REPRO_CERT_CHECKS`` the number of in-model Freivalds certification
-checks (0 disables), and ``REPRO_SWEEP_CHECKPOINT_DIR`` the crash-safe
-sweep-manifest directory.  Every
+checks (0 disables), ``REPRO_SWEEP_CHECKPOINT_DIR`` the crash-safe
+sweep-manifest directory, and ``REPRO_KERNELS`` the compiled-kernel
+backend (``auto``/``numba``/``numpy``; see
+:mod:`repro.model._kernels`).  Every
 driver used to parse these with a bare ``int()`` / ``os.environ.get``,
 so a typo (``REPRO_BENCH_WORKERS=four``) surfaced as an opaque
 ``ValueError: invalid literal for int()`` traceback from deep inside a
@@ -26,12 +28,17 @@ __all__ = [
     "env_cache_dir",
     "env_cert_checks",
     "env_checkpoint_dir",
+    "env_kernels",
+    "kernel_availability",
 ]
 
 WORKERS_VAR = "REPRO_BENCH_WORKERS"
 CACHE_DIR_VAR = "REPRO_SWEEP_CACHE_DIR"
 CERT_CHECKS_VAR = "REPRO_CERT_CHECKS"
 CHECKPOINT_DIR_VAR = "REPRO_SWEEP_CHECKPOINT_DIR"
+KERNELS_VAR = "REPRO_KERNELS"
+
+_KERNEL_CHOICES = ("auto", "numba", "numpy")
 
 
 class EnvConfigError(ValueError):
@@ -116,6 +123,42 @@ def env_cert_checks(
             f"{CERT_CHECKS_VAR} must be >= 0 (0 = certification off), got {value}"
         )
     return value
+
+
+def env_kernels(
+    default: str = "auto", *, environ: Mapping[str, str] | None = None
+) -> str:
+    """Kernel backend selection from ``REPRO_KERNELS``.
+
+    Accepts ``auto`` (Numba when importable, NumPy otherwise), ``numba``
+    (request the compiled kernels; **silently** falls back to NumPy when
+    Numba is absent — availability is reported, not raised), or ``numpy``
+    (force the bit-identity reference path).  Unset or empty falls back
+    to ``default``; anything else raises :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(KERNELS_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    value = raw.strip().lower()
+    if value not in _KERNEL_CHOICES:
+        raise EnvConfigError(
+            f"{KERNELS_VAR} must be one of {', '.join(_KERNEL_CHOICES)}, got {raw!r}"
+        )
+    return value
+
+
+def kernel_availability() -> dict:
+    """What kernel backend is active and why (for bench artifacts).
+
+    Returns :func:`repro.model._kernels.kernel_info`: the active backend
+    (``numba``/``numpy``), the requested value of ``REPRO_KERNELS``,
+    Numba availability and version, and a one-line ``note`` naming any
+    silent fallback.
+    """
+    from repro.model import _kernels  # deferred: _kernels reads env_kernels
+
+    return _kernels.kernel_info()
 
 
 def env_checkpoint_dir(

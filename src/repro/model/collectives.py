@@ -14,6 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.model import _kernels
+
 __all__ = [
     "broadcast_tree_rounds",
     "segments_from_sorted",
@@ -114,11 +116,11 @@ def _flatten_segments(
 
 def _segment_offsets(counts: np.ndarray, total: int) -> tuple[np.ndarray, np.ndarray]:
     """For per-segment message counts, return ``(seg_of_msg, offset_in_seg)``
-    enumerating messages segment-major, offsets ascending."""
-    seg_of_msg = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
-    firsts = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=np.int64) - firsts[seg_of_msg]
-    return seg_of_msg, offsets
+    enumerating messages segment-major, offsets ascending.  Dispatches to
+    :func:`repro.model._kernels.segment_offsets` (fused compiled loop under
+    Numba, the historical repeat/cumsum arithmetic under NumPy — identical
+    outputs either way)."""
+    return _kernels.segment_offsets(counts, total)
 
 
 def doubling_batches_arrays(flat: np.ndarray, starts: np.ndarray, lengths: np.ndarray):

@@ -43,6 +43,11 @@ The *supported setting* (paper §2.1) allows arbitrary preprocessing that
 depends only on the sparsity structure: all schedules, anchor arrays, and
 tree shapes in this codebase are functions of the indicator matrices alone,
 never of the numeric values.
+
+Scheduling and the columnar gather/scatter aggregation both dispatch
+through :mod:`repro.model._kernels` (Numba-compiled loops when available,
+bit-identical NumPy reference otherwise; ``REPRO_KERNELS`` selects).
+:meth:`LowBandwidthNetwork.engine_info` reports which backend a run used.
 """
 
 from __future__ import annotations
@@ -942,6 +947,21 @@ class LowBandwidthNetwork:
     def schedule_cache_stats(self) -> dict[str, int] | None:
         """Stats of the attached schedule cache, or ``None`` if disabled."""
         return None if self._schedule_cache is None else self._schedule_cache.stats()
+
+    def engine_info(self) -> dict[str, Any]:
+        """How this network executes phases: strictness, columnar delivery,
+        scheduling method, and the active compiled-kernel backend
+        (:mod:`repro.model._kernels`) — recorded into bench artifacts so a
+        measurement always names the engine that produced it."""
+        from repro.model import _kernels
+
+        return {
+            "strict": self.strict,
+            "columnar": self.columnar,
+            "schedule_method": self.schedule_method,
+            "schedule_cache": self._schedule_cache is not None,
+            "kernels": _kernels.kernel_info(),
+        }
 
     def fault_counts(self) -> dict[str, int] | None:
         """Honest tallies of injected faults and recovery work (drops,

@@ -176,18 +176,26 @@ class ScheduleCache:
         self._new_keys.clear()
         return out
 
-    def merge(self, entries: dict[bytes, np.ndarray]) -> int:
+    def merge(self, entries: dict[bytes, np.ndarray], *, copy: bool = False) -> int:
         """Insert externally computed schedules; returns how many were new.
 
         Existing keys win (they are bit-identical by construction — a
         schedule is a pure function of the digested endpoints), so merging
         is idempotent and order-independent.  The LRU bound still applies.
+
+        ``copy=True`` materializes each array before insertion — required
+        when the entries are zero-copy views into a shared-memory segment
+        that may be unlinked while the cache lives on (the sweep
+        executor's harvest path); the default keeps the historical
+        no-copy behavior for arrays the cache may safely alias.
         """
         added = 0
         for key, rounds in entries.items():
             if key in self._entries:
                 continue
-            rounds = np.asarray(rounds, dtype=np.int64)
+            rounds = np.array(rounds, dtype=np.int64) if copy else np.asarray(
+                rounds, dtype=np.int64
+            )
             rounds.setflags(write=False)
             self._entries[key] = rounds
             added += 1

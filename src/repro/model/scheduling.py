@@ -40,11 +40,20 @@ provided, both returning bit-identical assignments:
 ``method="auto"`` (the default) picks the vectorized path for large phases
 and the reference loop for small ones, where interpreter dispatch beats
 array set-up cost.
+
+When the optional compiled backend is active
+(:mod:`repro.model._kernels`, selected via ``REPRO_KERNELS``), large
+phases run the Numba word-bitset first-fit kernel instead of the chunked
+NumPy path.  The kernel executes the same sequential first-fit
+specification message by message, so its assignments are bit-identical
+to the reference loop — the parity tests assert it byte-for-byte.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.model import _kernels
 
 __all__ = [
     "greedy_two_sided_schedule",
@@ -207,12 +216,17 @@ def _first_fit_vectorized(r_src: np.ndarray, r_dst: np.ndarray) -> np.ndarray:
         starts = np.flatnonzero(s_change)
         return np.arange(p, dtype=np.int64) - starts[s_inv]
 
+    bound = s_max + r_max - 1
+    # The compiled kernel runs the sequential specification directly over
+    # word bitsets — no chunking heuristics, no stall detector — and wins
+    # on every shape once compilation is amortized.
+    if bound <= _MAX_BITSET_BOUND and _kernels.first_fit_available():
+        return _kernels.first_fit_words(s_inv, d_inv, n_send, n_recv, bound)
     # Chunked commits pay off only when chunks are large, i.e. when the
     # multigraph is low-degree: a message commits iff it heads *both* its
     # endpoint queues, so dense phases (mean degree >> 1) yield chunks no
     # larger than the endpoint count and the per-iteration overhead loses
     # to the plain loop.
-    bound = s_max + r_max - 1
     mean_deg = p / max(n_send, n_recv)
     if bound > _MAX_BITSET_BOUND or mean_deg > 8.0:
         return _first_fit_reference(r_src, r_dst)

@@ -35,6 +35,21 @@ __all__ = [
 ]
 
 
+_KERNELS = None
+
+
+def _kernels_mod():
+    """Deferred import of :mod:`repro.model._kernels` (importing it at
+    module scope would cycle through ``repro.model.__init__``, which pulls
+    modules that import this one)."""
+    global _KERNELS
+    if _KERNELS is None:
+        from repro.model import _kernels
+
+        _KERNELS = _kernels
+    return _KERNELS
+
+
 @dataclasses.dataclass(frozen=True)
 class Semiring:
     """A commutative semiring ``(S, +, *, 0, 1)`` with vectorized operations.
@@ -100,14 +115,19 @@ class Semiring:
         return result
 
     def segment_sum(self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
-        """Sum ``values`` grouped by ``segment_ids`` (used for X accumulation)."""
+        """Sum ``values`` grouped by ``segment_ids`` (used for X accumulation).
+
+        For ordinary addition the scatter-add runs through
+        :mod:`repro.model._kernels` (compiled loop under Numba, ordered
+        ``np.bincount`` under NumPy) — both accumulate in element order,
+        bit-identical to the historical ``np.add.at`` path.
+        """
         values = np.asarray(values, dtype=self.dtype)
         out = self.zeros(num_segments)
         if values.size == 0:
             return out
         if self.add is np.add:
-            np.add.at(out, segment_ids, values)
-            return out
+            return _kernels_mod().segment_sum_f8(values, segment_ids, out)
         if isinstance(self.add, np.ufunc):
             self.add.at(out, segment_ids, values)
             return out

@@ -1,0 +1,230 @@
+"""Tests for the zero-copy shared-memory sweep engine.
+
+The engine's contract (`repro/analysis/executor.py`, "Zero-copy shared
+memory and work stealing"): results travel through named shared segments
+instead of pickles, dispatch is work-stealing, and every outcome —
+success, raising cells, SIGKILLed workers, checkpoint resume, fallback
+to the pickling pool — is bit-identical to a serial run.  Segment
+hygiene is absolute: after any ``execute_cells`` call, crashes included,
+``/dev/shm`` holds no ``repro-sweep-*`` entry.
+
+All workloads are module-level so they survive any multiprocessing start
+method; the one-shot worker kill is coordinated through a marker file
+whose path travels in an environment variable (inherited by workers).
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.algorithms.trivial import naive_triangles
+from repro.algorithms.twophase import multiply_two_phase
+from repro.analysis import shm
+from repro.analysis.executor import build_cells, execute_cells
+from repro.analysis.sweeps import run_sweep
+from repro.supported.instance import make_hard_instance
+
+ALGOS = {"naive": naive_triangles, "two_phase": multiply_two_phase}
+CRASH_MARKER_VAR = "REPRO_TEST_SHM_CRASH_MARKER"
+POISON_VALUE = 3
+
+
+def seeded_factory(d, rng):
+    return make_hard_instance(8 * d, d, rng)
+
+
+def unseeded_factory(d):
+    return make_hard_instance(8 * d, d, np.random.default_rng(d))
+
+
+def poisoned(inst):
+    if inst.d == POISON_VALUE:
+        raise ValueError("poisoned cell")
+    return naive_triangles(inst)
+
+
+def kill_worker_once(inst):
+    """SIGKILL our own worker the first time the poisoned axis value
+    comes through; the marker file makes the kill one-shot so the
+    re-dispatched cell succeeds on a fresh worker."""
+    marker = os.environ.get(CRASH_MARKER_VAR)
+    if inst.d == POISON_VALUE and marker and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return naive_triangles(inst)
+
+
+def _no_leaked_segments():
+    assert shm.active_segments() == [], "leaked /dev/shm segments"
+
+
+# ------------------------------------------------------------------ #
+# bit-identity: shm engine vs serial, seeded and unseeded
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("seed", [None, 42])
+def test_shm_engine_bit_identical_to_serial(seed):
+    kw = dict(axis=("d", [2, 4]), algorithms=ALGOS, seed=seed,
+              instance_factory=seeded_factory if seed is not None else unseeded_factory)
+    serial = run_sweep(workers=1, **kw)
+    parallel = run_sweep(workers=2, engine="shm", **kw)
+    assert parallel.stats["mode"].startswith("shm-")
+    assert parallel.rounds == serial.rounds
+    assert parallel.messages == serial.messages
+    assert parallel.verified and serial.verified
+    _no_leaked_segments()
+
+
+def test_engine_pool_and_shm_agree():
+    kw = dict(axis=("d", [2, 4]), instance_factory=seeded_factory,
+              algorithms=ALGOS, seed=7, workers=2)
+    pool = run_sweep(engine="pool", **kw)
+    shm_run = run_sweep(engine="shm", **kw)
+    assert not pool.stats["mode"].startswith("shm-")
+    assert shm_run.stats["mode"].startswith("shm-")
+    assert pool.rounds == shm_run.rounds
+    assert pool.messages == shm_run.messages
+    _no_leaked_segments()
+
+
+def test_engine_parameter_is_validated():
+    with pytest.raises(ValueError, match="engine"):
+        execute_cells(
+            build_cells([2], ALGOS),
+            instance_factory=unseeded_factory,
+            algorithms=ALGOS,
+            engine="bogus",
+        )
+
+
+# ------------------------------------------------------------------ #
+# payload accounting and instance sharing
+# ------------------------------------------------------------------ #
+def test_per_cell_payload_bytes_recorded():
+    sweep = run_sweep(
+        axis=("d", [2, 4]), instance_factory=unseeded_factory,
+        algorithms=ALGOS, workers=2, engine="shm",
+    )
+    payload = sweep.stats["payload"]
+    for cell in sweep.stats["per_cell"]:
+        assert cell["payload_baseline_bytes"] > cell["payload_shipped_bytes"] > 0
+    assert payload["baseline_bytes"] > payload["shipped_bytes"] > 0
+    assert payload["reduction_x"] > 1.0
+    _no_leaked_segments()
+
+
+def test_instances_shared_only_for_unseeded_factories():
+    kw = dict(axis=("d", [2, 4]), algorithms=ALGOS, workers=2, engine="shm")
+    unseeded = run_sweep(instance_factory=unseeded_factory, **kw)
+    # one shared instance per unique axis value, built once in the parent
+    assert unseeded.stats["shm"]["shared_instances"] == 2
+    assert unseeded.stats["shm"]["instance_bytes"] > 0
+    seeded = run_sweep(instance_factory=seeded_factory, seed=11, **kw)
+    # seeded factories take a per-cell RNG: the instance differs per cell,
+    # so nothing can be prebuilt
+    assert seeded.stats["shm"]["shared_instances"] == 0
+    _no_leaked_segments()
+
+
+# ------------------------------------------------------------------ #
+# failure paths
+# ------------------------------------------------------------------ #
+def test_raising_cell_recorded_through_shared_rows():
+    sweep = run_sweep(
+        axis=("d", [2, POISON_VALUE, 4]), instance_factory=unseeded_factory,
+        algorithms={"poisoned": poisoned}, strict=False, workers=2, engine="shm",
+    )
+    assert sweep.stats["mode"].startswith("shm-")
+    assert sweep.cell_status["poisoned"] == ["ok", "failed", "ok"]
+    assert sweep.rounds["poisoned"][1] == -1
+    assert sweep.stats["errors"] == 1
+    _no_leaked_segments()
+
+
+def test_sigkilled_worker_recovers_bit_identically(tmp_path, monkeypatch):
+    marker = tmp_path / "killed-once"
+    monkeypatch.setenv(CRASH_MARKER_VAR, str(marker))
+    algos = {"naive": kill_worker_once}
+    kw = dict(axis=("d", [2, POISON_VALUE, 4]), instance_factory=seeded_factory,
+              algorithms=algos, seed=5)
+    faulty = run_sweep(workers=2, engine="shm", **kw)
+    assert marker.exists(), "the poisoned cell never killed its worker"
+    assert faulty.stats["shm"]["worker_crashes"] >= 1
+    assert (faulty.stats["shm"]["requeued_cells"]
+            + faulty.stats["shm"]["inline_recoveries"]) >= 1
+    _no_leaked_segments()
+
+    # reference: same sweep, fault-free (marker already exists)
+    reference = run_sweep(workers=1, **kw)
+    assert faulty.rounds == reference.rounds
+    assert faulty.messages == reference.messages
+    assert faulty.verified
+
+
+def test_shm_unavailable_falls_back_or_raises(monkeypatch):
+    def broken_create(self, nbytes):
+        raise OSError("no /dev/shm in this test")
+
+    monkeypatch.setattr(shm.ShmArena, "create", broken_create)
+    kw = dict(axis=("d", [2, 4]), instance_factory=unseeded_factory,
+              algorithms=ALGOS, workers=2)
+    fallback = run_sweep(engine="auto", **kw)
+    assert not fallback.stats["mode"].startswith("shm-")
+    assert "shared-memory" in (fallback.stats.get("fallback") or "")
+    serial = run_sweep(workers=1, instance_factory=unseeded_factory,
+                       algorithms=ALGOS, axis=("d", [2, 4]))
+    assert fallback.rounds == serial.rounds
+    with pytest.raises(RuntimeError, match="shared-memory"):
+        run_sweep(engine="shm", **kw)
+    _no_leaked_segments()
+
+
+# ------------------------------------------------------------------ #
+# checkpoint resume under the shm engine
+# ------------------------------------------------------------------ #
+def test_checkpoint_resume_restores_shm_results(tmp_path):
+    kw = dict(axis=("d", [2, 4]), instance_factory=seeded_factory,
+              algorithms=ALGOS, seed=3, workers=2, engine="shm",
+              checkpoint_dir=tmp_path)
+    first = run_sweep(**kw)
+    assert first.stats["mode"].startswith("shm-")
+    assert first.stats["checkpoint"]["restored_cells"] == 0
+    second = run_sweep(**kw)
+    assert second.stats["checkpoint"]["restored_cells"] == len(first.stats["per_cell"])
+    assert second.stats["checkpoint"]["executed_cells"] == 0
+    assert second.rounds == first.rounds
+    assert second.messages == first.messages
+    _no_leaked_segments()
+
+
+# ------------------------------------------------------------------ #
+# shm data-plane unit tests
+# ------------------------------------------------------------------ #
+def test_arena_share_array_round_trip_and_cleanup():
+    arr = np.arange(100, dtype=np.float64).reshape(4, 25)
+    with shm.ShmArena() as arena:
+        desc = arena.share_array(arr)
+        assert shm.active_segments(), "segment should be visible while open"
+        view, seg = shm.attach_array(desc)
+        assert view.tobytes() == arr.tobytes()
+        seg.close()
+    _no_leaked_segments()
+
+
+def test_record_stream_round_trip():
+    entries = {
+        b"d" * 16: np.array([1, 2, 3], dtype=np.int64),
+        b"e" * 16: np.array([], dtype=np.int64),
+    }
+    with shm.ShmArena() as arena:
+        packed = shm.pack_entries(arena, entries)
+        assert packed is not None
+        name, used = packed
+        seg = shm.attach_segment(name)
+        arena.track(seg)
+        out = dict(shm.iter_entries(seg.buf, used, copy=True))
+    assert set(out) == set(entries)
+    for k in entries:
+        assert np.array_equal(out[k], entries[k])
+    _no_leaked_segments()
