@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke serve-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +52,18 @@ kernel-smoke:
 	pytest tests/test_kernels.py tests/test_shm_executor.py -q
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_WORKERS=2 \
 		pytest benchmarks/bench_sweep_executor.py --benchmark-only
+
+# Serving-layer smoke: the serve test suite, then the serving bench —
+# boots the frontend over a 2-worker shared-memory pool, drives
+# mixed-tenant load in-process (3 job kinds, all 7 semirings), and
+# asserts coalescing (rate > 0), bit-identity of every batched result to
+# serial ground truth, zero warm-run misses off the digest-prefix shard
+# store, and bounded-queue rejection.  Emits
+# benchmarks/results/BENCH_serving.json (CI uploads it as an artifact).
+serve-smoke:
+	pytest tests/test_serve.py -q
+	REPRO_BENCH_SMOKE=1 REPRO_SERVE_WORKERS=2 \
+		pytest benchmarks/bench_serving.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -1,0 +1,261 @@
+"""Serving-layer economics — latency, coalescing, warm-vs-cold cache.
+
+The serving layer's claim is economic: structurally identical jobs pay
+scheduling once (the batch leader misses, followers replay) and a
+restarted service pays nothing at all (workers warm-load the sharded
+schedule store).  This bench drives a mixed-tenant synthetic workload —
+products over several semirings on shared structures, triangle counts,
+min-plus distance relaxations, a sprinkling of Freivalds-certified jobs
+— through the full stack three ways:
+
+1. **serial ground truth** — every job alone through ``execute_batch``
+   on a cold cache: the bit-identity reference and the un-batched cost;
+2. **cold service** — fresh frontend + worker pool, empty schedule
+   store: measures p50/p99 submit-to-response latency, the coalesce
+   rate, and per-tenant bills while the store is being built;
+3. **warm service** — new frontend + pool against the shard store the
+   cold run persisted, in-memory cache cleared: every schedule must
+   come off disk (zero misses across all workers).
+
+Gates (hard, host-independent):
+
+* batched results bit-identical to serial for every job — products,
+  triangle counts, distances, across every semiring exercised;
+* coalesce rate > 0 (the batching window does coalesce);
+* warm run re-schedules nothing (aggregate cache misses == 0) with the
+  store spread over >= 2 digest-prefix shards and served by >= 2
+  concurrent workers — the no-contention sharding claim;
+* the bounded queue rejects (an overload burst sees ``AdmissionError``).
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized workload.
+``REPRO_SERVE_WORKERS`` overrides the pool size (this bench's default:
+2).  Emits ``BENCH_serving.json`` at the repository root (full runs)
+and under ``benchmarks/results/`` (always).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import scipy.sparse as sp
+
+from conftest import RESULTS_DIR, save_report
+
+from repro.envconfig import env_serve_workers
+from repro.model.schedule_cache import default_schedule_cache, load_store_sharded
+from repro.serve import (
+    AdmissionError,
+    Job,
+    ServeConfig,
+    ServeFrontend,
+    execute_batch,
+    multiply_job,
+    run_load,
+    synthetic_workload,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TENANTS = 3 if SMOKE else 4
+JOBS = 24 if SMOKE else 96
+N = 16 if SMOKE else 24
+BATCH_WINDOW_MS = 25.0
+BURST = 12
+
+
+def _same_values(x1, x2) -> bool:
+    if x1 is None or x2 is None:
+        return x1 is None and x2 is None
+    a, b = sp.csr_matrix(x1), sp.csr_matrix(x2)
+    if a.shape != b.shape:
+        return False
+    d = a != b
+    return d.nnz == 0 if sp.issparse(d) else not bool(d.any())
+
+
+def _run_service(jobs, config):
+    async def drive():
+        async with ServeFrontend(config) as fe:
+            return await run_load(fe, jobs, burst=BURST)
+
+    return asyncio.run(drive())
+
+
+def _overload_probe(config):
+    """Burst more submissions than ``max_queue`` to show explicit
+    rejection; returns (admitted, rejected)."""
+    probe_jobs = synthetic_workload(tenants=1, jobs=10, n=12, d=2, seed=77)
+
+    async def drive():
+        async with ServeFrontend(config) as fe:
+            outcomes = await asyncio.gather(
+                *(fe.submit(j) for j in probe_jobs), return_exceptions=True
+            )
+        rejected = sum(1 for o in outcomes if isinstance(o, AdmissionError))
+        return len(outcomes) - rejected, rejected
+
+    return asyncio.run(drive())
+
+
+def bench_serving(benchmark, tmp_path):
+    workers = env_serve_workers(default=0) or 2
+    cache_dir = tmp_path / "serve-shards"
+    jobs = synthetic_workload(
+        tenants=TENANTS, jobs=JOBS, n=N, d=2, seed=0, certify_every=8
+    )
+    semirings = sorted({j.instance.semiring.name for j in jobs})
+
+    # 1. serial ground truth, cold cache: the un-batched reference
+    default_schedule_cache().clear()
+    t0 = time.perf_counter()
+    serial = [
+        execute_batch([Job(tenant=j.tenant, instance=j.instance, kind=j.kind)])[0]
+        for j in jobs
+    ]
+    serial_s = time.perf_counter() - t0
+
+    # 2. cold service: empty shard store, fresh pool
+    default_schedule_cache().clear()
+    cold = _run_service(
+        jobs,
+        ServeConfig(
+            workers=workers, batch_window_ms=BATCH_WINDOW_MS, cache_dir=cache_dir
+        ),
+    )
+    assert cold.completed == len(jobs) and cold.failed == 0, cold.errors[:3]
+    assert cold.coalesce_rate > 0, "batching window never coalesced"
+
+    # bit-identity: batched == serial for every job, every kind, every semiring
+    served = sorted(cold.results, key=lambda r: r.job_id)
+    for ref, got in zip(serial, served):
+        assert ref.ok and got.ok, (ref.error, got.error)
+        assert _same_values(ref.x, got.x), "batched product differs from serial"
+        assert ref.value == got.value, "batched finalize differs from serial"
+
+    shard_files = sorted(
+        p.parent.name for p in (cache_dir / "shards").glob("*/schedules-v1.npz")
+    )
+    store_entries = len(load_store_sharded(cache_dir))
+
+    # 3. warm service: new pool over the persisted shards, memory cleared
+    default_schedule_cache().clear()
+    warm = _run_service(
+        jobs,
+        ServeConfig(
+            workers=workers, batch_window_ms=BATCH_WINDOW_MS, cache_dir=cache_dir
+        ),
+    )
+    assert warm.completed == len(jobs) and warm.failed == 0, warm.errors[:3]
+    cold_misses = sum(r.cache_misses for r in cold.results)
+    warm_misses = sum(r.cache_misses for r in warm.results)
+    assert cold_misses > 0, "cold run scheduled nothing?"
+    assert warm_misses == 0, (
+        f"warm workers re-scheduled {warm_misses} phases instead of "
+        "loading the sharded store"
+    )
+    if workers >= 2:
+        assert len(shard_files) >= 2, "store not spread across shards"
+        pids = {r.worker_pid for r in warm.results}
+        assert len(pids) >= 2, "warm run not served by concurrent workers"
+
+    # 4. bounded-queue rejection probe
+    admitted, rejected = _overload_probe(
+        ServeConfig(workers=0, batch_window_ms=50.0, max_queue=4)
+    )
+    assert rejected > 0, "overload burst was never rejected"
+
+    certified = [r for r in cold.results if r.certified is not None]
+    assert certified and all(r.certified for r in certified)
+
+    report = {
+        "workload": {
+            "tenants": TENANTS,
+            "jobs": JOBS,
+            "n": N,
+            "semirings": semirings,
+            "kinds": sorted({j.kind for j in jobs}),
+            "certified_jobs": len(certified),
+            "smoke": SMOKE,
+        },
+        "config": {
+            "workers": workers,
+            "batch_window_ms": BATCH_WINDOW_MS,
+            "burst": BURST,
+            "cpu_count": os.cpu_count(),
+        },
+        "serial_seconds": round(serial_s, 4),
+        "bit_identical_to_serial": True,
+        "cold": {
+            "wall_s": round(cold.wall_s, 4),
+            "p50_latency_ms": cold.p50_latency_ms,
+            "p99_latency_ms": cold.p99_latency_ms,
+            "batches": cold.batches,
+            "coalesce_rate": cold.coalesce_rate,
+            "cache_misses": cold_misses,
+            "cache_hits": sum(r.cache_hits for r in cold.results),
+            "pool": cold.frontend["pool"],
+            "tenants": cold.frontend["tenants"],
+        },
+        "warm": {
+            "wall_s": round(warm.wall_s, 4),
+            "p50_latency_ms": warm.p50_latency_ms,
+            "p99_latency_ms": warm.p99_latency_ms,
+            "batches": warm.batches,
+            "coalesce_rate": warm.coalesce_rate,
+            "cache_misses": warm_misses,
+            "cache_hits": sum(r.cache_hits for r in warm.results),
+            "pool": warm.frontend["pool"],
+            "tenants": warm.frontend["tenants"],
+        },
+        "store": {
+            "entries": store_entries,
+            "shards": len(shard_files),
+            "shard_prefixes": shard_files,
+        },
+        "admission": {"max_queue": 4, "admitted": admitted, "rejected": rejected},
+        "certification": {
+            "jobs": len(certified),
+            "mean_cert_rounds": round(
+                sum(r.cert_rounds for r in certified) / len(certified), 2
+            ),
+        },
+    }
+    payload = json.dumps(report, indent=2) + "\n"
+    (RESULTS_DIR / "BENCH_serving.json").write_text(payload)
+    if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
+        (REPO_ROOT / "BENCH_serving.json").write_text(payload)
+
+    lines = [
+        "Serving layer — latency, coalescing, warm-vs-cold schedule economics",
+        "=" * 72,
+        f"workload: {JOBS} jobs / {TENANTS} tenants, n={N}, "
+        f"semirings={len(semirings)}, kinds=3" + (" (SMOKE)" if SMOKE else ""),
+        f"{'run':<28}{'wall s':>9}{'p50 ms':>9}{'p99 ms':>9}{'batches':>9}{'misses':>8}",
+        f"{'serial (un-batched)':<28}{serial_s:>9.3f}{'-':>9}{'-':>9}{len(jobs):>9}{cold_misses:>8}",
+        f"{f'cold service x{workers}':<28}{cold.wall_s:>9.3f}{cold.p50_latency_ms:>9.1f}"
+        f"{cold.p99_latency_ms:>9.1f}{cold.batches:>9}{cold_misses:>8}",
+        f"{f'warm service x{workers}':<28}{warm.wall_s:>9.3f}{warm.p50_latency_ms:>9.1f}"
+        f"{warm.p99_latency_ms:>9.1f}{warm.batches:>9}{warm_misses:>8}",
+        f"coalesce rate: cold {cold.coalesce_rate:.2f}, warm {warm.coalesce_rate:.2f} "
+        f"({JOBS} jobs -> {cold.batches} batches)",
+        f"store: {store_entries} schedules across {len(shard_files)} digest-prefix shards",
+        f"admission probe: {admitted} admitted, {rejected} rejected (max_queue=4)",
+        f"certification: {len(certified)} jobs at "
+        f"{report['certification']['mean_cert_rounds']} extra rounds each",
+        "batched results bit-identical to serial: True",
+    ]
+    save_report("serving", lines)
+
+    benchmark.pedantic(
+        lambda: _run_service(
+            synthetic_workload(tenants=2, jobs=6, n=12, d=2, seed=9),
+            ServeConfig(workers=0, batch_window_ms=5.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -8,6 +8,7 @@ Commands
 ``landscape``     print the analytic Table 1 exponents
 ``selfcheck``     run the strict end-to-end validation matrix
 ``lowerbounds``   print the executable lower-bound certificates
+``serve``         boot the batched serving front end on synthetic load
 """
 
 from __future__ import annotations
@@ -105,7 +106,60 @@ def _cmd_selfcheck(args) -> int:
         print(f"[{mark}] {r.description:<28} {r.algorithm:<16} rounds={r.rounds}{cert}{extra}")
         failed += 0 if r.ok else 1
     print(f"{len(results) - failed}/{len(results)} cells passed")
+    from repro.model.schedule_cache import default_schedule_cache
+
+    print(f"schedule cache: {default_schedule_cache().stats()}")
     return 0 if failed == 0 else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ServeConfig, ServeFrontend, run_load, synthetic_workload
+
+    config = ServeConfig.from_env(
+        **{
+            k: v
+            for k, v in {
+                "workers": args.workers,
+                "batch_window_ms": args.batch_window_ms,
+                "max_queue": args.max_queue,
+            }.items()
+            if v is not None
+        }
+    )
+    jobs = synthetic_workload(
+        tenants=args.tenants, jobs=args.jobs, n=args.n, d=args.d,
+        seed=args.seed, certify_every=args.certify_every,
+    )
+
+    async def drive():
+        async with ServeFrontend(config) as fe:
+            return await run_load(fe, jobs, burst=args.burst)
+
+    report = asyncio.run(drive())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"served {report.completed}/{report.jobs} jobs "
+            f"({report.rejected} rejected, {report.failed} failed) "
+            f"in {report.wall_s:.3f}s over {report.batches} batches"
+        )
+        print(
+            f"coalesce rate {report.coalesce_rate:.2f}   "
+            f"p50 {report.p50_latency_ms:.1f} ms   "
+            f"p99 {report.p99_latency_ms:.1f} ms"
+        )
+        print(f"schedule cache: {report.frontend['cache']}")
+        for tenant, bill in report.frontend["tenants"].items():
+            print(
+                f"  {tenant:<12} jobs={bill['completed']:<4} "
+                f"rounds={bill['rounds']:<7} cache_hits={bill['cache_hits']:<6} "
+                f"p50={bill['p50_latency_ms']:.1f}ms p99={bill['p99_latency_ms']:.1f}ms"
+            )
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_lowerbounds(args) -> int:
@@ -184,6 +238,32 @@ def main(argv=None) -> int:
     p.add_argument("--n", type=int, default=36)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_lowerbounds)
+
+    p = sub.add_parser("serve", help="batched serving front end on synthetic load")
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=48)
+    p.add_argument("--n", type=int, default=24)
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--burst", type=int, default=8, help="concurrent submissions")
+    p.add_argument(
+        "--certify-every", type=int, default=0,
+        help="Freivalds-certify every k-th job (0 = off)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_SERVE_WORKERS or 0 = inline)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=None,
+        help="coalescing window (default: REPRO_SERVE_BATCH_WINDOW_MS or 5)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission bound (default: REPRO_SERVE_MAX_QUEUE or 256)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the full report as JSON")
+    p.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -148,6 +148,7 @@ __all__ = [
     "resolve_workers",
     "build_cells",
     "execute_cells",
+    "preferred_context",
 ]
 
 
@@ -439,9 +440,17 @@ def _shm_worker_main(spec, task_q, result_conn) -> None:
 # ---------------------------------------------------------------------- #
 # Parent side
 # ---------------------------------------------------------------------- #
-def _preferred_context() -> mp.context.BaseContext:
+def preferred_context() -> mp.context.BaseContext:
+    """The multiprocessing context every worker pool in this repository
+    uses: ``fork`` when the platform has it (closures reach children by
+    inheritance), the platform default otherwise.  Public because the
+    resident serving pool (:mod:`repro.serve.pool`) spawns its workers
+    from the same context."""
     methods = mp.get_all_start_methods()
     return mp.get_context("fork" if "fork" in methods else methods[0])
+
+
+_preferred_context = preferred_context  # historical internal name
 
 
 def _retry_delay_s(base: float, attempt: int) -> float:

@@ -63,6 +63,8 @@ __all__ = [
     "result_block",
     "share_instance",
     "attach_instance",
+    "share_csr",
+    "attach_csr",
     "active_segments",
 ]
 
@@ -331,6 +333,34 @@ def result_block(arena: ShmArena, num_cells: int) -> tuple[ArrayDescriptor, np.n
 _CSR_FIELDS = ("a", "b", "a_hat", "b_hat", "x_hat")
 
 
+def share_csr(arena: ShmArena, mat) -> dict:
+    """Place one CSR matrix's three arrays into shared segments.
+
+    Returns the ``{"shape", "data", "indices", "indptr"}`` descriptor
+    dict both the sweep executor's instance sharing and the serving
+    layer's batch shipping use; rebuild with :func:`attach_csr`.
+    """
+    return {
+        "shape": tuple(mat.shape),
+        "data": arena.share_array(np.asarray(mat.data)),
+        "indices": arena.share_array(np.asarray(mat.indices)),
+        "indptr": arena.share_array(np.asarray(mat.indptr)),
+    }
+
+
+def attach_csr(spec: dict, arena: ShmArena):
+    """Rebuild a CSR matrix over zero-copy views of a :func:`share_csr`
+    descriptor; attached segments are tracked on ``arena`` for unmap."""
+    import scipy.sparse as sp
+
+    parts = []
+    for part in ("data", "indices", "indptr"):
+        view, seg = attach_array(spec[part])
+        arena.track(seg)
+        parts.append(view)
+    return sp.csr_matrix(tuple(parts), shape=spec["shape"], copy=False)
+
+
 def share_instance(arena: ShmArena, inst) -> InstanceDescriptor | None:
     """Place an instance's CSR arrays into shared segments.
 
@@ -343,13 +373,7 @@ def share_instance(arena: ShmArena, inst) -> InstanceDescriptor | None:
         return None
     csr: dict = {}
     for field in _CSR_FIELDS:
-        mat = getattr(inst, field)
-        csr[field] = {
-            "shape": tuple(mat.shape),
-            "data": arena.share_array(np.asarray(mat.data)),
-            "indices": arena.share_array(np.asarray(mat.indices)),
-            "indptr": arena.share_array(np.asarray(mat.indptr)),
-        }
+        csr[field] = share_csr(arena, getattr(inst, field))
     return InstanceDescriptor(
         csr=csr,
         semiring=inst.semiring,
@@ -368,8 +392,6 @@ def attach_instance(desc: InstanceDescriptor, arena: ShmArena):
     Algorithms treat instances as read-only (the ``run_sweep`` contract),
     which is what makes the sharing sound.
     """
-    import scipy.sparse as sp
-
     from repro.supported.instance import SupportedInstance
 
     inst = SupportedInstance.__new__(SupportedInstance)
@@ -377,12 +399,5 @@ def attach_instance(desc: InstanceDescriptor, arena: ShmArena):
     inst.d = desc.d
     inst.distribution = desc.distribution
     for field in _CSR_FIELDS:
-        spec = desc.csr[field]
-        parts = []
-        for part in ("data", "indices", "indptr"):
-            view, shm = attach_array(spec[part])
-            arena.track(shm)
-            parts.append(view)
-        mat = sp.csr_matrix(tuple(parts), shape=spec["shape"], copy=False)
-        setattr(inst, field, mat)
+        setattr(inst, field, attach_csr(desc.csr[field], arena))
     return inst

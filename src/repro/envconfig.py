@@ -7,7 +7,11 @@ The benchmark drivers are configured through environment variables
 checks (0 disables), ``REPRO_SWEEP_CHECKPOINT_DIR`` the crash-safe
 sweep-manifest directory, and ``REPRO_KERNELS`` the compiled-kernel
 backend (``auto``/``numba``/``numpy``; see
-:mod:`repro.model._kernels`).  Every
+:mod:`repro.model._kernels`).  The serving layer
+(:mod:`repro.serve`) adds ``REPRO_SERVE_WORKERS`` (resident worker
+processes; 0 = in-process), ``REPRO_SERVE_BATCH_WINDOW_MS`` (how long a
+structure's batch stays open for coalescing) and
+``REPRO_SERVE_MAX_QUEUE`` (admission-control depth).  Every
 driver used to parse these with a bare ``int()`` / ``os.environ.get``,
 so a typo (``REPRO_BENCH_WORKERS=four``) surfaced as an opaque
 ``ValueError: invalid literal for int()`` traceback from deep inside a
@@ -29,6 +33,9 @@ __all__ = [
     "env_cert_checks",
     "env_checkpoint_dir",
     "env_kernels",
+    "env_serve_workers",
+    "env_serve_batch_window_ms",
+    "env_serve_max_queue",
     "kernel_availability",
 ]
 
@@ -37,6 +44,9 @@ CACHE_DIR_VAR = "REPRO_SWEEP_CACHE_DIR"
 CERT_CHECKS_VAR = "REPRO_CERT_CHECKS"
 CHECKPOINT_DIR_VAR = "REPRO_SWEEP_CHECKPOINT_DIR"
 KERNELS_VAR = "REPRO_KERNELS"
+SERVE_WORKERS_VAR = "REPRO_SERVE_WORKERS"
+SERVE_BATCH_WINDOW_VAR = "REPRO_SERVE_BATCH_WINDOW_MS"
+SERVE_MAX_QUEUE_VAR = "REPRO_SERVE_MAX_QUEUE"
 
 _KERNEL_CHOICES = ("auto", "numba", "numpy")
 
@@ -159,6 +169,95 @@ def kernel_availability() -> dict:
     from repro.model import _kernels  # deferred: _kernels reads env_kernels
 
     return _kernels.kernel_info()
+
+
+def env_serve_workers(
+    default: int = 0, *, environ: Mapping[str, str] | None = None
+) -> int:
+    """Serving worker-process count from ``REPRO_SERVE_WORKERS``.
+
+    Accepts a non-negative integer; ``0`` means run batches in-process
+    (no worker pool — the mode every host supports).  Unset or empty
+    falls back to ``default``.  Anything else raises
+    :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(SERVE_WORKERS_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip(), 10)
+    except ValueError:
+        raise EnvConfigError(
+            f"{SERVE_WORKERS_VAR} must be a non-negative integer "
+            f"(0 = in-process execution), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise EnvConfigError(
+            f"{SERVE_WORKERS_VAR} must be >= 0 (0 = in-process execution), got {value}"
+        )
+    return value
+
+
+def env_serve_batch_window_ms(
+    default: float = 5.0, *, environ: Mapping[str, str] | None = None
+) -> float:
+    """Batching window from ``REPRO_SERVE_BATCH_WINDOW_MS``.
+
+    Accepts a non-negative number of milliseconds: how long the front end
+    holds the first job of a structure open so structurally identical
+    jobs can coalesce into its batch; ``0`` dispatches on the next event
+    loop turn (jobs already queued still coalesce).  Unset or empty falls
+    back to ``default``.  Anything else — including negative values, NaN
+    and infinities — raises :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(SERVE_BATCH_WINDOW_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise EnvConfigError(
+            f"{SERVE_BATCH_WINDOW_VAR} must be a non-negative number of "
+            f"milliseconds, got {raw!r}"
+        ) from None
+    if not (value >= 0) or value != value or value == float("inf"):
+        raise EnvConfigError(
+            f"{SERVE_BATCH_WINDOW_VAR} must be a finite number >= 0 "
+            f"(milliseconds), got {raw!r}"
+        )
+    return value
+
+
+def env_serve_max_queue(
+    default: int = 256, *, environ: Mapping[str, str] | None = None
+) -> int:
+    """Admission-control queue depth from ``REPRO_SERVE_MAX_QUEUE``.
+
+    Accepts a positive integer: the maximum number of jobs the front end
+    holds in flight (queued + batching + executing) before it rejects new
+    submissions outright.  Unset or empty falls back to ``default``.
+    Zero, negative, or non-integer values raise :class:`EnvConfigError` —
+    a queue of depth zero would reject everything, which can only be a
+    configuration mistake.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(SERVE_MAX_QUEUE_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip(), 10)
+    except ValueError:
+        raise EnvConfigError(
+            f"{SERVE_MAX_QUEUE_VAR} must be a positive integer "
+            f"(maximum in-flight jobs), got {raw!r}"
+        ) from None
+    if value < 1:
+        raise EnvConfigError(
+            f"{SERVE_MAX_QUEUE_VAR} must be >= 1, got {value}"
+        )
+    return value
 
 
 def env_checkpoint_dir(

@@ -37,6 +37,23 @@ and merges the workers' new schedules back after a run):
   entries once ``max_bytes`` of payload is reached, so CI machines cannot
   accumulate unbounded cache files.
 
+Sharding
+--------
+A single store file is fine for batch sweeps (one writer, the parent),
+but a resident multi-tenant service has many workers persisting and
+warm-loading concurrently.  The *sharded* store splits the same entry
+format across ``shards/<p>/schedules-v1.npz`` files keyed by the first
+:data:`SHARD_PREFIX_CHARS` hex characters of the structure digest:
+
+* :func:`shard_prefix` routes a digest to its shard;
+* :func:`shard_store_path` maps ``(cache_dir, digest)`` to the shard
+  file, so two workers touching different structures never open the
+  same npz;
+* :func:`save_store_sharded` / :func:`load_store_sharded` fan the plain
+  save/load out across shards (per-shard writes stay atomic, per-shard
+  damage stays contained — a torn shard is one cold shard, not a cold
+  store).
+
 The store holds only ``int64`` round-assignment arrays and is written via
 ``numpy.savez_compressed`` — no pickled code objects, so loading an
 untrusted/stale file is at worst a cold cache, never code execution.
@@ -60,9 +77,14 @@ __all__ = [
     "default_schedule_cache",
     "phase_digest",
     "STORE_VERSION",
+    "SHARD_PREFIX_CHARS",
     "store_path",
     "save_store",
     "load_store",
+    "shard_prefix",
+    "shard_store_path",
+    "save_store_sharded",
+    "load_store_sharded",
     "store_crash_drill",
 ]
 
@@ -117,10 +139,18 @@ class ScheduleCache:
         self.misses = 0
 
     def stats(self) -> dict:
-        """Hit/miss/occupancy counters as a plain dict."""
+        """Hit/miss/occupancy counters as a plain dict.
+
+        ``hit_rate`` is ``hits / (hits + misses)`` and is defined as
+        ``0.0`` when no lookup has happened yet, so consumers (serve
+        responses, ``selfcheck`` output) can always read it without
+        guarding a division by zero.
+        """
+        lookups = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
             "entries": len(self._entries),
             "maxsize": self.maxsize,
         }
@@ -306,6 +336,94 @@ def load_store(path: str | os.PathLike) -> dict[bytes, np.ndarray]:
             return out
     except Exception:  # any damage (zip, pickle-refusal, header) = cold cache
         return {}
+
+
+# ---------------------------------------------------------------------- #
+# Sharded store (digest-prefix routing for concurrent writers)
+# ---------------------------------------------------------------------- #
+#: hex characters of the structure digest that select a shard (2 -> up to
+#: 256 shard files, created lazily as structures appear)
+SHARD_PREFIX_CHARS = 2
+
+_SHARD_DIR = "shards"
+
+
+def shard_prefix(digest: bytes) -> str:
+    """The shard a structure digest routes to (its leading hex chars)."""
+    return digest.hex()[:SHARD_PREFIX_CHARS]
+
+
+def shard_store_path(cache_dir: str | os.PathLike, digest: bytes) -> Path:
+    """The store file holding ``digest``'s schedule inside a sharded cache
+    directory.  Digests with different prefixes map to different files, so
+    concurrent workers touching different structures never contend on one
+    npz."""
+    return Path(cache_dir) / _SHARD_DIR / shard_prefix(digest) / f"{_STORE_STEM}{STORE_VERSION}.npz"
+
+
+def save_store_sharded(
+    cache_dir: str | os.PathLike,
+    entries: dict[bytes, np.ndarray] | "ScheduleCache",
+    *,
+    max_entries_per_shard: int = 4096,
+    max_bytes_per_shard: int = 64 * 1024 * 1024,
+) -> dict:
+    """Write entries across digest-prefix shards; returns aggregate stats.
+
+    Each shard is written with :func:`save_store` (atomic temp-file
+    replace, per-shard entry/byte caps), and a shard is only rewritten
+    when the new entries actually change it — existing shard entries are
+    merged in first, so concurrent services interleaving saves converge
+    instead of clobbering each other.
+    """
+    if isinstance(entries, ScheduleCache):
+        entries = entries.export_entries()
+    by_shard: dict[str, dict[bytes, np.ndarray]] = {}
+    for digest, rounds in entries.items():
+        by_shard.setdefault(shard_prefix(digest), {})[digest] = rounds
+    stats = {"shards_written": 0, "entries": 0, "bytes": 0}
+    for prefix, shard_entries in sorted(by_shard.items()):
+        path = Path(cache_dir) / _SHARD_DIR / prefix / f"{_STORE_STEM}{STORE_VERSION}.npz"
+        existing = load_store(path)
+        fresh = [k for k in shard_entries if k not in existing]
+        if not fresh and existing:
+            continue  # nothing new for this shard; skip the rewrite
+        merged = dict(existing)
+        merged.update(shard_entries)
+        s = save_store(
+            path,
+            merged,
+            max_entries=max_entries_per_shard,
+            max_bytes=max_bytes_per_shard,
+        )
+        stats["shards_written"] += 1
+        stats["entries"] += s["entries"]
+        stats["bytes"] += s["bytes"]
+    return stats
+
+
+def load_store_sharded(
+    cache_dir: str | os.PathLike,
+    *,
+    prefixes: "list[str] | None" = None,
+) -> dict[bytes, np.ndarray]:
+    """Load schedule entries from a sharded cache directory.
+
+    ``prefixes`` restricts the load to the named shards (the resident
+    service warm-loads only the shard a batch's digest routes to);
+    ``None`` loads every shard present.  Missing or damaged shards load
+    as empty, exactly like :func:`load_store`.
+    """
+    shard_root = Path(cache_dir) / _SHARD_DIR
+    if prefixes is None:
+        try:
+            prefixes = sorted(p.name for p in shard_root.iterdir() if p.is_dir())
+        except OSError:
+            return {}
+    out: dict[bytes, np.ndarray] = {}
+    for prefix in prefixes:
+        out.update(load_store(shard_root / prefix / f"{_STORE_STEM}{STORE_VERSION}.npz"))
+    return out
 
 
 def store_crash_drill(cache_dir: str | os.PathLike) -> dict:

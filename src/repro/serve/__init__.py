@@ -1,0 +1,52 @@
+"""repro.serve — multi-tenant batched serving over the schedule cache.
+
+A long-lived front end for streams of multiplication jobs: admission
+control, structure-digest coalescing, a resident shared-memory worker
+pool, per-tenant accounting, and optional in-model certification.  See
+``docs/serving.md`` for the architecture and ``benchmarks/bench_serving.py``
+for the economics.
+"""
+
+from repro.serve.frontend import (
+    AdmissionError,
+    ServeConfig,
+    ServeFrontend,
+    TenantAccount,
+    percentile,
+)
+from repro.serve.jobs import (
+    Job,
+    JobResult,
+    batch_key,
+    execute_batch,
+    multiply_job,
+    semiring_by_name,
+    shortest_path_job,
+    structure_digest,
+    triangle_job,
+)
+from repro.serve.loadgen import LoadReport, revalue, run_load, synthetic_workload
+from repro.serve.pool import ServePool, ServePoolClosed
+
+__all__ = [
+    "AdmissionError",
+    "ServeConfig",
+    "ServeFrontend",
+    "TenantAccount",
+    "percentile",
+    "Job",
+    "JobResult",
+    "batch_key",
+    "execute_batch",
+    "multiply_job",
+    "semiring_by_name",
+    "shortest_path_job",
+    "structure_digest",
+    "triangle_job",
+    "LoadReport",
+    "revalue",
+    "run_load",
+    "synthetic_workload",
+    "ServePool",
+    "ServePoolClosed",
+]

@@ -1,0 +1,344 @@
+"""Asyncio front end: admission, batching windows, tenant accounting.
+
+:class:`ServeFrontend` is the long-lived entry point of the serving
+layer.  Clients ``await submit(job)``; the front end
+
+1. **admits or rejects** — at most ``max_queue`` jobs may be in flight
+   (open batches + dispatched batches); beyond that, submission raises
+   :class:`AdmissionError` immediately instead of queueing unboundedly;
+2. **fingerprints** the job's structure
+   (:func:`repro.serve.jobs.structure_digest`) and files it under its
+   coalescing key — structure digest + semiring + shape;
+3. **coalesces** — the first job of a key opens a batch and starts a
+   ``batch_window_ms`` timer; structurally identical jobs submitted
+   before the timer fires join the batch and replay its schedules;
+4. **dispatches** sealed batches onto the resident worker pool
+   (:class:`repro.serve.pool.ServePool`) through a thread bridge sized to
+   the pool, so the event loop never blocks on a multiplication;
+5. **accounts per tenant** — jobs, batches led/joined, rounds, messages,
+   cache hits/misses, certification rounds, rejections, and latency
+   percentiles, all built from the per-job round/phase accounting the
+   batch engine already reports.
+
+Every response carries the executing cache's stats dict verbatim
+(``JobResult.cache``), and :meth:`ServeFrontend.stats` exposes the
+front-end totals: coalesce rate, queue depth, pool counters, and the
+parent cache stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.envconfig import (
+    env_cache_dir,
+    env_serve_batch_window_ms,
+    env_serve_max_queue,
+    env_serve_workers,
+)
+from repro.model.schedule_cache import default_schedule_cache
+from repro.serve.jobs import Job, JobResult
+from repro.serve.pool import ServePool
+
+__all__ = [
+    "AdmissionError",
+    "ServeConfig",
+    "TenantAccount",
+    "ServeFrontend",
+    "percentile",
+]
+
+
+class AdmissionError(RuntimeError):
+    """The bounded queue is full; the job was rejected, not queued."""
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an unsorted list (0 on empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Front-end knobs; :meth:`from_env` reads the ``REPRO_SERVE_*``
+    variables through their validated :mod:`repro.envconfig` parsers."""
+
+    workers: int = 0
+    batch_window_ms: float = 5.0
+    max_queue: int = 256
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    @classmethod
+    def from_env(cls, *, environ=None, **overrides) -> "ServeConfig":
+        values = {
+            "workers": env_serve_workers(environ=environ),
+            "batch_window_ms": env_serve_batch_window_ms(environ=environ),
+            "max_queue": env_serve_max_queue(environ=environ),
+            "cache_dir": env_cache_dir(environ=environ),
+        }
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclass
+class TenantAccount:
+    """Running totals for one tenant (the serving layer's billing unit)."""
+
+    tenant: str
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rounds: int = 0
+    messages: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches_led: int = 0
+    batches_joined: int = 0
+    certified_jobs: int = 0
+    cert_rounds: int = 0
+    wall_s: float = 0.0
+    latencies_s: list = field(default_factory=list)
+
+    def record(self, res: JobResult) -> None:
+        """Fold one completed job's bill into the running totals."""
+        if res.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.rounds += max(res.rounds, 0)
+        self.messages += max(res.messages, 0)
+        self.cache_hits += res.cache_hits
+        self.cache_misses += res.cache_misses
+        if res.batch_leader:
+            self.batches_led += 1
+        else:
+            self.batches_joined += 1
+        if res.certified is not None:
+            self.certified_jobs += 1
+            self.cert_rounds += res.cert_rounds
+        self.wall_s += res.wall_s
+        self.latencies_s.append(res.latency_s)
+
+    def summary(self) -> dict:
+        """The tenant's bill as a flat dict (with p50/p99 latency)."""
+        lat = self.latencies_s
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "batches_led": self.batches_led,
+            "batches_joined": self.batches_joined,
+            "certified_jobs": self.certified_jobs,
+            "cert_rounds": self.cert_rounds,
+            "wall_s": round(self.wall_s, 6),
+            "p50_latency_ms": round(percentile(lat, 50) * 1e3, 3),
+            "p99_latency_ms": round(percentile(lat, 99) * 1e3, 3),
+        }
+
+
+class _OpenBatch:
+    """One coalescing window: jobs + their response futures + the timer."""
+
+    __slots__ = ("key", "jobs", "futures", "timer")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self.jobs: list[Job] = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.Task | None = None
+
+
+class ServeFrontend:
+    """The long-lived serving front end (see the module docstring).
+
+    Use as an async context manager::
+
+        async with ServeFrontend(ServeConfig(workers=2)) as fe:
+            result = await fe.submit(multiply_job("tenant-a", inst))
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self._pool: ServePool | None = None
+        self._bridge: ThreadPoolExecutor | None = None
+        self._open: dict[tuple, _OpenBatch] = {}
+        self._dispatched: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._job_seq = 0
+        self._batches = 0
+        self._coalesced_jobs = 0
+        self._completed = 0
+        self._rejected = 0
+        self._tenants: dict[str, TenantAccount] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bring up the worker pool and the dispatch bridge; idempotent."""
+        if self._started:
+            return
+        self._pool = ServePool(self.config.workers, cache_dir=self.config.cache_dir)
+        self._bridge = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._started = True
+
+    async def stop(self) -> None:
+        """Seal every open batch, drain in-flight work, stop the pool."""
+        if not self._started:
+            return
+        for batch in list(self._open.values()):
+            self._seal(batch)
+        while self._dispatched:
+            await asyncio.gather(*list(self._dispatched), return_exceptions=True)
+        self._started = False
+        if self._bridge is not None:
+            self._bridge.shutdown(wait=True)
+            self._bridge = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    async def __aenter__(self) -> "ServeFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _account(self, tenant: str) -> TenantAccount:
+        acct = self._tenants.get(tenant)
+        if acct is None:
+            acct = self._tenants[tenant] = TenantAccount(tenant)
+        return acct
+
+    async def submit(self, job: Job) -> JobResult:
+        """Admit, coalesce, execute; returns the job's result.
+
+        Raises :class:`AdmissionError` (without queueing) when the
+        bounded queue is full, and re-raises any engine-level failure of
+        the job's batch.  Per-job algorithm errors do *not* raise — they
+        come back on ``JobResult.error`` with ``ok=False``.
+        """
+        if not self._started:
+            raise RuntimeError("ServeFrontend.submit before start()")
+        acct = self._account(job.tenant)
+        acct.submitted += 1
+        if self._inflight >= self.config.max_queue:
+            acct.rejected += 1
+            self._rejected += 1
+            raise AdmissionError(
+                f"queue full: {self._inflight} jobs in flight "
+                f"(REPRO_SERVE_MAX_QUEUE={self.config.max_queue})"
+            )
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        self._job_seq += 1
+        job.job_id = self._job_seq
+        job.submitted_s = loop.time()
+        key = job.key()
+
+        batch = self._open.get(key)
+        if batch is None:
+            batch = _OpenBatch(key)
+            self._open[key] = batch
+            batch.timer = loop.create_task(self._window(batch))
+        else:
+            self._coalesced_jobs += 1
+        batch.jobs.append(job)
+        fut: asyncio.Future = loop.create_future()
+        batch.futures.append(fut)
+        res = await fut
+        res.latency_s = loop.time() - job.submitted_s
+        self._completed += 1
+        acct.record(res)
+        return res
+
+    # ------------------------------------------------------------------ #
+    # Batching machinery
+    # ------------------------------------------------------------------ #
+    async def _window(self, batch: _OpenBatch) -> None:
+        try:
+            await asyncio.sleep(self.config.batch_window_ms / 1e3)
+        except asyncio.CancelledError:
+            return
+        self._seal(batch)
+
+    def _seal(self, batch: _OpenBatch) -> None:
+        """Close the coalescing window and hand the batch to the pool."""
+        if self._open.get(batch.key) is not batch:
+            return  # already sealed (stop() raced the timer)
+        del self._open[batch.key]
+        if batch.timer is not None and not batch.timer.done():
+            batch.timer.cancel()
+        task = asyncio.get_event_loop().create_task(self._dispatch(batch))
+        self._dispatched.add(task)
+        task.add_done_callback(self._dispatched.discard)
+
+    async def _dispatch(self, batch: _OpenBatch) -> None:
+        loop = asyncio.get_running_loop()
+        self._batches += 1
+        try:
+            results = await loop.run_in_executor(
+                self._bridge, self._pool.run_batch, batch.jobs
+            )
+            for fut, res in zip(batch.futures, results):
+                if not fut.done():
+                    fut.set_result(res)
+        except Exception as exc:
+            for fut in batch.futures:
+                if not fut.done():
+                    fut.set_exception(exc)
+        finally:
+            self._inflight -= len(batch.jobs)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Front-end totals: batching economics, tenants, cache, pool."""
+        jobs_batched = self._completed
+        return {
+            "jobs_submitted": self._job_seq,
+            "jobs_completed": self._completed,
+            "jobs_rejected": self._rejected,
+            "jobs_inflight": self._inflight,
+            "batches": self._batches,
+            "coalesced_jobs": self._coalesced_jobs,
+            "coalesce_rate": (
+                self._coalesced_jobs / jobs_batched if jobs_batched else 0.0
+            ),
+            "open_batches": len(self._open),
+            "batch_window_ms": self.config.batch_window_ms,
+            "max_queue": self.config.max_queue,
+            # the parent-side cache stats dict, verbatim
+            "cache": default_schedule_cache().stats(),
+            "pool": self._pool.stats() if self._pool is not None else None,
+            "tenants": {t: a.summary() for t, a in sorted(self._tenants.items())},
+        }

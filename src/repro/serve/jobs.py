@@ -1,0 +1,300 @@
+"""Jobs, structure fingerprints, and batch execution for the serving layer.
+
+A *job* is one multiplication request from one tenant: a
+:class:`~repro.supported.instance.SupportedInstance` plus what to do with
+the product (report it raw, fold it into a triangle count, read it as
+two-hop distances).  The serving economics rest on one fact the batch
+pipeline already exploits per-process: every communication schedule is a
+pure function of the instance's *structure* (supports + ownership), so
+two jobs with identical structure but different values replay the same
+schedules.  :func:`structure_digest` fingerprints that structure with the
+same BLAKE2b discipline as
+:func:`repro.model.schedule_cache.phase_digest`, and :func:`batch_key`
+extends the digest with the semiring name and shape — jobs that share a
+schedule may still never share *results*, so coalescing keys on all
+three (structure digest + semiring + shape), never on the digest alone.
+
+:func:`execute_batch` is the one place batches run — in a resident
+worker process, inline in the parent, and in the serial ground-truth
+path of the benchmark — so batched execution is bit-identical to serial
+single-job execution by construction: each job is one ordinary
+:func:`repro.algorithms.api.multiply` call, and the coalescing gain is
+exactly the structure-keyed cache turning every follower job's
+scheduling into replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.model.schedule_cache import default_schedule_cache
+from repro.semirings import ALL_SEMIRINGS, Semiring
+from repro.supported.instance import SupportedInstance
+
+__all__ = [
+    "Job",
+    "JobResult",
+    "structure_digest",
+    "batch_key",
+    "execute_batch",
+    "multiply_job",
+    "triangle_job",
+    "shortest_path_job",
+    "semiring_by_name",
+]
+
+#: job kinds the front end accepts; ``finalize`` of each is in
+#: :func:`_finalize_result`
+JOB_KINDS = ("multiply", "triangles", "shortest_paths")
+
+
+def semiring_by_name(name: str) -> Semiring:
+    """Look up a registered semiring by its report name."""
+    for sr in ALL_SEMIRINGS:
+        if sr.name == name:
+            return sr
+    raise ValueError(
+        f"unknown semiring {name!r}; registered: {[s.name for s in ALL_SEMIRINGS]}"
+    )
+
+
+def structure_digest(inst: SupportedInstance) -> bytes:
+    """128-bit fingerprint of an instance's communication structure.
+
+    Hashes exactly what the schedules depend on: the three indicator
+    matrices (CSR ``indptr`` + ``indices``), the shape, and the
+    distribution (ownership is a pure function of support +
+    distribution).  Values and semiring are deliberately excluded — two
+    instances over different algebras but identical supports *share*
+    schedules, which is the whole point of structure-keyed serving.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(inst.n.to_bytes(8, "little"))
+    h.update(inst.distribution.encode())
+    for hat in (inst.a_hat, inst.b_hat, inst.x_hat):
+        h.update(np.int64(hat.shape[0]).tobytes())
+        h.update(np.int64(hat.shape[1]).tobytes())
+        h.update(np.ascontiguousarray(hat.indptr, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(hat.indices, dtype=np.int64).tobytes())
+    return h.digest()
+
+
+def batch_key(inst: SupportedInstance, *, digest: bytes | None = None) -> tuple:
+    """The coalescing key: ``(structure digest, semiring name, shape)``.
+
+    Structure alone decides schedule sharing; the semiring and shape are
+    appended so jobs that must never share computed results (same
+    endpoints, different algebra) land in different batches.
+    """
+    if digest is None:
+        digest = structure_digest(inst)
+    return (digest, inst.semiring.name, tuple(inst.a_hat.shape))
+
+
+@dataclass
+class Job:
+    """One tenant request: an instance plus how to interpret the product."""
+
+    tenant: str
+    instance: SupportedInstance
+    kind: str = "multiply"
+    algorithm: str = "auto"
+    #: independent Freivalds checks to run in-model after the product
+    #: (0 = certification off; rounds are billed and reported per job)
+    certify_checks: int = 0
+    job_id: int = -1
+    #: structure fingerprint; filled by the front end on admission
+    digest: bytes = b""
+    #: event-loop submission timestamp (frontend bookkeeping)
+    submitted_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"kind must be one of {JOB_KINDS}, got {self.kind!r}")
+        if self.certify_checks < 0:
+            raise ValueError("certify_checks must be >= 0")
+
+    def key(self) -> tuple:
+        """The job's coalescing key, computing its digest on first use."""
+        if not self.digest:
+            self.digest = structure_digest(self.instance)
+        return batch_key(self.instance, digest=self.digest)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one served job (the response the front end returns)."""
+
+    job_id: int
+    tenant: str
+    kind: str
+    ok: bool
+    rounds: int = -1
+    messages: int = -1
+    algorithm: str = ""
+    error: str | None = None
+    #: the computed product on the requested support (CSR); ``None`` on error
+    x: sp.csr_matrix | None = None
+    #: kind-specific scalar (triangle count; ``None`` for raw products)
+    value: Any = None
+    #: per-phase ``(rounds, messages)`` from the run's phase summary
+    phases: dict = field(default_factory=dict)
+    #: the executing cache's stats dict, verbatim
+    #: (:meth:`repro.model.schedule_cache.ScheduleCache.stats`)
+    cache: dict = field(default_factory=dict)
+    #: schedule-cache lookups attributable to this job alone
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: how many jobs shared this job's batch, and whether this job opened it
+    batch_size: int = 1
+    batch_leader: bool = True
+    #: in-model certificate (None: certification was not requested)
+    certified: bool | None = None
+    cert_rounds: int = 0
+    #: in-worker execution time for this job
+    wall_s: float = 0.0
+    #: submit-to-response latency (filled by the front end)
+    latency_s: float = 0.0
+    worker_pid: int = 0
+
+
+def _finalize_result(job: Job, res, result: JobResult) -> None:
+    """Kind-specific post-processing, in-model where rounds are due."""
+    inst = job.instance
+    if job.kind == "triangles":
+        # local fold at every computer, then one billed convergecast —
+        # the same aggregation count_triangles performs
+        net = res.network
+        x = res.x.tocoo()
+        local = np.zeros(inst.n, dtype=np.int64)
+        for i, k, v in zip(x.row, x.col, x.data):
+            local[inst.owner_x[(int(i), int(k))]] += int(v)
+        for comp in range(inst.n):
+            net.write(comp, "tri_local", int(local[comp]), provenance=())
+        before = net.rounds
+        net.segmented_convergecast(
+            [list(range(inst.n))], ["tri_local"], combine=lambda a, b: a + b,
+            label="serve/triangle-aggregate",
+        )
+        result.rounds += net.rounds - before
+        total = int(net.read(0, "tri_local"))
+        if total % 6 != 0:
+            raise ValueError(
+                f"triangle fold saw {total} incidences (not divisible by 6); "
+                "is the adjacency symmetric and zero-diagonal?"
+            )
+        result.value = total // 6
+    elif job.kind == "shortest_paths":
+        # the product *is* the answer: two-hop distances on the support
+        result.value = None
+
+
+def execute_batch(jobs: "list[Job]") -> "list[JobResult]":
+    """Run one coalesced batch; returns one :class:`JobResult` per job.
+
+    Jobs run in arrival order in a single process against the
+    process-wide schedule cache: the leader pays any scheduling misses,
+    followers replay.  Each job is an independent
+    :func:`~repro.algorithms.api.multiply` call on its own instance and
+    network, so results are bit-identical to running the jobs serially,
+    one by one, in any process — coalescing changes economics, never
+    values.
+    """
+    import os
+
+    from repro.algorithms.api import multiply
+    from repro.model.certify import certify_product
+
+    cache = default_schedule_cache()
+    out: list[JobResult] = []
+    for pos, job in enumerate(jobs):
+        result = JobResult(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            kind=job.kind,
+            ok=False,
+            batch_size=len(jobs),
+            batch_leader=pos == 0,
+            worker_pid=os.getpid(),
+        )
+        hits0, misses0 = cache.hits, cache.misses
+        t0 = time.perf_counter()
+        try:
+            res = multiply(job.instance, algorithm=job.algorithm)
+            result.rounds = int(res.rounds)
+            result.messages = int(res.messages)
+            result.algorithm = res.details.get("selected", res.algorithm)
+            result.x = res.x
+            _finalize_result(job, res, result)
+            if job.certify_checks > 0:
+                cert = certify_product(
+                    job.instance, res.network, checks=job.certify_checks
+                )
+                result.certified = bool(cert.ok)
+                result.cert_rounds = int(cert.rounds)
+                result.rounds += int(cert.rounds)
+            result.phases = {k: tuple(v) for k, v in res.phase_summary().items()}
+            result.ok = True
+        except Exception as exc:
+            result.error = f"{type(exc).__name__}: {exc}"
+        result.wall_s = time.perf_counter() - t0
+        result.cache_hits = cache.hits - hits0
+        result.cache_misses = cache.misses - misses0
+        result.cache = cache.stats()  # the stats dict, verbatim
+        out.append(result)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Convenience constructors (the client-facing vocabulary)
+# ---------------------------------------------------------------------- #
+def multiply_job(
+    tenant: str,
+    instance: SupportedInstance,
+    *,
+    algorithm: str = "auto",
+    certify_checks: int = 0,
+) -> Job:
+    """A raw product request over any registered semiring."""
+    return Job(
+        tenant=tenant, instance=instance, kind="multiply",
+        algorithm=algorithm, certify_checks=certify_checks,
+    )
+
+
+def triangle_job(
+    tenant: str,
+    adjacency,
+    *,
+    algorithm: str = "auto",
+    certify_checks: int = 0,
+) -> Job:
+    """A triangle-count request for an undirected graph."""
+    from repro.apps.triangles import triangle_instance
+
+    return Job(
+        tenant=tenant, instance=triangle_instance(adjacency), kind="triangles",
+        algorithm=algorithm, certify_checks=certify_checks,
+    )
+
+
+def shortest_path_job(
+    tenant: str,
+    weights,
+    *,
+    algorithm: str = "auto",
+    certify_checks: int = 0,
+) -> Job:
+    """A two-hop distance-relaxation request (one min-plus product)."""
+    from repro.apps.shortest_paths import distance_instance
+
+    return Job(
+        tenant=tenant, instance=distance_instance(weights), kind="shortest_paths",
+        algorithm=algorithm, certify_checks=certify_checks,
+    )

@@ -1,0 +1,184 @@
+"""Load generation for the serving layer: mixed-tenant synthetic traffic.
+
+The workload is built to exercise exactly what the serving layer claims:
+
+* many jobs over *few* structures — tenants re-submit fresh values on the
+  same supports (:func:`revalue`), so batches form and followers replay
+  the leader's schedules;
+* the *same* endpoint structure under *different* semirings — these must
+  share schedules (one structure digest) yet never share a batch, since
+  the coalescing key appends the semiring;
+* all three job kinds — raw products, triangle counts (with their billed
+  convergecast), and min-plus distance relaxations.
+
+:func:`run_load` drives a :class:`~repro.serve.frontend.ServeFrontend`
+with the workload in bursts and folds the responses into a
+:class:`LoadReport` — latency percentiles, coalescing economics, tenant
+bills, rejections — which the benchmark and the smoke target serialise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.apps.graphs import random_regular_adjacency
+from repro.semirings import ALL_SEMIRINGS, REAL_FIELD, Semiring
+from repro.sparsity.families import US
+from repro.supported.instance import SupportedInstance, make_instance
+from repro.serve.frontend import AdmissionError, ServeFrontend, percentile
+from repro.serve.jobs import Job, multiply_job, shortest_path_job, triangle_job
+
+__all__ = ["revalue", "synthetic_workload", "run_load", "LoadReport"]
+
+
+def revalue(
+    inst: SupportedInstance,
+    rng: np.random.Generator,
+    *,
+    semiring: Semiring | None = None,
+) -> SupportedInstance:
+    """A fresh instance on the *same* supports: new private values (and
+    optionally a new algebra), identical structure digest."""
+    sr = semiring if semiring is not None else inst.semiring
+
+    def values_on(pattern: sp.csr_matrix) -> sp.csr_matrix:
+        coo = pattern.tocoo()
+        vals = sr.random_values(rng, coo.nnz)
+        return sp.csr_matrix((vals, (coo.row, coo.col)), shape=pattern.shape)
+
+    return SupportedInstance(
+        semiring=sr,
+        a_hat=inst.a_hat,
+        b_hat=inst.b_hat,
+        x_hat=inst.x_hat,
+        a=values_on(inst.a_hat),
+        b=values_on(inst.b_hat),
+        d=inst.d,
+        distribution=inst.distribution,
+    )
+
+
+def synthetic_workload(
+    *,
+    tenants: int = 3,
+    jobs: int = 48,
+    n: int = 24,
+    d: int = 2,
+    seed: int = 0,
+    semirings: "list[Semiring] | None" = None,
+    certify_every: int = 0,
+) -> "list[Job]":
+    """Build a mixed-tenant job stream over a handful of structures.
+
+    One ``[US:US:US]`` base structure carries most of the product
+    traffic, revalued per job and cycled through ``semirings`` (default:
+    every registered semiring) so structurally identical jobs under
+    different algebras appear side by side.  One regular graph feeds the
+    triangle and distance jobs.  ``certify_every=k`` turns on Freivalds
+    certification for every k-th job (0 = never).
+    """
+    rng = np.random.default_rng(seed)
+    srs = list(semirings) if semirings is not None else list(ALL_SEMIRINGS)
+    base = make_instance((US, US, US), n, d, rng, semiring=REAL_FIELD)
+    adj = random_regular_adjacency(n, min(d + 2, n - 1), seed=seed)
+    weights = sp.csr_matrix(
+        (rng.uniform(1.0, 9.0, size=adj.nnz), adj.nonzero()), shape=adj.shape
+    )
+
+    out: "list[Job]" = []
+    for i in range(jobs):
+        tenant = f"tenant-{i % tenants}"
+        checks = 2 if certify_every and i % certify_every == 0 else 0
+        slot = i % 5
+        if slot < 3:  # 60%: products on the shared structure, cycling algebras
+            inst = revalue(base, rng, semiring=srs[i % len(srs)])
+            out.append(multiply_job(tenant, inst, certify_checks=checks))
+        elif slot == 3:
+            out.append(triangle_job(tenant, adj, certify_checks=checks))
+        else:
+            out.append(shortest_path_job(tenant, weights, certify_checks=checks))
+    return out
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced, ready for JSON serialisation."""
+
+    jobs: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    p50_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    coalesce_rate: float = 0.0
+    batches: int = 0
+    errors: list = field(default_factory=list)
+    frontend: dict = field(default_factory=dict)
+    results: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (drops the heavyweight per-job results)."""
+        return {
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "wall_s": round(self.wall_s, 6),
+            "p50_latency_ms": self.p50_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "coalesce_rate": round(self.coalesce_rate, 4),
+            "batches": self.batches,
+            "errors": self.errors[:10],
+            "frontend": self.frontend,
+        }
+
+
+async def run_load(
+    frontend: ServeFrontend,
+    jobs: "list[Job]",
+    *,
+    burst: int = 8,
+) -> LoadReport:
+    """Submit ``jobs`` in bursts of ``burst`` concurrent submissions.
+
+    Jobs inside a burst race into the same batching windows (that is the
+    point); bursts are awaited one after another, modelling a client that
+    keeps a bounded number of requests outstanding.  Rejections
+    (:class:`AdmissionError`) are counted, not raised.
+    """
+    report = LoadReport(jobs=len(jobs))
+    t0 = time.perf_counter()
+    for at in range(0, len(jobs), burst):
+        chunk = jobs[at : at + burst]
+        outcomes = await asyncio.gather(
+            *(frontend.submit(j) for j in chunk), return_exceptions=True
+        )
+        for out in outcomes:
+            if isinstance(out, AdmissionError):
+                report.rejected += 1
+            elif isinstance(out, BaseException):
+                report.failed += 1
+                report.errors.append(f"{type(out).__name__}: {out}")
+            else:
+                report.results.append(out)
+                if out.ok:
+                    report.completed += 1
+                else:
+                    report.failed += 1
+                    report.errors.append(out.error or "job failed")
+    report.wall_s = time.perf_counter() - t0
+
+    lat = [r.latency_s for r in report.results]
+    report.p50_latency_ms = round(percentile(lat, 50) * 1e3, 3)
+    report.p99_latency_ms = round(percentile(lat, 99) * 1e3, 3)
+    stats = frontend.stats()
+    report.batches = stats["batches"]
+    report.coalesce_rate = stats["coalesce_rate"]
+    report.frontend = stats
+    return report

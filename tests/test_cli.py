@@ -56,3 +56,37 @@ def test_landscape(capsys):
     assert main(["landscape"]) == 0
     out = capsys.readouterr().out
     assert "d^1.867" in out
+
+
+def test_selfcheck_surfaces_cache_stats(capsys):
+    assert main(["selfcheck", "--n", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "cells passed" in out
+    # the schedule-cache stats dict is printed verbatim
+    assert "schedule cache: {" in out
+    assert "'hit_rate':" in out
+
+
+def test_serve_smoke(capsys):
+    assert main([
+        "serve", "--jobs", "12", "--n", "12", "--tenants", "2",
+        "--batch-window-ms", "20", "--seed", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "served 12/12 jobs" in out
+    assert "coalesce rate" in out
+    assert "'hit_rate':" in out
+    assert "tenant-0" in out and "tenant-1" in out
+
+
+def test_serve_json_report(capsys):
+    import json
+
+    assert main([
+        "serve", "--jobs", "6", "--n", "12", "--tenants", "1",
+        "--batch-window-ms", "20", "--json",
+    ]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["completed"] == 6
+    assert "coalesce_rate" in report
+    assert "hit_rate" in report["frontend"]["cache"]

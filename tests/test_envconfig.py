@@ -13,11 +13,17 @@ from repro.envconfig import (
     CACHE_DIR_VAR,
     CERT_CHECKS_VAR,
     CHECKPOINT_DIR_VAR,
+    SERVE_BATCH_WINDOW_VAR,
+    SERVE_MAX_QUEUE_VAR,
+    SERVE_WORKERS_VAR,
     WORKERS_VAR,
     EnvConfigError,
     env_cache_dir,
     env_cert_checks,
     env_checkpoint_dir,
+    env_serve_batch_window_ms,
+    env_serve_max_queue,
+    env_serve_workers,
     env_workers,
 )
 
@@ -142,6 +148,85 @@ def test_checkpoint_dir_rejects_existing_non_directory(tmp_path):
 
 
 # ---------------------------------------------------------------------- #
+# REPRO_SERVE_WORKERS
+# ---------------------------------------------------------------------- #
+def test_serve_workers_unset_or_empty_returns_default():
+    assert env_serve_workers(environ={}) == 0
+    assert env_serve_workers(default=4, environ={}) == 4
+    assert env_serve_workers(default=4, environ={SERVE_WORKERS_VAR: "  "}) == 4
+
+
+def test_serve_workers_valid_values_parse():
+    assert env_serve_workers(environ={SERVE_WORKERS_VAR: "3"}) == 3
+    assert env_serve_workers(environ={SERVE_WORKERS_VAR: " 1 "}) == 1
+    assert env_serve_workers(environ={SERVE_WORKERS_VAR: "0"}) == 0  # inline
+
+
+def test_serve_workers_garbage_raises_with_variable_name():
+    for bad in ("two", "1.5", "1e2", "-"):
+        with pytest.raises(EnvConfigError, match=SERVE_WORKERS_VAR):
+            env_serve_workers(environ={SERVE_WORKERS_VAR: bad})
+
+
+def test_serve_workers_negative_raises():
+    with pytest.raises(EnvConfigError, match=">= 0"):
+        env_serve_workers(environ={SERVE_WORKERS_VAR: "-1"})
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_SERVE_BATCH_WINDOW_MS
+# ---------------------------------------------------------------------- #
+def test_serve_batch_window_unset_or_empty_returns_default():
+    assert env_serve_batch_window_ms(environ={}) == 5.0
+    assert env_serve_batch_window_ms(default=2.5, environ={}) == 2.5
+    assert env_serve_batch_window_ms(default=2.5, environ={SERVE_BATCH_WINDOW_VAR: " "}) == 2.5
+
+
+def test_serve_batch_window_valid_values_parse():
+    assert env_serve_batch_window_ms(environ={SERVE_BATCH_WINDOW_VAR: "10"}) == 10.0
+    assert env_serve_batch_window_ms(environ={SERVE_BATCH_WINDOW_VAR: " 0.5 "}) == 0.5
+    assert env_serve_batch_window_ms(environ={SERVE_BATCH_WINDOW_VAR: "0"}) == 0.0
+
+
+def test_serve_batch_window_garbage_raises_with_variable_name():
+    for bad in ("fast", "-", "1,5"):
+        with pytest.raises(EnvConfigError, match=SERVE_BATCH_WINDOW_VAR):
+            env_serve_batch_window_ms(environ={SERVE_BATCH_WINDOW_VAR: bad})
+
+
+def test_serve_batch_window_negative_and_non_finite_raise():
+    for bad in ("-1", "-0.1", "nan", "inf", "-inf"):
+        with pytest.raises(EnvConfigError, match=SERVE_BATCH_WINDOW_VAR):
+            env_serve_batch_window_ms(environ={SERVE_BATCH_WINDOW_VAR: bad})
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_SERVE_MAX_QUEUE
+# ---------------------------------------------------------------------- #
+def test_serve_max_queue_unset_or_empty_returns_default():
+    assert env_serve_max_queue(environ={}) == 256
+    assert env_serve_max_queue(default=32, environ={}) == 32
+    assert env_serve_max_queue(default=32, environ={SERVE_MAX_QUEUE_VAR: "  "}) == 32
+
+
+def test_serve_max_queue_valid_values_parse():
+    assert env_serve_max_queue(environ={SERVE_MAX_QUEUE_VAR: "1"}) == 1
+    assert env_serve_max_queue(environ={SERVE_MAX_QUEUE_VAR: " 512 "}) == 512
+
+
+def test_serve_max_queue_garbage_raises_with_variable_name():
+    for bad in ("many", "8.5", "1e3", "-"):
+        with pytest.raises(EnvConfigError, match=SERVE_MAX_QUEUE_VAR):
+            env_serve_max_queue(environ={SERVE_MAX_QUEUE_VAR: bad})
+
+
+def test_serve_max_queue_non_positive_raises():
+    for bad in ("0", "-4"):
+        with pytest.raises(EnvConfigError, match=">= 1"):
+            env_serve_max_queue(environ={SERVE_MAX_QUEUE_VAR: bad})
+
+
+# ---------------------------------------------------------------------- #
 # real-environment integration (the default environ=os.environ path)
 # ---------------------------------------------------------------------- #
 def test_reads_real_environment(monkeypatch, tmp_path):
@@ -149,10 +234,22 @@ def test_reads_real_environment(monkeypatch, tmp_path):
     monkeypatch.setenv(CACHE_DIR_VAR, str(tmp_path))
     monkeypatch.setenv(CERT_CHECKS_VAR, "12")
     monkeypatch.setenv(CHECKPOINT_DIR_VAR, str(tmp_path))
+    monkeypatch.setenv(SERVE_WORKERS_VAR, "2")
+    monkeypatch.setenv(SERVE_BATCH_WINDOW_VAR, "7.5")
+    monkeypatch.setenv(SERVE_MAX_QUEUE_VAR, "64")
     assert env_workers() == 5
     assert env_cache_dir() == str(tmp_path)
     assert env_cert_checks() == 12
     assert env_checkpoint_dir() == str(tmp_path)
+    assert env_serve_workers() == 2
+    assert env_serve_batch_window_ms() == 7.5
+    assert env_serve_max_queue() == 64
+    monkeypatch.delenv(SERVE_WORKERS_VAR)
+    monkeypatch.delenv(SERVE_BATCH_WINDOW_VAR)
+    monkeypatch.delenv(SERVE_MAX_QUEUE_VAR)
+    assert env_serve_workers() == 0
+    assert env_serve_batch_window_ms() == 5.0
+    assert env_serve_max_queue() == 256
     monkeypatch.delenv(WORKERS_VAR)
     monkeypatch.delenv(CACHE_DIR_VAR)
     monkeypatch.delenv(CERT_CHECKS_VAR)

@@ -171,7 +171,7 @@ def test_network_accepts_store_path(tmp_path, as_dir):
 def test_network_store_path_missing_is_cold(tmp_path):
     net = LowBandwidthNetwork(3, schedule_cache=tmp_path / "absent")
     assert net.schedule_cache_stats() == {
-        "hits": 0, "misses": 0, "entries": 0, "maxsize": 4096,
+        "hits": 0, "misses": 0, "hit_rate": 0.0, "entries": 0, "maxsize": 4096,
     }
 
 
