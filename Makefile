@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke serve-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke serve-smoke plan-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -62,6 +62,17 @@ kernel-smoke:
 # benchmarks/results/BENCH_serving.json (CI uploads it as an artifact).
 serve-smoke:
 	pytest tests/test_serve.py -q
+	REPRO_BENCH_SMOKE=1 REPRO_SERVE_WORKERS=2 \
+		pytest benchmarks/bench_serving.py --benchmark-only
+
+# Compiled-replay-plan smoke: the plan test suite (batched-kernel parity,
+# bit-identity of tensor-batched replay to per-job execution across every
+# semiring and job kind, honest fallbacks under faults/certification, plan
+# store round trips), then the serving bench whose hard gates include
+# zero-dispatch plan replay strictly faster than the warm per-job baseline.
+# Emits benchmarks/results/BENCH_serving.json (CI uploads it as an artifact).
+plan-smoke:
+	pytest tests/test_plan.py -q
 	REPRO_BENCH_SMOKE=1 REPRO_SERVE_WORKERS=2 \
 		pytest benchmarks/bench_serving.py --benchmark-only
 

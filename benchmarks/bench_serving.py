@@ -9,28 +9,47 @@ min-plus distance relaxations, a sprinkling of Freivalds-certified jobs
 — through the full stack three ways:
 
 1. **serial ground truth** — every job alone through ``execute_batch``
-   on a cold cache: the bit-identity reference and the un-batched cost;
-2. **cold service** — fresh frontend + worker pool, empty schedule
-   store: measures p50/p99 submit-to-response latency, the coalesce
-   rate, and per-tenant bills while the store is being built;
+   with plans disabled on a cold cache: the pinned bit-identity
+   reference and the un-batched cost;
+2. **cold service** — fresh frontend + worker pool, empty schedule and
+   plan stores: measures p50/p99 submit-to-response latency, the
+   coalesce rate, and per-tenant bills while the stores are being built
+   (group leaders compile replay plans as they run);
 3. **warm service** — new frontend + pool against the shard store the
-   cold run persisted, in-memory cache cleared: every schedule must
-   come off disk (zero misses across all workers).
+   cold run persisted, in-memory caches cleared: every schedule must
+   come off disk (zero misses across all workers) and warm followers
+   must ride compiled plan replays;
+4. **plan-replay economics** — one coalesced group of B structurally
+   identical warm jobs through batched plan replay versus the warm
+   per-job path (the PR 7 baseline: schedules cached, no plans), with
+   simulator phase dispatches counted on both sides.
 
 Gates (hard, host-independent):
 
-* batched results bit-identical to serial for every job — products,
-  triangle counts, distances, across every semiring exercised;
+* batched results bit-identical to serial for every job — byte-equal
+  product values and identical round counts across every semiring and
+  job kind exercised;
 * coalesce rate > 0 (the batching window does coalesce);
 * warm run re-schedules nothing (aggregate cache misses == 0) with the
   store spread over >= 2 digest-prefix shards and served by >= 2
-  concurrent workers — the no-contention sharding claim;
+  concurrent workers — the no-contention sharding claim — and replays
+  compiled plans for warm followers;
+* batched plan replay of a warm group (B >= 4) is strictly faster than
+  the warm per-job baseline on the same jobs, and performs **zero**
+  simulator phase dispatches (the baseline performs one per round —
+  both counts are recorded);
 * the bounded queue rejects (an overload burst sees ``AdmissionError``).
+
+Soft gate (recorded, enforced only on hosts with >= 2 CPUs): batched
+replay at least 2x faster than the warm per-job baseline; the recorded
+``speedup`` section names the skip reason when unenforced.
 
 Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized workload.
 ``REPRO_SERVE_WORKERS`` overrides the pool size (this bench's default:
 2).  Emits ``BENCH_serving.json`` at the repository root (full runs)
-and under ``benchmarks/results/`` (always).
+and under ``benchmarks/results/`` (always); the report names the
+engine (:meth:`~repro.model.network.LowBandwidthNetwork.engine_info`,
+including the active kernel backend) that produced it.
 """
 
 from __future__ import annotations
@@ -41,11 +60,15 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 import scipy.sparse as sp
 
 from conftest import RESULTS_DIR, save_report
 
 from repro.envconfig import env_serve_workers
+from repro.model import network as network_mod
+from repro.model.network import LowBandwidthNetwork
+from repro.model.plan import default_plan_cache, load_plans_sharded
 from repro.model.schedule_cache import default_schedule_cache, load_store_sharded
 from repro.serve import (
     AdmissionError,
@@ -57,6 +80,7 @@ from repro.serve import (
     run_load,
     synthetic_workload,
 )
+from repro.serve.loadgen import revalue
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -69,13 +93,18 @@ BURST = 12
 
 
 def _same_values(x1, x2) -> bool:
+    """Byte-level equality of two CSR products: same shape, same stored
+    pattern, bitwise-equal value words (so ``-0.0 != 0.0`` — the replay
+    engine claims *byte* identity, not numeric closeness)."""
     if x1 is None or x2 is None:
         return x1 is None and x2 is None
     a, b = sp.csr_matrix(x1), sp.csr_matrix(x2)
-    if a.shape != b.shape:
-        return False
-    d = a != b
-    return d.nnz == 0 if sp.issparse(d) else not bool(d.any())
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and a.data.tobytes() == b.data.tobytes()
+    )
 
 
 def _run_service(jobs, config):
@@ -110,17 +139,22 @@ def bench_serving(benchmark, tmp_path):
     )
     semirings = sorted({j.instance.semiring.name for j in jobs})
 
-    # 1. serial ground truth, cold cache: the un-batched reference
+    # 1. serial ground truth, cold cache, plans off: the pinned reference
     default_schedule_cache().clear()
+    default_plan_cache().clear()
     t0 = time.perf_counter()
     serial = [
-        execute_batch([Job(tenant=j.tenant, instance=j.instance, kind=j.kind)])[0]
+        execute_batch(
+            [Job(tenant=j.tenant, instance=j.instance, kind=j.kind)],
+            use_plans=False,
+        )[0]
         for j in jobs
     ]
     serial_s = time.perf_counter() - t0
 
     # 2. cold service: empty shard store, fresh pool
     default_schedule_cache().clear()
+    default_plan_cache().clear()
     cold = _run_service(
         jobs,
         ServeConfig(
@@ -130,12 +164,21 @@ def bench_serving(benchmark, tmp_path):
     assert cold.completed == len(jobs) and cold.failed == 0, cold.errors[:3]
     assert cold.coalesce_rate > 0, "batching window never coalesced"
 
-    # bit-identity: batched == serial for every job, every kind, every semiring
+    # bit-identity: batched == serial for every job, every kind, every
+    # semiring — byte-equal values AND identical round counts (net of the
+    # certification rounds the serial reference does not request)
     served = sorted(cold.results, key=lambda r: r.job_id)
     for ref, got in zip(serial, served):
         assert ref.ok and got.ok, (ref.error, got.error)
         assert _same_values(ref.x, got.x), "batched product differs from serial"
         assert ref.value == got.value, "batched finalize differs from serial"
+        assert got.rounds - got.cert_rounds == ref.rounds, (
+            f"batched rounds {got.rounds - got.cert_rounds} != "
+            f"serial {ref.rounds} (kind={got.kind}, replayed={got.plan_replayed})"
+        )
+        assert got.messages == ref.messages, "batched message bill differs"
+    cold_compiles = sum(1 for r in cold.results if r.plan_compiled)
+    assert cold_compiles > 0, "cold leaders compiled no replay plans"
 
     shard_files = sorted(
         p.parent.name for p in (cache_dir / "shards").glob("*/schedules-v1.npz")
@@ -144,6 +187,7 @@ def bench_serving(benchmark, tmp_path):
 
     # 3. warm service: new pool over the persisted shards, memory cleared
     default_schedule_cache().clear()
+    default_plan_cache().clear()
     warm = _run_service(
         jobs,
         ServeConfig(
@@ -162,8 +206,69 @@ def bench_serving(benchmark, tmp_path):
         assert len(shard_files) >= 2, "store not spread across shards"
         pids = {r.worker_pid for r in warm.results}
         assert len(pids) >= 2, "warm run not served by concurrent workers"
+    warm_replays = sum(1 for r in warm.results if r.plan_replayed)
+    assert warm_replays > 0, (
+        "warm service replayed no compiled plans (were they persisted?)"
+    )
+    plan_store_entries = len(load_plans_sharded(cache_dir))
+    assert plan_store_entries > 0, "no plans landed in the sharded store"
 
-    # 4. bounded-queue rejection probe
+    # 4. plan-replay economics: one coalesced warm group of B identical
+    # structures, batched replay vs the warm per-job PR 7 baseline
+    inst0 = next(j.instance for j in jobs if j.kind == "multiply")
+    B = 4 if SMOKE else 8
+    rng = np.random.default_rng(2024)
+    group = [
+        Job(tenant="bench", instance=revalue(inst0, rng), kind="multiply")
+        for _ in range(B)
+    ]
+    default_plan_cache().clear()
+    execute_batch([group[0]])  # compile leader: warms plan + schedule caches
+    timings = {"replay": [], "baseline": []}
+    dispatches = {"replay": [], "baseline": []}
+    replay_results = baseline_results = None
+    for _ in range(3):  # best-of-3 both ways, interleaved
+        d0 = network_mod.dispatch_count()
+        t0 = time.perf_counter()
+        replay_results = execute_batch(group)
+        timings["replay"].append(time.perf_counter() - t0)
+        dispatches["replay"].append(network_mod.dispatch_count() - d0)
+        d0 = network_mod.dispatch_count()
+        t0 = time.perf_counter()
+        baseline_results = execute_batch(group, use_plans=False)
+        timings["baseline"].append(time.perf_counter() - t0)
+        dispatches["baseline"].append(network_mod.dispatch_count() - d0)
+    replay_s, baseline_s = min(timings["replay"]), min(timings["baseline"])
+    assert all(r.plan_replayed for r in replay_results), "warm group fell back"
+    for ref, got in zip(baseline_results, replay_results):
+        assert _same_values(ref.x, got.x), "replayed product differs from baseline"
+        assert got.rounds == ref.rounds and got.messages == ref.messages
+    # replay does no per-round scheduling: zero simulator phase dispatches
+    # for the whole batch, against one-per-round on the baseline
+    assert dispatches["replay"][-1] == 0, (
+        f"plan replay triggered {dispatches['replay'][-1]} phase dispatches"
+    )
+    assert dispatches["baseline"][-1] > 0
+    assert replay_s < baseline_s, (
+        f"batched plan replay ({replay_s:.4f}s) not faster than the warm "
+        f"per-job baseline ({baseline_s:.4f}s) at B={B}"
+    )
+    speedup = baseline_s / replay_s
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 2:
+        speedup_gate = {"enforced": True, "threshold": 2.0}
+        assert speedup >= 2.0, (
+            f"batched-warm speedup {speedup:.2f}x below the 2x gate"
+        )
+    else:
+        speedup_gate = {
+            "enforced": False,
+            "threshold": 2.0,
+            "skip_reason": f"cpu_count={cpu_count} < 2: timing too noisy "
+            "on a single-CPU host to enforce a ratio gate",
+        }
+
+    # 5. bounded-queue rejection probe
     admitted, rejected = _overload_probe(
         ServeConfig(workers=0, batch_window_ms=50.0, max_queue=4)
     )
@@ -188,8 +293,26 @@ def bench_serving(benchmark, tmp_path):
             "burst": BURST,
             "cpu_count": os.cpu_count(),
         },
+        # the engine that produced these numbers: strictness, columnar
+        # delivery, scheduling method, and the active kernel backend
+        "engine_info": LowBandwidthNetwork(4).engine_info(),
         "serial_seconds": round(serial_s, 4),
         "bit_identical_to_serial": True,
+        "plans": {
+            "cold_compiles": cold_compiles,
+            "warm_replays": warm_replays,
+            "store_entries": plan_store_entries,
+            "batch_size": B,
+            "replay_s": round(replay_s, 5),
+            "warm_baseline_s": round(baseline_s, 5),
+            "speedup": round(speedup, 2),
+            "speedup_gate": speedup_gate,
+            "dispatches_replay": dispatches["replay"][-1],
+            "dispatches_baseline": dispatches["baseline"][-1],
+            "dispatches_baseline_per_job": round(
+                dispatches["baseline"][-1] / B, 1
+            ),
+        },
         "cold": {
             "wall_s": round(cold.wall_s, 4),
             "p50_latency_ms": cold.p50_latency_ms,
@@ -247,6 +370,11 @@ def bench_serving(benchmark, tmp_path):
         f"admission probe: {admitted} admitted, {rejected} rejected (max_queue=4)",
         f"certification: {len(certified)} jobs at "
         f"{report['certification']['mean_cert_rounds']} extra rounds each",
+        f"plans: {cold_compiles} compiled cold, {warm_replays} warm jobs "
+        f"replayed, {plan_store_entries} in the sharded store",
+        f"plan replay x{B}: {replay_s * 1e3:.2f} ms vs warm per-job "
+        f"{baseline_s * 1e3:.2f} ms ({speedup:.1f}x), dispatches "
+        f"{dispatches['replay'][-1]} vs {dispatches['baseline'][-1]}",
         "batched results bit-identical to serial: True",
     ]
     save_report("serving", lines)

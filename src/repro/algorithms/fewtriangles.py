@@ -315,6 +315,12 @@ def process_few_triangles(
         )
         return net.rounds - rounds_before
 
+    rec = getattr(net, "plan_recorder", None)
+    if rec is not None:
+        # the message path's value movement is per-key dict traffic; the
+        # flat-plan compiler only understands the columnar pipeline
+        rec.mark_unplannable("message-path execution (strict or non-columnar)")
+
     # ------------------------------------------------------------------ #
     # Step 1: route A values to virtual hosts
     # ------------------------------------------------------------------ #
@@ -614,3 +620,22 @@ def _run_columnar(
         m[key] = sr.add(m.get(key, zero), run_totals[idx])
         if sample is not None:
             sample(o)
+
+    rec = getattr(net, "plan_recorder", None)
+    if rec is not None:
+        # Everything the value pipeline above did, as flat index arrays:
+        # gather A/B at the triangle endpoints, two ordered segment sums
+        # (slots, then runs), accumulate per-run totals at (run_i, run_k).
+        # The compiler (repro.model.plan) lowers this into payload-plane
+        # gathers so warm replays skip the network entirely.
+        rec.record_stage(
+            tri=tri,
+            x_inv=x_inv,
+            num_slots=num_slots,
+            run_of_slot=run_of_slot,
+            num_runs=int(starts.size),
+            run_i=run_i,
+            run_k=run_k,
+            negate=negate,
+            label=label,
+        )

@@ -54,6 +54,7 @@ __all__ = [
     "first_fit_words",
     "first_fit_available",
     "segment_sum_f8",
+    "segment_sum_batch",
     "segment_offsets",
 ]
 
@@ -244,6 +245,45 @@ def segment_sum_f8(
         out += np.bincount(seg_ids, weights=values, minlength=out.shape[0])
         return out
     np.add.at(out, seg_ids, values)
+    return out
+
+
+def _segment_sum_batch_body(values, seg_ids, out):
+    """Row-wise ``out[b, seg_ids[k]] += values[b, k]`` in index order: the
+    per-row accumulation order is exactly :func:`_segment_sum_body`'s, so
+    every row of the batch is bit-identical to a per-job segment sum."""
+    for b in range(values.shape[0]):
+        for k in range(values.shape[1]):
+            out[b, seg_ids[k]] += values[b, k]
+    return out
+
+
+def segment_sum_batch(
+    values: np.ndarray, seg_ids: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """Batched ordered scatter-add: ``values`` is ``(B, m)``, ``out`` is
+    ``(B, S)``, and every row accumulates independently in element order.
+
+    This is the replay engine's workhorse (one call covers a whole batch
+    of structurally identical jobs).  The NumPy float64 path flattens the
+    batch into one ``np.bincount`` over row-offset segment ids — C-order
+    ravel keeps each row's element order, so all three backends (compiled
+    loop, bincount, ``np.add.at``) agree bit-for-bit with B independent
+    :func:`segment_sum_f8` calls.
+    """
+    seg_ids = np.ascontiguousarray(seg_ids, dtype=np.int64)
+    if backend() == "numba" and values.dtype in (np.float64, np.int64):
+        return _jit("segment_sum_batch", _segment_sum_batch_body)(
+            np.ascontiguousarray(values), seg_ids, out
+        )
+    B, S = out.shape
+    if values.dtype == np.float64 and out.dtype == np.float64:
+        flat = (seg_ids[None, :] + (np.arange(B, dtype=np.int64) * S)[:, None]).ravel()
+        out += np.bincount(
+            flat, weights=np.ascontiguousarray(values).ravel(), minlength=B * S
+        ).reshape(B, S)
+        return out
+    np.add.at(out, (np.arange(B)[:, None], seg_ids[None, :]), values)
     return out
 
 

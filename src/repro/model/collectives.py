@@ -24,6 +24,7 @@ __all__ = [
     "doubling_batches_arrays",
     "halving_batches",
     "halving_batches_arrays",
+    "collective_tape",
 ]
 
 
@@ -180,6 +181,28 @@ def halving_batches(segments: Sequence[Sequence[int]]):
     sends to position ``p - t`` for ``t <= p < min(2t, len)``.
     """
     yield from halving_batches_arrays(*_flatten_segments(segments))
+
+
+def collective_tape(
+    segments: Sequence[Sequence[int]], *, kind: str = "halving"
+) -> tuple[int, int]:
+    """The ``(rounds, messages)`` bill a doubling/halving collective over
+    ``segments`` charges, computed without executing anything.
+
+    Each batch the generators yield is one lockstep round whose message
+    count is the batch size — exactly what
+    :meth:`~repro.model.network.LowBandwidthNetwork.segmented_broadcast` /
+    ``segmented_convergecast`` record per level.  The replay-plan compiler
+    uses this to pre-bill deterministic collectives (e.g. the serve
+    layer's triangle aggregation) without a network.
+    """
+    gen = halving_batches if kind == "halving" else doubling_batches
+    rounds = 0
+    messages = 0
+    for src, _dst, _seg in gen(segments):
+        rounds += 1
+        messages += int(src.size)
+    return rounds, messages
 
 
 def segments_from_sorted(

@@ -73,9 +73,28 @@ from repro.model.scheduling import (
     validate_schedule,
 )
 
-__all__ = ["LowBandwidthNetwork", "Message", "NetworkError", "PhaseRecord"]
+__all__ = [
+    "LowBandwidthNetwork",
+    "Message",
+    "NetworkError",
+    "PhaseRecord",
+    "dispatch_count",
+]
 
 Key = Hashable
+
+#: Process-wide count of per-phase Python dispatches: every scheduled
+#: exchange and every lockstep collective level that runs through the
+#: simulator's per-round machinery increments it once.  The compiled
+#: replay path (:mod:`repro.model.plan`) never touches the simulator, so
+#: the benchmark snapshots deltas of this counter to *prove* that warm
+#: replay does zero per-round scheduling or bucketing work.
+_DISPATCH_COUNT = 0
+
+
+def dispatch_count() -> int:
+    """Total per-phase Python dispatches executed by this process."""
+    return _DISPATCH_COUNT
 
 
 class NetworkError(RuntimeError):
@@ -234,6 +253,11 @@ class LowBandwidthNetwork:
         # track_memory is on.
         self.track_memory = bool(track_memory)
         self._peak_mem = np.zeros(self.n, dtype=np.int64) if track_memory else None
+        #: optional hook for the plan compiler (repro.model.plan): when a
+        #: PlanRecorder is attached, the columnar Lemma 3.1 path records
+        #: each value-pipeline stage as it executes.  Purely observational
+        #: — never changes scheduling, rounds, or values.
+        self.plan_recorder = None
 
     def _sample_memory(self, comp: int) -> None:
         if self._peak_mem is not None:
@@ -365,8 +389,10 @@ class LowBandwidthNetwork:
         *,
         label: str,
     ) -> int:
+        global _DISPATCH_COUNT
         if src.size == 0:
             return 0
+        _DISPATCH_COUNT += 1
         if src_keys is not None and not (
             src.size == dst.size == len(src_keys) == len(dst_keys)
         ):
@@ -715,6 +741,8 @@ class LowBandwidthNetwork:
         """Execute a single-round batch given as arrays.  ``src_keys=None``
         is the columnar rounds-only form (non-strict callers moving values
         in planes)."""
+        global _DISPATCH_COUNT
+        _DISPATCH_COUNT += 1
         t0 = time.perf_counter_ns()
         self._check_ids(src, dst, label=label)
         if self.strict:

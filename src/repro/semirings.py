@@ -135,6 +135,37 @@ class Semiring:
             out[seg] = self.add(out[seg], val)
         return out
 
+    def segment_sum_batch(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Batched :meth:`segment_sum`: ``values`` is ``(B, m)`` — one row
+        per job of a coalesced batch — and every row accumulates
+        independently, in element order, into a ``(B, num_segments)``
+        plane.  Row ``b`` of the result is bit-identical to
+        ``segment_sum(values[b], ...)`` on every dispatch path, which is
+        what lets the replay engine execute a whole batch's segment sums
+        in one call without perturbing the per-job reference results.
+        """
+        values = np.asarray(values, dtype=self.dtype)
+        if values.ndim != 2:
+            raise ValueError("segment_sum_batch expects a (B, m) value plane")
+        B = values.shape[0]
+        out = self.zeros((B, num_segments))
+        if values.size == 0:
+            return out
+        segment_ids = np.ascontiguousarray(segment_ids, dtype=np.int64)
+        if self.add is np.add:
+            return _kernels_mod().segment_sum_batch(values, segment_ids, out)
+        if isinstance(self.add, np.ufunc):
+            self.add.at(out, (np.arange(B)[:, None], segment_ids[None, :]), values)
+            return out
+        for b in range(B):
+            row = out[b]
+            vals = values[b]
+            for k, seg in enumerate(segment_ids):
+                row[seg] = self.add(row[seg], vals[k])
+        return out
+
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Dense reference product (ground truth for tests/benches)."""
         a = np.asarray(a, dtype=self.dtype)

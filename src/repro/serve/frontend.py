@@ -29,6 +29,7 @@ parent cache stats.
 from __future__ import annotations
 
 import asyncio
+import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -38,6 +39,7 @@ from repro.envconfig import (
     env_serve_max_queue,
     env_serve_workers,
 )
+from repro.model.plan import default_plan_cache
 from repro.model.schedule_cache import default_schedule_cache
 from repro.serve.jobs import Job, JobResult
 from repro.serve.pool import ServePool
@@ -56,10 +58,16 @@ class AdmissionError(RuntimeError):
 
 
 def percentile(values: "list[float]", q: float) -> float:
-    """Nearest-rank percentile of an unsorted list (0 on empty input)."""
-    if not values:
+    """Nearest-rank percentile of an unsorted list (0 on empty input).
+
+    Non-finite samples (NaN/inf from a clock hiccup or an unfilled
+    latency field) are dropped before ranking, so a percentile is always
+    a finite number — ``serve --json`` output must never carry NaN.
+    """
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
         return 0.0
-    ordered = sorted(values)
+    ordered = sorted(finite)
     rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
     return ordered[rank]
 
@@ -111,6 +119,9 @@ class TenantAccount:
     batches_joined: int = 0
     certified_jobs: int = 0
     cert_rounds: int = 0
+    plan_replays: int = 0
+    plan_compiles: int = 0
+    plan_fallbacks: int = 0
     wall_s: float = 0.0
     latencies_s: list = field(default_factory=list)
 
@@ -131,6 +142,12 @@ class TenantAccount:
         if res.certified is not None:
             self.certified_jobs += 1
             self.cert_rounds += res.cert_rounds
+        if res.plan_replayed:
+            self.plan_replays += 1
+        if res.plan_compiled:
+            self.plan_compiles += 1
+        if res.plan_fallback is not None:
+            self.plan_fallbacks += 1
         self.wall_s += res.wall_s
         self.latencies_s.append(res.latency_s)
 
@@ -150,6 +167,9 @@ class TenantAccount:
             "batches_joined": self.batches_joined,
             "certified_jobs": self.certified_jobs,
             "cert_rounds": self.cert_rounds,
+            "plan_replays": self.plan_replays,
+            "plan_compiles": self.plan_compiles,
+            "plan_fallbacks": self.plan_fallbacks,
             "wall_s": round(self.wall_s, 6),
             "p50_latency_ms": round(percentile(lat, 50) * 1e3, 3),
             "p99_latency_ms": round(percentile(lat, 99) * 1e3, 3),
@@ -337,8 +357,9 @@ class ServeFrontend:
             "open_batches": len(self._open),
             "batch_window_ms": self.config.batch_window_ms,
             "max_queue": self.config.max_queue,
-            # the parent-side cache stats dict, verbatim
+            # the parent-side cache stats dicts, verbatim
             "cache": default_schedule_cache().stats(),
+            "plans": default_plan_cache().stats(),
             "pool": self._pool.stats() if self._pool is not None else None,
             "tenants": {t: a.summary() for t, a in sorted(self._tenants.items())},
         }

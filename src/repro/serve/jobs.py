@@ -16,11 +16,21 @@ three (structure digest + semiring + shape), never on the digest alone.
 
 :func:`execute_batch` is the one place batches run — in a resident
 worker process, inline in the parent, and in the serial ground-truth
-path of the benchmark — so batched execution is bit-identical to serial
-single-job execution by construction: each job is one ordinary
-:func:`repro.algorithms.api.multiply` call, and the coalescing gain is
-exactly the structure-keyed cache turning every follower job's
-scheduling into replays.
+path of the benchmark.  It executes each coalesced group in two tiers:
+the group's first job runs as an ordinary
+:func:`repro.algorithms.api.multiply` call with a
+:class:`~repro.model.plan.PlanRecorder` attached (the *compile leader*
+— it pays scheduling misses and the one-time plan lowering), and every
+structurally identical follower rides the compiled
+:class:`~repro.model.plan.ReplayPlan`: payload planes for the whole
+group stack into one ``(B, nnz)`` array and
+:func:`~repro.model.plan.replay_batch` executes all value stages at
+once, with zero per-round scheduling, bucketing, or simulator
+dispatches.  The per-job ``multiply`` path is the pinned bit-identity
+reference: replayed results are byte-identical to it (same values, same
+rounds, same phase bill), and any job a plan cannot honestly cover —
+certification, an active fault plan, an uncovered algorithm request —
+falls back to it, with the reason recorded on the result.
 """
 
 from __future__ import annotations
@@ -162,6 +172,18 @@ class JobResult:
     #: submit-to-response latency (filled by the front end)
     latency_s: float = 0.0
     worker_pid: int = 0
+    #: True when this job executed via batched plan replay (no network)
+    plan_replayed: bool = False
+    #: True when this job's run compiled a new replay plan
+    plan_compiled: bool = False
+    #: why this job fell back to per-job execution (None: it did not)
+    plan_fallback: str | None = None
+    #: the executing plan cache's stats dict, verbatim
+    #: (:meth:`repro.model.plan.PlanCache.stats`)
+    plan: dict = field(default_factory=dict)
+    #: simulator phase dispatches this job triggered
+    #: (:func:`repro.model.network.dispatch_count` delta; 0 under replay)
+    dispatch_phases: int = 0
 
 
 def _finalize_result(job: Job, res, result: JobResult) -> None:
@@ -195,59 +217,268 @@ def _finalize_result(job: Job, res, result: JobResult) -> None:
         result.value = None
 
 
-def execute_batch(jobs: "list[Job]") -> "list[JobResult]":
-    """Run one coalesced batch; returns one :class:`JobResult` per job.
-
-    Jobs run in arrival order in a single process against the
-    process-wide schedule cache: the leader pays any scheduling misses,
-    followers replay.  Each job is an independent
-    :func:`~repro.algorithms.api.multiply` call on its own instance and
-    network, so results are bit-identical to running the jobs serially,
-    one by one, in any process — coalescing changes economics, never
-    values.
-    """
+def _execute_one(
+    job: Job,
+    *,
+    batch_size: int,
+    batch_leader: bool,
+    cache,
+    plans,
+    fault_plan=None,
+    compile_key: "tuple | None" = None,
+) -> JobResult:
+    """The pinned per-job reference path: one :func:`multiply` on a fresh
+    network.  With ``compile_key`` set this job is the group's compile
+    leader — a :class:`~repro.model.plan.PlanRecorder` rides its network
+    and a successful run is lowered into the plan cache (an unplannable
+    run becomes a negative entry so followers stop asking)."""
     import os
 
     from repro.algorithms.api import multiply
+    from repro.model import network as network_mod
     from repro.model.certify import certify_product
+    from repro.model.network import LowBandwidthNetwork
+    from repro.model.plan import PlanRecorder, PlanUnplannable, compile_plan
 
-    cache = default_schedule_cache()
+    result = JobResult(
+        job_id=job.job_id,
+        tenant=job.tenant,
+        kind=job.kind,
+        ok=False,
+        batch_size=batch_size,
+        batch_leader=batch_leader,
+        worker_pid=os.getpid(),
+    )
+    hits0, misses0 = cache.hits, cache.misses
+    dispatch0 = network_mod.dispatch_count()
+    recorder = None
+    net = None
+    if fault_plan is not None:
+        net = LowBandwidthNetwork(
+            job.instance.n, fault_plan=fault_plan, resilience=True
+        )
+    elif compile_key is not None:
+        # same constructor as the algorithms' default (bit-identity), plus
+        # the recorder fewtriangles feeds
+        net = LowBandwidthNetwork(job.instance.n)
+        recorder = PlanRecorder()
+        net.plan_recorder = recorder
+    t0 = time.perf_counter()
+    try:
+        res = multiply(job.instance, algorithm=job.algorithm, network=net)
+        # lookups attributable to the multiply alone — what a warm replay
+        # of this structure is entitled to report as its hits
+        lookups = (cache.hits - hits0) + (cache.misses - misses0)
+        result.rounds = int(res.rounds)
+        result.messages = int(res.messages)
+        result.algorithm = res.details.get("selected", res.algorithm)
+        result.x = res.x
+        if recorder is not None:
+            # compile from the pre-finalize result: the plan's bill is the
+            # pure multiply; kind-specific tapes are added at replay time
+            try:
+                plan = compile_plan(
+                    job.instance,
+                    res,
+                    recorder,
+                    digest=job.digest or structure_digest(job.instance),
+                    requested=job.algorithm,
+                    schedule_lookups=lookups,
+                )
+            except PlanUnplannable as exc:
+                plans.put_negative(compile_key, str(exc))
+            else:
+                plans.put(compile_key, plan)
+                result.plan_compiled = True
+        _finalize_result(job, res, result)
+        if job.certify_checks > 0:
+            cert = certify_product(
+                job.instance, res.network, checks=job.certify_checks
+            )
+            result.certified = bool(cert.ok)
+            result.cert_rounds = int(cert.rounds)
+            result.rounds += int(cert.rounds)
+        result.phases = {k: tuple(v) for k, v in res.phase_summary().items()}
+        result.ok = True
+    except Exception as exc:
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.wall_s = time.perf_counter() - t0
+    result.cache_hits = cache.hits - hits0
+    result.cache_misses = cache.misses - misses0
+    result.cache = cache.stats()  # the stats dict, verbatim
+    result.plan = plans.stats()
+    result.dispatch_phases = network_mod.dispatch_count() - dispatch0
+    return result
+
+
+def _replay_group(
+    plan,
+    group: "list[tuple[int, Job]]",
+    *,
+    batch_size: int,
+    cache,
+    plans,
+) -> "list[JobResult]":
+    """Execute structurally identical warm jobs through one batched plan
+    replay.  Payload planes stack into ``(B, nnz)`` arrays, every value
+    stage runs once for the whole group, and each job's result carries
+    the leader's bill (rounds, messages, phases) plus the deterministic
+    finalizer tape — byte-identical to the per-job path, with zero
+    simulator dispatches."""
+    import os
+
+    from repro.model.plan import plan_payloads, replay_batch
+
+    sr = group[0][1].instance.semiring
+    t0 = time.perf_counter()
+    planes = [plan_payloads(job.instance) for _pos, job in group]
+    a_stack = np.stack([p[0] for p in planes])
+    b_stack = np.stack([p[1] for p in planes])
+    x_planes = replay_batch(plan, a_stack, b_stack, sr)
+    plans.note_replays(len(group))
+    wall = (time.perf_counter() - t0) / len(group)
+
     out: list[JobResult] = []
-    for pos, job in enumerate(jobs):
+    for b, (pos, job) in enumerate(group):
         result = JobResult(
             job_id=job.job_id,
             tenant=job.tenant,
             kind=job.kind,
             ok=False,
-            batch_size=len(jobs),
+            rounds=plan.rounds,
+            messages=plan.messages,
+            algorithm=plan.algorithm,
+            batch_size=batch_size,
             batch_leader=pos == 0,
             worker_pid=os.getpid(),
+            plan_replayed=True,
         )
-        hits0, misses0 = cache.hits, cache.misses
-        t0 = time.perf_counter()
+        data = np.ascontiguousarray(x_planes[b])
+        result.x = sp.csr_matrix(
+            (data, (plan.x_row, plan.x_col)), shape=plan.shape
+        )
+        result.phases = {k: tuple(v) for k, v in plan.phases.items()}
         try:
-            res = multiply(job.instance, algorithm=job.algorithm)
-            result.rounds = int(res.rounds)
-            result.messages = int(res.messages)
-            result.algorithm = res.details.get("selected", res.algorithm)
-            result.x = res.x
-            _finalize_result(job, res, result)
-            if job.certify_checks > 0:
-                cert = certify_product(
-                    job.instance, res.network, checks=job.certify_checks
-                )
-                result.certified = bool(cert.ok)
-                result.cert_rounds = int(cert.rounds)
-                result.rounds += int(cert.rounds)
-            result.phases = {k: tuple(v) for k, v in res.phase_summary().items()}
+            if job.kind == "triangles":
+                # the finalizer's convergecast is deterministic: bill its
+                # pre-computed tape and fold the incidences locally
+                result.rounds += plan.tri_rounds
+                result.phases["serve"] = (plan.tri_rounds, plan.tri_messages)
+                total = int(data.sum())
+                if total % 6 != 0:
+                    raise ValueError(
+                        f"triangle fold saw {total} incidences (not divisible "
+                        "by 6); is the adjacency symmetric and zero-diagonal?"
+                    )
+                result.value = total // 6
             result.ok = True
         except Exception as exc:
             result.error = f"{type(exc).__name__}: {exc}"
-        result.wall_s = time.perf_counter() - t0
-        result.cache_hits = cache.hits - hits0
-        result.cache_misses = cache.misses - misses0
-        result.cache = cache.stats()  # the stats dict, verbatim
+        result.wall_s = wall
+        # a warm follower replays the leader's schedule lookups, all hits
+        result.cache_hits = plan.schedule_lookups
+        result.cache_misses = 0
+        result.cache = cache.stats()
+        result.plan = plans.stats()
+        result.dispatch_phases = 0
         out.append(result)
+    return out
+
+
+def execute_batch(
+    jobs: "list[Job]",
+    *,
+    fault_plan=None,
+    use_plans: bool = True,
+) -> "list[JobResult]":
+    """Run one coalesced batch; returns one :class:`JobResult` per job,
+    in arrival order.
+
+    Jobs group by coalescing key.  A group whose structure has no cached
+    plan elects its first job compile leader (an ordinary ``multiply``
+    that additionally lowers a replay plan); every other job in the
+    group rides :func:`_replay_group` — one batched tensor execution for
+    the whole group — unless the plan cannot honestly cover it
+    (certification, explicit algorithm mismatch, an active fault plan),
+    in which case it falls back to the per-job reference path with the
+    reason recorded in ``plan_fallback``.  Replayed results are
+    byte-identical to per-job execution; coalescing changes economics,
+    never values.
+
+    ``fault_plan`` runs every job on a resilient faulty network (plans
+    are disabled: replay has no network to drop messages on, so it would
+    not exercise the faults it claims to bill).  ``use_plans=False``
+    forces the pinned per-job path throughout — the serial ground-truth
+    configuration benchmarks compare against.
+    """
+    from repro.model.plan import default_plan_cache, plan_fallback_reason
+
+    cache = default_schedule_cache()
+    plans = default_plan_cache()
+    out: "list[JobResult | None]" = [None] * len(jobs)
+    groups: "dict[tuple, list[int]]" = {}
+    for pos, job in enumerate(jobs):
+        groups.setdefault(job.key(), []).append(pos)
+
+    for key, positions in groups.items():
+        pending = list(positions)
+        plan = neg = None
+        if use_plans and fault_plan is None:
+            plan, neg = plans.lookup(key)
+            if plan is None and neg is None:
+                lead = pending.pop(0)
+                out[lead] = _execute_one(
+                    jobs[lead],
+                    batch_size=len(jobs),
+                    batch_leader=lead == 0,
+                    cache=cache,
+                    plans=plans,
+                    compile_key=key,
+                )
+                if pending:
+                    plan, neg = plans.lookup(key, count=False)
+
+        replay_group: "list[tuple[int, Job]]" = []
+        for pos in pending:
+            job = jobs[pos]
+            if not use_plans:
+                reason = "plans disabled"
+            elif fault_plan is not None:
+                reason = "fault plan active: per-message delivery required"
+            elif neg is not None:
+                reason = f"structure unplannable: {neg}"
+            elif plan is None:
+                reason = "no plan available"
+            else:
+                reason = plan_fallback_reason(plan, job)
+            if reason is None:
+                replay_group.append((pos, job))
+                continue
+            if use_plans and fault_plan is None:
+                plans.note_fallbacks(1)
+            result = _execute_one(
+                job,
+                batch_size=len(jobs),
+                batch_leader=pos == 0,
+                cache=cache,
+                plans=plans,
+                fault_plan=fault_plan,
+            )
+            result.plan_fallback = reason
+            out[pos] = result
+
+        if replay_group:
+            for pos, result in zip(
+                [p for p, _ in replay_group],
+                _replay_group(
+                    plan,
+                    replay_group,
+                    batch_size=len(jobs),
+                    cache=cache,
+                    plans=plans,
+                ),
+            ):
+                out[pos] = result
     return out
 
 

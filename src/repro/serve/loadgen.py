@@ -20,6 +20,7 @@ bills, rejections — which the benchmark and the smoke target serialise.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -105,6 +106,13 @@ def synthetic_workload(
     return out
 
 
+def _finite(value: float) -> float:
+    """A guaranteed-finite float for JSON reports (0.0 replaces NaN/inf:
+    ``json.dumps`` would otherwise emit literals many parsers reject)."""
+    v = float(value)
+    return v if math.isfinite(v) else 0.0
+
+
 @dataclass
 class LoadReport:
     """What one load run produced, ready for JSON serialisation."""
@@ -118,22 +126,32 @@ class LoadReport:
     p99_latency_ms: float = 0.0
     coalesce_rate: float = 0.0
     batches: int = 0
+    plan_replays: int = 0
+    plan_compiles: int = 0
+    plan_fallbacks: int = 0
     errors: list = field(default_factory=list)
     frontend: dict = field(default_factory=dict)
     results: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """JSON-serialisable view (drops the heavyweight per-job results)."""
+        """JSON-serialisable view (drops the heavyweight per-job results).
+
+        Every float field passes through :func:`_finite`: an empty or
+        one-sample run must serialise to plain numbers, never NaN.
+        """
         return {
             "jobs": self.jobs,
             "completed": self.completed,
             "rejected": self.rejected,
             "failed": self.failed,
-            "wall_s": round(self.wall_s, 6),
-            "p50_latency_ms": self.p50_latency_ms,
-            "p99_latency_ms": self.p99_latency_ms,
-            "coalesce_rate": round(self.coalesce_rate, 4),
+            "wall_s": round(_finite(self.wall_s), 6),
+            "p50_latency_ms": _finite(self.p50_latency_ms),
+            "p99_latency_ms": _finite(self.p99_latency_ms),
+            "coalesce_rate": round(_finite(self.coalesce_rate), 4),
             "batches": self.batches,
+            "plan_replays": self.plan_replays,
+            "plan_compiles": self.plan_compiles,
+            "plan_fallbacks": self.plan_fallbacks,
             "errors": self.errors[:10],
             "frontend": self.frontend,
         }
@@ -177,6 +195,11 @@ async def run_load(
     lat = [r.latency_s for r in report.results]
     report.p50_latency_ms = round(percentile(lat, 50) * 1e3, 3)
     report.p99_latency_ms = round(percentile(lat, 99) * 1e3, 3)
+    report.plan_replays = sum(1 for r in report.results if r.plan_replayed)
+    report.plan_compiles = sum(1 for r in report.results if r.plan_compiled)
+    report.plan_fallbacks = sum(
+        1 for r in report.results if r.plan_fallback is not None
+    )
     stats = frontend.stats()
     report.batches = stats["batches"]
     report.coalesce_rate = stats["coalesce_rate"]

@@ -19,15 +19,18 @@ entries.  Hosts without ``/dev/shm`` — or instance types the protocol
 does not understand — fall back to pickling the jobs through the task
 queue, and the pool's stats say which transport each batch used.
 
-Schedule persistence
---------------------
+Schedule and plan persistence
+-----------------------------
 With ``cache_dir`` set, workers warm-load the *sharded* schedule store
-(:func:`repro.model.schedule_cache.load_store_sharded`) once at spawn,
-and the parent — the single writer — persists every harvested new
-schedule back through :func:`save_store_sharded`, which routes each
-entry to the shard file its digest prefix names.  N workers therefore
-never contend on one npz: workers only read (at spawn), and writes land
-on per-prefix files under one parent-side lock.
+(:func:`repro.model.schedule_cache.load_store_sharded`) **and** the
+compiled replay-plan store (:func:`repro.model.plan.load_plans_sharded`)
+once at spawn, and the parent — the single writer — persists every
+harvested new schedule and plan back through the sharded savers, which
+route each entry to the shard file its digest prefix names.  N workers
+therefore never contend on one npz: workers only read (at spawn), and
+writes land on per-prefix files under one parent-side lock.  A restarted
+service thus replays warm structures through compiled plans immediately,
+without a single first-fit or plan-lowering pass.
 
 Resilience
 ----------
@@ -50,6 +53,11 @@ from typing import Any
 
 from repro.analysis import shm
 from repro.analysis.executor import preferred_context
+from repro.model.plan import (
+    default_plan_cache,
+    load_plans_sharded,
+    save_plans_sharded,
+)
 from repro.model.schedule_cache import (
     default_schedule_cache,
     load_store_sharded,
@@ -87,9 +95,12 @@ def _serve_worker_main(cache_dir: str | None, task_q, result_conn) -> None:
     the batch inline.
     """
     cache = default_schedule_cache()
+    plans = default_plan_cache()
     if cache_dir:
         cache.merge(load_store_sharded(cache_dir))
+        plans.merge(load_plans_sharded(cache_dir))
     cache.drain_new_entries()
+    plans.drain_new_plans()
     while True:
         task = task_q.get()
         if task is None:
@@ -106,11 +117,12 @@ def _serve_worker_main(cache_dir: str | None, task_q, result_conn) -> None:
                 jobs = payload
             results = execute_batch(jobs)
             new = cache.drain_new_entries()
-            result_conn.send((batch_id, results, new, None))
+            new_plans = plans.drain_new_plans()
+            result_conn.send((batch_id, results, new, new_plans, None))
         except BaseException as exc:
             try:
                 result_conn.send(
-                    (batch_id, None, {}, f"{type(exc).__name__}: {exc}")
+                    (batch_id, None, {}, {}, f"{type(exc).__name__}: {exc}")
                 )
             except Exception:
                 return
@@ -156,6 +168,8 @@ class ServePool:
             "worker_replacements": 0,
             "new_schedules_persisted": 0,
             "shards_written": 0,
+            "plans_persisted": 0,
+            "plan_shards_written": 0,
         }
         if self.workers:
             # Start the shared-memory resource tracker *before* forking:
@@ -245,29 +259,39 @@ class ServePool:
         return "shm", payload
 
     def _run_inline(self, jobs: "list[Job]") -> "list[JobResult]":
-        """Execute a batch in this process against the parent cache."""
+        """Execute a batch in this process against the parent caches."""
         cache = default_schedule_cache()
+        plans = default_plan_cache()
         if self.cache_dir:
             with self._warm_lock:
                 if not self._warm_loaded:
                     cache.merge(load_store_sharded(self.cache_dir))
+                    plans.merge(load_plans_sharded(self.cache_dir))
                     self._warm_loaded = True
             cache.drain_new_entries()
+            plans.drain_new_plans()
         results = execute_batch(jobs)
         if self.cache_dir:
-            self._persist(cache.drain_new_entries())
+            self._persist(cache.drain_new_entries(), plans.drain_new_plans())
         return results
 
-    def _persist(self, new: dict) -> None:
-        """Single-writer persistence of harvested schedules into the
-        digest-prefix shards."""
-        if not new or not self.cache_dir:
+    def _persist(self, new: dict, new_plans: "dict | None" = None) -> None:
+        """Single-writer persistence of harvested schedules and compiled
+        plans into the digest-prefix shards."""
+        new_plans = new_plans or {}
+        if (not new and not new_plans) or not self.cache_dir:
             return
         with self._persist_lock:
-            default_schedule_cache().merge(new, copy=True)
-            stats = save_store_sharded(self.cache_dir, new)
-        self.counters["new_schedules_persisted"] += len(new)
-        self.counters["shards_written"] += stats["shards_written"]
+            if new:
+                default_schedule_cache().merge(new, copy=True)
+                stats = save_store_sharded(self.cache_dir, new)
+                self.counters["new_schedules_persisted"] += len(new)
+                self.counters["shards_written"] += stats["shards_written"]
+            if new_plans:
+                default_plan_cache().merge(new_plans)
+                pstats = save_plans_sharded(self.cache_dir, new_plans)
+                self.counters["plans_persisted"] += len(new_plans)
+                self.counters["plan_shards_written"] += pstats["shards_written"]
 
     def run_batch(self, jobs: "list[Job]") -> "list[JobResult]":
         """Run one coalesced batch to completion; blocking, thread-safe."""
@@ -294,17 +318,17 @@ class ServePool:
             while True:
                 try:
                     if w["conn"].poll(0.05):
-                        got_id, results, new, err = w["conn"].recv()
+                        got_id, results, new, new_plans, err = w["conn"].recv()
                         if got_id != batch_id:
                             continue  # stale result of an abandoned batch
                         break
                 except (EOFError, OSError):
                     err = "worker pipe closed mid-batch"
-                    results, new = None, {}
+                    results, new, new_plans = None, {}, {}
                     break
                 if not w["proc"].is_alive():
                     err = f"worker pid {w['proc'].pid} died mid-batch"
-                    results, new = None, {}
+                    results, new, new_plans = None, {}, {}
                     break
             if results is None:
                 # crash or engine error: recover inline (bit-identical —
@@ -316,7 +340,7 @@ class ServePool:
                 self._replace(w)
                 w = None
                 return self._run_inline(jobs)
-            self._persist(new)
+            self._persist(new, new_plans)
             return results
         finally:
             arena.close()
