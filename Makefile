@@ -2,7 +2,7 @@
 # package, `pip install -e .` cannot build editable metadata; the install
 # target falls back to the legacy setuptools path automatically.
 
-.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke serve-smoke plan-smoke examples selfcheck docs all
+.PHONY: install test bench bench-smoke fault-smoke cert-smoke kernel-smoke serve-smoke plan-smoke transport-smoke examples selfcheck docs all
 
 install:
 	pip install -e . || python setup.py develop
@@ -75,6 +75,19 @@ plan-smoke:
 	pytest tests/test_plan.py -q
 	REPRO_BENCH_SMOKE=1 REPRO_SERVE_WORKERS=2 \
 		pytest benchmarks/bench_serving.py --benchmark-only
+
+# Real-wire transport smoke: the transport test suite (framing, config
+# resolution, bit-identity of custom wires, TCP kill/pause drills), then
+# the transport bench — Table 1 workloads over a multi-process loopback
+# TCP mesh must be bit-identical (values digest, rounds, messages,
+# per-phase bills) to the in-process reference, a SIGKILLed host
+# mid-round must recover in-budget or abort typed with a salvaged bill,
+# and a SIGSTOPped host must be caught by heartbeat staleness.  Emits
+# benchmarks/results/BENCH_transport.json (CI uploads it as an artifact).
+transport-smoke:
+	pytest tests/test_transport.py -q
+	REPRO_BENCH_SMOKE=1 \
+		pytest benchmarks/bench_transport.py --benchmark-only
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done

@@ -1,0 +1,269 @@
+"""Real-wire transport — bit-identity, fault drills, and wall-clock cost.
+
+The transport layer's claim is *separation*: the model (schedules,
+rounds, message bills) is computed above the delivery plane, so running
+the same workload over real OS processes and framed TCP connections
+changes wall-clock and nothing else.  This bench drives Table 1
+workloads (supported family triples) through the full stack both ways
+and records what the wire actually did:
+
+1. **bit-identity** — every workload over
+   :class:`~repro.transport.base.LocalTransport` (the in-process
+   reference) and over :class:`~repro.transport.socket_mesh.SocketTransport`
+   (a 4-process loopback mesh): the BLAKE2b values digest, the round
+   count, the message count, and the per-phase bills must be equal;
+   wall-clock for both sides is recorded (simulated rounds vs the real
+   wire's barriers, acks, and heartbeats);
+2. **kill drill** — a live host process is SIGKILLed after a chosen wire
+   step mid-run; within the respawn budget the mesh must repair itself
+   (respawn + generation bump + round re-issue) and the result must
+   still be bit-identical to local;
+3. **typed abort** — the same kill with a zero respawn budget, with
+   certification requested: the run must end in a typed error carrying
+   phase/round context and a *salvaged* bill (the rounds completed
+   before the crash), with ``certified_ok=False`` — recovery or clean
+   abort, never a hang, never a silent result;
+4. **pause drill** — a live host is SIGSTOPped (its sockets stay open):
+   only heartbeat staleness can detect this, and the mesh must recover.
+
+Gates (hard, host-independent): digests/rounds/messages equal on every
+workload; kill drill recovers bit-identically with exactly the budgeted
+respawn; the over-budget run aborts typed with salvage and no silent
+result; the pause drill's fault detail names the heartbeat.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the CI-sized workload.  Emits
+``BENCH_transport.json`` under ``benchmarks/results/`` (always) and at
+the repository root (full runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import RESULTS_DIR, save_report
+
+import repro
+from repro.model.network import LowBandwidthNetwork
+from repro.transport import TransportConfig, run_over_transport
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+N = 16 if SMOKE else 24
+D = 2 if SMOKE else 3
+WORKERS = 3 if SMOKE else 4
+
+#: Table 1 supported-setting workloads: family triples the classification
+#: marks efficiently multiplicable (schedules precomputable from
+#: structure alone)
+TRIPLES = [
+    (repro.US, repro.US, repro.US),
+    (repro.US, repro.US, repro.AS),
+    (repro.AS, repro.US, repro.US),
+]
+if not SMOKE:
+    TRIPLES += [
+        (repro.US, repro.AS, repro.US),
+        (repro.AS, repro.AS, repro.AS),
+    ]
+
+#: mesh knobs: tight heartbeats so the pause drill detects in ~200 ms,
+#: a generous barrier deadline so slow CI hosts never false-positive
+MESH = dict(workers=WORKERS, timeout_ms=10000.0, heartbeat_ms=50.0, miss_beats=4)
+
+
+def _workloads():
+    out = []
+    for i, fams in enumerate(TRIPLES):
+        rng = np.random.default_rng(100 + i)
+        label = ":".join(f.value for f in fams)
+        out.append((label, repro.make_instance(fams, N, D, rng)))
+    return out
+
+
+def _run(inst, **kw):
+    t0 = time.perf_counter()
+    out = run_over_transport(inst, **kw)
+    return out, time.perf_counter() - t0
+
+
+def bench_transport(benchmark):
+    workloads = _workloads()
+
+    # 1. bit-identity: local reference vs the 4-process TCP mesh
+    identity_rows = []
+    for label, inst in workloads:
+        local, local_s = _run(inst, transport="local")
+        tcp, tcp_s = _run(
+            inst, transport="tcp", config=TransportConfig(**MESH)
+        )
+        assert local.ok and tcp.ok, (label, local.error, tcp.error)
+        assert tcp.values_digest == local.values_digest, (
+            f"{label}: TCP values differ from the in-process reference"
+        )
+        assert tcp.rounds == local.rounds, (
+            f"{label}: rounds {tcp.rounds} != {local.rounds}"
+        )
+        assert tcp.messages == local.messages, (
+            f"{label}: messages {tcp.messages} != {local.messages}"
+        )
+        assert tcp.phase_summary == local.phase_summary, (
+            f"{label}: phase bills differ"
+        )
+        wire = tcp.transport_stats["wire"]
+        identity_rows.append(
+            {
+                "workload": label,
+                "rounds": local.rounds,
+                "messages": local.messages,
+                "values_digest": local.values_digest,
+                "bit_identical": True,
+                "local_wall_s": round(local_s, 4),
+                "tcp_wall_s": round(tcp_s, 4),
+                "tcp_wire_steps": tcp.transport_stats["steps"],
+                "tcp_resends": wire.get("resends", 0),
+                "tcp_reconnects": wire.get("reconnects", 0),
+            }
+        )
+
+    # 2. kill drill: SIGKILL a live host mid-round, recover in-budget
+    label, inst = workloads[0]
+    reference, _ = _run(inst, transport="local")
+    killed, killed_s = _run(
+        inst,
+        transport="tcp",
+        config=TransportConfig(max_respawns=1, **MESH),
+        drill="kill",
+        drill_after=2,
+    )
+    assert killed.ok and not killed.aborted, killed.error
+    assert killed.values_digest == reference.values_digest
+    assert killed.rounds == reference.rounds
+    kstats = killed.transport_stats
+    assert kstats["respawns"] == 1, kstats
+    assert kstats["round_reissues"] >= 1, kstats
+    kill_drill = {
+        "workload": label,
+        "drill": kstats["drill"],
+        "respawns": kstats["respawns"],
+        "round_reissues": kstats["round_reissues"],
+        "recovered_bit_identical": True,
+        "wall_s": round(killed_s, 4),
+        "resends": kstats["wire"].get("resends", 0),
+        "reconnects": kstats["wire"].get("reconnects", 0),
+    }
+
+    # 3. over-budget kill with certification on: typed abort, salvaged
+    # bill, never a silent result
+    aborted, aborted_s = _run(
+        inst,
+        transport="tcp",
+        config=TransportConfig(max_respawns=0, **MESH),
+        drill="kill",
+        drill_after=2,
+        certify=4,
+    )
+    assert aborted.aborted and not aborted.ok
+    assert aborted.error and "transport peer failure" in aborted.error
+    assert "@ round" in aborted.error  # phase/round context in the abort
+    assert aborted.certified_ok is False  # certification never silent
+    assert aborted.result is None
+    assert aborted.rounds >= 1 and aborted.messages >= 1  # salvage billed
+    abort_row = {
+        "workload": label,
+        "aborted": True,
+        "error": aborted.error,
+        "salvaged_rounds": aborted.rounds,
+        "salvaged_messages": aborted.messages,
+        "certified_ok": aborted.certified_ok,
+        "silent_result": False,
+        "wall_s": round(aborted_s, 4),
+    }
+
+    # 4. pause drill: SIGSTOP keeps sockets open; heartbeat staleness is
+    # the only detector
+    paused, paused_s = _run(
+        inst,
+        transport="tcp",
+        config=TransportConfig(max_respawns=1, **MESH),
+        drill="pause",
+        drill_after=2,
+    )
+    assert paused.ok and not paused.aborted, paused.error
+    assert paused.values_digest == reference.values_digest
+    pfaults = paused.transport_stats["faults"]
+    assert any("heartbeat" in f["detail"] for f in pfaults), pfaults
+    pause_drill = {
+        "workload": label,
+        "drill": paused.transport_stats["drill"],
+        "detected_by": "heartbeat",
+        "fault_details": [f["detail"] for f in pfaults],
+        "respawns": paused.transport_stats["respawns"],
+        "recovered_bit_identical": True,
+        "wall_s": round(paused_s, 4),
+    }
+
+    report = {
+        "workload": {
+            "n": N,
+            "d": D,
+            "triples": [row["workload"] for row in identity_rows],
+            "smoke": SMOKE,
+        },
+        "config": {
+            **MESH,
+            "cpu_count": os.cpu_count(),
+        },
+        "engine_info": LowBandwidthNetwork(4).engine_info(),
+        "bit_identity": identity_rows,
+        "kill_drill": kill_drill,
+        "abort": abort_row,
+        "pause_drill": pause_drill,
+    }
+    payload = json.dumps(report, indent=2) + "\n"
+    (RESULTS_DIR / "BENCH_transport.json").write_text(payload)
+    if not SMOKE:  # don't let CI smoke runs clobber the measured artifact
+        (REPO_ROOT / "BENCH_transport.json").write_text(payload)
+
+    lines = [
+        "Real-wire transport — bit-identity, fault drills, wall-clock",
+        "=" * 72,
+        f"mesh: {WORKERS} host processes, loopback TCP, "
+        f"heartbeat {MESH['heartbeat_ms']:g} ms x {MESH['miss_beats']}"
+        + (" (SMOKE)" if SMOKE else ""),
+    ]
+    for row in identity_rows:
+        lines.append(
+            f"  [{row['workload']:<10}] rounds={row['rounds']:<5} "
+            f"msgs={row['messages']:<6} local {row['local_wall_s'] * 1e3:7.1f} ms  "
+            f"tcp {row['tcp_wall_s'] * 1e3:7.1f} ms  "
+            f"({row['tcp_wire_steps']} wire steps, "
+            f"{row['tcp_resends']} resends, {row['tcp_reconnects']} reconnects)  "
+            f"bit-identical: True"
+        )
+    lines += [
+        f"kill drill: respawns={kill_drill['respawns']} "
+        f"reissues={kill_drill['round_reissues']} -> recovered bit-identical "
+        f"in {kill_drill['wall_s'] * 1e3:.1f} ms",
+        f"over-budget kill: typed abort, salvaged "
+        f"{abort_row['salvaged_rounds']} rounds / "
+        f"{abort_row['salvaged_messages']} messages, certified_ok=False",
+        f"pause drill: detected by heartbeat, respawns="
+        f"{pause_drill['respawns']} -> recovered bit-identical",
+    ]
+    save_report("transport", lines)
+
+    benchmark.pedantic(
+        lambda: run_over_transport(
+            _workloads()[0][1],
+            transport="tcp",
+            config=TransportConfig(**MESH),
+        ),
+        rounds=1,
+        iterations=1,
+    )

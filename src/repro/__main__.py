@@ -44,7 +44,7 @@ def _cmd_schedule(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.algorithms.api import ALGORITHMS, multiply
+    from repro.algorithms.api import multiply
     from repro.sparsity.families import Family
     from repro.supported.instance import make_hard_instance, make_instance
 
@@ -59,14 +59,77 @@ def _cmd_run(args) -> int:
             return 2
         inst = make_instance(families, args.n, args.d, rng)
         fams = f"[{args.families.upper()}]"
-    res = multiply(inst, algorithm=args.algorithm)
-    ok = inst.verify(res.x)
+
+    from repro.envconfig import env_transport
+
+    transport = args.transport if args.transport is not None else env_transport()
     print(f"instance: {fams}, n={args.n}, d={args.d}, |T|={len(inst.triangles)}")
-    print(f"algorithm: {res.details.get('selected', res.algorithm)}")
-    print(f"rounds: {res.rounds}   messages: {res.messages}   correct: {ok}")
-    for label, (rounds, msgs) in res.phase_summary().items():
+
+    if transport == "local" and args.drill is None:
+        res = multiply(inst, algorithm=args.algorithm)
+        ok = inst.verify(res.x)
+        print(f"algorithm: {res.details.get('selected', res.algorithm)}")
+        print(f"rounds: {res.rounds}   messages: {res.messages}   correct: {ok}")
+        for label, (rounds, msgs) in res.phase_summary().items():
+            print(f"  {label:<20} {rounds:6d} rounds  {msgs:8d} messages")
+        return 0 if ok else 1
+
+    from repro.transport import TransportConfig, run_over_transport
+
+    overrides = {}
+    if args.transport_workers is not None:
+        overrides["workers"] = args.transport_workers
+    config = TransportConfig.from_env(**overrides)
+    try:
+        out = run_over_transport(
+            inst,
+            algorithm=args.algorithm,
+            transport=transport,
+            config=config,
+            drill=args.drill,
+            drill_after=args.drill_after,
+            certify=args.certify_checks if args.certify else 0,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"transport: {out.transport}   wall: {out.wall_s:.3f}s")
+    if out.aborted:
+        print(f"ABORTED: {out.error}")
+        print(f"salvaged bill: {out.rounds} rounds   {out.messages} messages")
+        for label, (rounds, msgs) in out.phase_summary.items():
+            print(f"  {label:<20} {rounds:6d} rounds  {msgs:8d} messages")
+        _print_wire_stats(out.transport_stats)
+        return 1
+    ok = inst.verify(out.result.x)
+    print(f"algorithm: {out.algorithm}")
+    print(f"rounds: {out.rounds}   messages: {out.messages}   correct: {ok}")
+    if out.certified_ok is not None:
+        print(f"certified: {out.certified_ok} "
+              f"(cert_rounds={out.certificate.rounds})")
+    for label, (rounds, msgs) in out.phase_summary.items():
         print(f"  {label:<20} {rounds:6d} rounds  {msgs:8d} messages")
-    return 0 if ok else 1
+    _print_wire_stats(out.transport_stats)
+    return 0 if ok and out.ok else 1
+
+
+def _print_wire_stats(stats: dict) -> None:
+    if not stats or stats.get("transport") == "local":
+        return
+    wire = stats.get("wire", {})
+    print(
+        f"wire: {stats.get('steps', 0)} steps   "
+        f"respawns={stats.get('respawns', 0)} "
+        f"reissues={stats.get('round_reissues', 0)} "
+        f"resends={wire.get('resends', 0)} "
+        f"reconnects={wire.get('reconnects', 0)}"
+    )
+    drill = stats.get("drill")
+    if drill and drill.get("fired_step") is not None:
+        print(
+            f"drill: {drill['kind']} host {drill['fired_host']} "
+            f"after step {drill['fired_step']}"
+        )
 
 
 def _cmd_landscape(args) -> int:
@@ -125,6 +188,7 @@ def _cmd_serve(args) -> int:
                 "workers": args.workers,
                 "batch_window_ms": args.batch_window_ms,
                 "max_queue": args.max_queue,
+                "job_timeout_s": args.job_timeout_s,
             }.items()
             if v is not None
         }
@@ -213,6 +277,30 @@ def main(argv=None) -> int:
     p.add_argument("--algorithm", default="auto")
     p.add_argument("--hard", action="store_true", help="worst-case block instance")
     p.add_argument("--density", type=float, default=1.0)
+    p.add_argument(
+        "--transport", choices=("local", "tcp"), default=None,
+        help="delivery plane (default: REPRO_TRANSPORT or local)",
+    )
+    p.add_argument(
+        "--transport-workers", type=int, default=None,
+        help="host processes for the TCP mesh (default: 4, capped at n)",
+    )
+    p.add_argument(
+        "--drill", choices=("kill", "pause"), default=None,
+        help="fault drill: SIGKILL/SIGSTOP a live host mid-round (tcp only)",
+    )
+    p.add_argument(
+        "--drill-after", type=int, default=1,
+        help="fire the drill after this many wire steps",
+    )
+    p.add_argument(
+        "--certify", action="store_true",
+        help="run the in-model Freivalds certifier over the same transport",
+    )
+    p.add_argument(
+        "--certify-checks", type=int, default=10,
+        help="independent certification checks (with --certify)",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("landscape", help="print the Table 1 exponents")
@@ -261,6 +349,11 @@ def main(argv=None) -> int:
     p.add_argument(
         "--max-queue", type=int, default=None,
         help="admission bound (default: REPRO_SERVE_MAX_QUEUE or 256)",
+    )
+    p.add_argument(
+        "--job-timeout-s", type=float, default=None,
+        help="per-job worker deadline, 0 = off "
+             "(default: REPRO_SERVE_JOB_TIMEOUT_S or 0)",
     )
     p.add_argument("--json", action="store_true", help="emit the full report as JSON")
     p.set_defaults(fn=_cmd_serve)

@@ -41,8 +41,12 @@ set-add and the parent's unlink performs the one unregister.
 
 from __future__ import annotations
 
+import atexit
 import os
 import secrets
+import signal
+import threading
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Iterator
@@ -66,6 +70,9 @@ __all__ = [
     "share_csr",
     "attach_csr",
     "active_segments",
+    "register_cleanup",
+    "cleanup_all",
+    "install_sigterm_cleanup",
 ]
 
 #: prefix of every segment this repo creates; tests glob ``/dev/shm`` for
@@ -111,6 +118,86 @@ class InstanceDescriptor:
     d: int
     distribution: str
     n: int
+
+
+# --------------------------------------------------------------------- #
+# Process-exit cleanup: atexit + chained SIGTERM
+# --------------------------------------------------------------------- #
+# Every live arena registers itself here; anything else that owns OS
+# resources (the serve pool with its resident workers) can join via
+# ``register_cleanup``.  On normal interpreter exit the atexit hook
+# unlinks whatever a ``finally`` did not reach; on SIGTERM — where
+# CPython runs *no* atexit handlers under the default disposition — the
+# chained handler installed by :func:`install_sigterm_cleanup` does the
+# same sweep and then re-raises the signal with the default handler so
+# the process still dies with the SIGTERM exit status supervisors expect.
+_live_arenas: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+_extra_cleanups: "weakref.WeakSet[Any]" = weakref.WeakSet()
+# re-entrant: a SIGTERM landing while the atexit sweep holds the lock
+# runs the handler on the same (main) thread
+_cleanup_lock = threading.RLock()
+_prev_sigterm: Any = None
+_sigterm_installed = False
+
+
+def register_cleanup(obj: Any) -> None:
+    """Have ``obj.close()`` called at exit/SIGTERM (weakly referenced)."""
+    _extra_cleanups.add(obj)
+
+
+def cleanup_all() -> None:
+    """Close every registered resource, pools before arenas; idempotent.
+
+    Pools go first so resident workers (which hold attach-side mappings)
+    are dead before their parent unlinks the segments.
+    """
+    with _cleanup_lock:
+        for obj in list(_extra_cleanups):
+            try:
+                obj.close()
+            except Exception:
+                pass
+        for arena in list(_live_arenas):
+            try:
+                arena.close()
+            except Exception:
+                pass
+
+
+def _sigterm_cleanup(signum, frame) -> None:
+    cleanup_all()
+    prev = _prev_sigterm
+    if callable(prev):
+        prev(signum, frame)
+        return
+    if prev is signal.SIG_IGN:
+        return
+    # default disposition: die of the signal (correct wait status)
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def install_sigterm_cleanup() -> bool:
+    """Chain SIGTERM through :func:`cleanup_all`; idempotent.
+
+    Returns ``True`` once installed.  A non-main thread cannot set signal
+    handlers — that (and any exotic runtime refusing the call) degrades
+    to ``False``, leaving the atexit hook as the cleanup of record.
+    """
+    global _prev_sigterm, _sigterm_installed
+    if _sigterm_installed:
+        return True
+    try:
+        prev = signal.getsignal(signal.SIGTERM)
+        signal.signal(signal.SIGTERM, _sigterm_cleanup)
+    except (ValueError, OSError, RuntimeError):
+        return False
+    _prev_sigterm = prev
+    _sigterm_installed = True
+    return True
+
+
+atexit.register(cleanup_all)
 
 
 def active_segments() -> list[str]:
@@ -165,6 +252,7 @@ class ShmArena:
         self._segments: list[shared_memory.SharedMemory] = []
         self._attached: list[shared_memory.SharedMemory] = []
         self.closed = False
+        _live_arenas.add(self)
 
     # -- creation (parent only) ------------------------------------------
     def create(self, nbytes: int) -> shared_memory.SharedMemory:
@@ -215,6 +303,7 @@ class ShmArena:
                 pass
         self._segments.clear()
         self._attached.clear()
+        _live_arenas.discard(self)
 
     def __enter__(self) -> "ShmArena":
         return self

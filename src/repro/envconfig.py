@@ -11,7 +11,12 @@ backend (``auto``/``numba``/``numpy``; see
 (:mod:`repro.serve`) adds ``REPRO_SERVE_WORKERS`` (resident worker
 processes; 0 = in-process), ``REPRO_SERVE_BATCH_WINDOW_MS`` (how long a
 structure's batch stays open for coalescing) and
-``REPRO_SERVE_MAX_QUEUE`` (admission-control depth).  Every
+``REPRO_SERVE_MAX_QUEUE`` (admission-control depth) and
+``REPRO_SERVE_JOB_TIMEOUT_S`` (per-job deadline; 0 = no deadline).
+The delivery plane (:mod:`repro.transport`) adds ``REPRO_TRANSPORT``
+(``local``/``tcp``), ``REPRO_TRANSPORT_TIMEOUT_MS`` (connection /
+barrier / handshake deadline) and ``REPRO_TRANSPORT_HEARTBEAT_MS``
+(host liveness beat interval).  Every
 driver used to parse these with a bare ``int()`` / ``os.environ.get``,
 so a typo (``REPRO_BENCH_WORKERS=four``) surfaced as an opaque
 ``ValueError: invalid literal for int()`` traceback from deep inside a
@@ -36,6 +41,10 @@ __all__ = [
     "env_serve_workers",
     "env_serve_batch_window_ms",
     "env_serve_max_queue",
+    "env_serve_job_timeout_s",
+    "env_transport",
+    "env_transport_timeout_ms",
+    "env_transport_heartbeat_ms",
     "kernel_availability",
 ]
 
@@ -47,8 +56,13 @@ KERNELS_VAR = "REPRO_KERNELS"
 SERVE_WORKERS_VAR = "REPRO_SERVE_WORKERS"
 SERVE_BATCH_WINDOW_VAR = "REPRO_SERVE_BATCH_WINDOW_MS"
 SERVE_MAX_QUEUE_VAR = "REPRO_SERVE_MAX_QUEUE"
+SERVE_JOB_TIMEOUT_VAR = "REPRO_SERVE_JOB_TIMEOUT_S"
+TRANSPORT_VAR = "REPRO_TRANSPORT"
+TRANSPORT_TIMEOUT_VAR = "REPRO_TRANSPORT_TIMEOUT_MS"
+TRANSPORT_HEARTBEAT_VAR = "REPRO_TRANSPORT_HEARTBEAT_MS"
 
 _KERNEL_CHOICES = ("auto", "numba", "numpy")
+_TRANSPORT_CHOICES = ("local", "tcp")
 
 
 class EnvConfigError(ValueError):
@@ -256,6 +270,125 @@ def env_serve_max_queue(
     if value < 1:
         raise EnvConfigError(
             f"{SERVE_MAX_QUEUE_VAR} must be >= 1, got {value}"
+        )
+    return value
+
+
+def env_serve_job_timeout_s(
+    default: float = 0.0, *, environ: Mapping[str, str] | None = None
+) -> float:
+    """Per-job deadline from ``REPRO_SERVE_JOB_TIMEOUT_S``.
+
+    Accepts a non-negative number of seconds: how long a submitted job
+    may spend queued + batched + executing before the front end fails it
+    with :class:`~repro.serve.frontend.DeadlineExceeded`; ``0`` disables
+    the deadline.  Unset or empty falls back to ``default``.  Anything
+    else — including negative values, NaN and infinities — raises
+    :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(SERVE_JOB_TIMEOUT_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise EnvConfigError(
+            f"{SERVE_JOB_TIMEOUT_VAR} must be a non-negative number of "
+            f"seconds (0 = no deadline), got {raw!r}"
+        ) from None
+    if not (value >= 0) or value != value or value == float("inf"):
+        raise EnvConfigError(
+            f"{SERVE_JOB_TIMEOUT_VAR} must be a finite number >= 0 "
+            f"(seconds; 0 = no deadline), got {raw!r}"
+        )
+    return value
+
+
+def env_transport(
+    default: str = "local", *, environ: Mapping[str, str] | None = None
+) -> str:
+    """Delivery-plane selection from ``REPRO_TRANSPORT``.
+
+    Accepts ``local`` (the in-process reference simulator) or ``tcp``
+    (the multi-process socket mesh of
+    :class:`~repro.transport.socket_mesh.SocketTransport`).  Unset or
+    empty falls back to ``default``; anything else raises
+    :class:`EnvConfigError`.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(TRANSPORT_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    value = raw.strip().lower()
+    if value not in _TRANSPORT_CHOICES:
+        raise EnvConfigError(
+            f"{TRANSPORT_VAR} must be one of {', '.join(_TRANSPORT_CHOICES)}, "
+            f"got {raw!r}"
+        )
+    return value
+
+
+def env_transport_timeout_ms(
+    default: float = 5000.0, *, environ: Mapping[str, str] | None = None
+) -> float:
+    """Transport deadline from ``REPRO_TRANSPORT_TIMEOUT_MS``.
+
+    Accepts a positive number of milliseconds bounding every transport
+    wait — connection establishment, barrier completion, mesh repair —
+    so a dead peer becomes a typed failure, never a hang.  Unset or
+    empty falls back to ``default``.  Zero, negative, NaN, infinite or
+    non-numeric values raise :class:`EnvConfigError` — a zero deadline
+    would fail every round before its first byte.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(TRANSPORT_TIMEOUT_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise EnvConfigError(
+            f"{TRANSPORT_TIMEOUT_VAR} must be a positive number of "
+            f"milliseconds, got {raw!r}"
+        ) from None
+    if not (value > 0) or value != value or value == float("inf"):
+        raise EnvConfigError(
+            f"{TRANSPORT_TIMEOUT_VAR} must be a finite number > 0 "
+            f"(milliseconds), got {raw!r}"
+        )
+    return value
+
+
+def env_transport_heartbeat_ms(
+    default: float = 100.0, *, environ: Mapping[str, str] | None = None
+) -> float:
+    """Host liveness beat interval from ``REPRO_TRANSPORT_HEARTBEAT_MS``.
+
+    Accepts a positive number of milliseconds: how often each host
+    process beats the coordinator (a host silent for ``miss_beats``
+    intervals is declared crashed).  Unset or empty falls back to
+    ``default``.  Zero, negative, NaN, infinite or non-numeric values
+    raise :class:`EnvConfigError`.  Note the cross-field rule enforced
+    by :meth:`repro.transport.base.TransportConfig.validate`:
+    ``heartbeat_ms * miss_beats`` must stay below ``timeout_ms`` so
+    liveness trips before the barrier deadline.
+    """
+    env = environ if environ is not None else os.environ
+    raw = env.get(TRANSPORT_HEARTBEAT_VAR)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise EnvConfigError(
+            f"{TRANSPORT_HEARTBEAT_VAR} must be a positive number of "
+            f"milliseconds, got {raw!r}"
+        ) from None
+    if not (value > 0) or value != value or value == float("inf"):
+        raise EnvConfigError(
+            f"{TRANSPORT_HEARTBEAT_VAR} must be a finite number > 0 "
+            f"(milliseconds), got {raw!r}"
         )
     return value
 

@@ -126,6 +126,9 @@ class Certificate:
     convergecast_ok: bool
     one_sided: bool
     false_accept_bound: float | None
+    #: which delivery plane carried the certification rounds ("local",
+    #: "tcp", ...) — a certificate over a real wire names the wire
+    transport: str = "local"
 
 
 def _check_rng(seed: int, check: int) -> np.random.Generator:
@@ -463,4 +466,5 @@ def certify_product(
         convergecast_ok=convergecast_ok,
         one_sided=one_sided,
         false_accept_bound=None if one_sided else math.ldexp(1.0, -config.checks),
+        transport=getattr(net, "transport_name", "local"),
     )

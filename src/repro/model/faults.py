@@ -103,6 +103,7 @@ __all__ = [
     "classify_outcome",
     "run_with_faults",
     "corrupt_word",
+    "backoff_schedule",
 ]
 
 OUTCOME_CORRECT = "correct"
@@ -422,6 +423,24 @@ class FaultInjector:
         )
 
 
+def backoff_schedule(*, base, cap, retries: int) -> list:
+    """The closed-form exponential backoff schedule: the wait before
+    retry ``t`` is ``min(base * 2**(t-1), cap)``, for ``t = 1..retries``.
+
+    This is the single source of truth for backoff, shared by
+    :class:`ResilientExchange` (where the waits are billed idle model
+    *rounds*) and the wire transport's ack/resend path
+    (:mod:`repro.transport.host`, where the same schedule is promoted to
+    wall-clock *milliseconds*).  Integer inputs yield integer waits;
+    float inputs yield floats.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if base < 0 or cap < base:
+        raise ValueError("need 0 <= base <= cap")
+    return [min(base * (2 ** (t - 1)), cap) for t in range(1, retries + 1)]
+
+
 @dataclass(frozen=True)
 class ResilienceConfig:
     """Retry policy for :class:`ResilientExchange`.
@@ -538,7 +557,9 @@ class ResilientExchange:
         total = 0
         while True:
             if attempt > 0:
-                backoff = min(cfg.backoff_base << (attempt - 1), cfg.backoff_cap)
+                backoff = backoff_schedule(
+                    base=cfg.backoff_base, cap=cfg.backoff_cap, retries=attempt
+                )[-1]
                 charged = net.charge_idle_rounds(backoff, label=f"{label}/backoff")
                 total += charged
                 if inj is not None:

@@ -179,6 +179,24 @@ class LowBandwidthNetwork:
         unmodified algorithms recover from transient faults.  All
         protocol rounds (acks, backoff, retries) are real rounds,
         recorded in :meth:`phase_summary`.
+    transport:
+        The delivery plane (:mod:`repro.transport`).  ``None`` or
+        ``"local"`` keep the historical in-process delivery (the
+        :class:`~repro.transport.base.LocalTransport` semantics,
+        inlined).  ``"tcp"`` (or a started
+        :class:`~repro.transport.base.Transport` instance) routes every
+        scheduled model round through a real multi-process TCP mesh:
+        payloads are gathered per round, shipped as framed messages
+        with ack/resend, and committed at the round barrier.  Schedules
+        and billing are computed *before* delivery, so rounds and
+        message counts are bit-identical across transports by
+        construction; a wire transport disables the columnar planes
+        (a wire needs the actual words) and is incompatible with
+        ``strict`` (per-message checked delivery is in-process by
+        definition) and with ``fault_plan``/``resilience`` (those
+        *simulate* faults — over a wire, real faults come from the
+        transport's drill).  The network owns its wire transport and
+        shuts it down in :meth:`close`.
     """
 
     def __init__(
@@ -192,6 +210,7 @@ class LowBandwidthNetwork:
         columnar: bool = True,
         fault_plan: "object | None" = None,
         resilience: "object | bool | None" = None,
+        transport: "object | str | None" = None,
     ):
         if n <= 0:
             raise ValueError("need at least one computer")
@@ -234,12 +253,34 @@ class LowBandwidthNetwork:
                 )
             resilience.validate()
             self._resilience = resilience
+        self._transport = None
+        self.transport_name = "local"
+        if transport is not None:
+            from repro.transport.base import make_transport
+
+            resolved = make_transport(transport)
+            if resolved.is_wire:
+                if self.strict:
+                    raise ValueError(
+                        "strict mode requires the local transport: per-message "
+                        "checked delivery is in-process by definition"
+                    )
+                if self._injector is not None or self._resilience is not None:
+                    raise ValueError(
+                        "fault_plan/resilience simulate faults in-process; over "
+                        "a wire transport real faults come from the transport "
+                        "drill (SocketTransport.arm_drill)"
+                    )
+                resolved.ensure_started(self.n)
+                self._transport = resolved
+            self.transport_name = resolved.name
         fault_active = self._injector is not None and self._injector.active
         self.columnar = (
             bool(columnar)
             and not self.strict
             and not fault_active
             and self._resilience is None
+            and self._transport is None
         )
         self.rounds = 0
         self.mem: list[dict[Key, Any]] = [dict() for _ in range(self.n)]
@@ -423,6 +464,16 @@ class LowBandwidthNetwork:
                     label=label,
                     round_index=self.rounds + int(rounds_arr[i]),
                 )
+        elif self._transport is not None:
+            if src_keys is None:
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] columnar delivery is "
+                    "unavailable over a wire transport"
+                )
+            return self._deliver_wire(
+                src, dst, src_keys, dst_keys, rounds_arr,
+                label=label, cache_hit=cache_hit, t0=t0,
+            )
         elif src_keys is not None:
             mem = self.mem
             sample = self._sample_memory if self.track_memory else None
@@ -453,6 +504,143 @@ class LowBandwidthNetwork:
             )
         )
         return total
+
+    # ------------------------------------------------------------------ #
+    # Wire delivery (see repro.transport)
+    # ------------------------------------------------------------------ #
+    def _deliver_wire(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        src_keys: list,
+        dst_keys: list,
+        rounds_arr: np.ndarray,
+        *,
+        label: str,
+        cache_hit: bool,
+        t0: int,
+    ) -> int:
+        """Execute an already-scheduled phase over the wire transport:
+        for each model round, gather that round's payload words from the
+        source memories, ship them through
+        :meth:`~repro.transport.base.Transport.deliver_step` (one
+        barriered wire round), and commit the delivered words into the
+        destination memories.  Billing is fixed by the schedule before
+        any byte moves, so rounds/messages are identical to local
+        delivery; only wall-clock sees the wire.
+
+        Graceful degradation: if the transport declares a peer dead
+        (:class:`~repro.transport.base.PeerDied`, i.e. respawn budget
+        exhausted), the completed prefix of the phase is salvaged into
+        the bill under ``<label>/aborted`` and the failure surfaces as a
+        :class:`NetworkError` carrying the phase label and model round —
+        a clean typed abort, never a hang and never a silent result.
+        """
+        from repro.transport.base import PeerDied
+        from repro.transport.framing import decode_value, encode_value
+
+        mem = self.mem
+        sample = self._sample_memory if self.track_memory else None
+        total = schedule_makespan(rounds_arr)
+        src_l = src.tolist()
+        dst_l = dst.tolist()
+        rounds_l = rounds_arr.tolist()
+        order = [int(i) for i in np.argsort(rounds_arr, kind="stable")]
+        m = int(src.size)
+        delivered_msgs = 0
+        completed = 0
+        pos = 0
+        # self-messages are scheduled at round -1 (a computer talking to
+        # itself costs nothing on the wire): commit them locally first,
+        # exactly like the inline path and the PR 5 fault exemption
+        while pos < m and rounds_l[order[pos]] < 0:
+            i = order[pos]
+            pos += 1
+            s, sk = src_l[i], src_keys[i]
+            if sk not in mem[s]:
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] "
+                    f"computer {s} cannot send {sk!r}: not held"
+                )
+            mem[dst_l[i]][dst_keys[i]] = mem[s][sk]
+            if sample is not None:
+                sample(dst_l[i])
+            delivered_msgs += 1
+        try:
+            for r in range(total):
+                entries = []
+                while pos < m and rounds_l[order[pos]] == r:
+                    i = order[pos]
+                    pos += 1
+                    s, sk = src_l[i], src_keys[i]
+                    mem_src = mem[s]
+                    if sk not in mem_src:
+                        raise NetworkError(
+                            f"[{label} @ round {self.rounds + r}] "
+                            f"computer {s} cannot send {sk!r}: not held"
+                        )
+                    entries.append((i, s, dst_l[i], encode_value(mem_src[sk])))
+                payloads = self._transport.deliver_step(
+                    entries, label=label, round_no=self.rounds + r
+                )
+                for i, blob in payloads.items():
+                    mem[dst_l[i]][dst_keys[i]] = decode_value(blob)
+                    if sample is not None:
+                        sample(dst_l[i])
+                delivered_msgs += len(entries)
+                completed = r + 1
+        except PeerDied as exc:
+            # salvage the completed prefix of the phase into the bill,
+            # then abort with phase/round context
+            aborted_at = self.rounds + completed
+            self.rounds += completed
+            self.messages_sent += delivered_msgs
+            self.phases.append(
+                PhaseRecord(
+                    f"{label}/aborted",
+                    completed,
+                    delivered_msgs,
+                    wall_ns=time.perf_counter_ns() - t0,
+                    cache_hit=cache_hit,
+                    columnar=False,
+                )
+            )
+            raise NetworkError(
+                f"[{label} @ round {aborted_at}] transport peer failure after "
+                f"{completed}/{total} rounds: {exc}"
+            ) from exc
+        self.rounds += total
+        self.messages_sent += m
+        self.phases.append(
+            PhaseRecord(
+                label,
+                total,
+                m,
+                wall_ns=time.perf_counter_ns() - t0,
+                cache_hit=cache_hit,
+                columnar=False,
+            )
+        )
+        return total
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Honest counters from the delivery plane (steps, words, wire
+        retries/reconnects/respawns for a socket mesh)."""
+        if self._transport is None:
+            return {"transport": self.transport_name}
+        return self._transport.stats()
+
+    def close(self) -> None:
+        """Shut down an owned wire transport (idempotent; local-delivery
+        networks have nothing to release)."""
+        if self._transport is not None:
+            self._transport.close()
+
+    def __enter__(self) -> "LowBandwidthNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Fault-injected / resilient delivery (see repro.model.faults)
@@ -763,6 +951,17 @@ class LowBandwidthNetwork:
             self._resilience is not None
         ):
             return self._lockstep_disturbed(src, dst, src_keys, dst_keys, label=label)
+        if self._transport is not None and src.size:
+            if src_keys is None:
+                raise NetworkError(
+                    f"[{label} @ round {self.rounds}] columnar delivery is "
+                    "unavailable over a wire transport"
+                )
+            return self._deliver_wire(
+                src, dst, src_keys, dst_keys,
+                np.zeros(src.size, dtype=np.int64),
+                label=label, cache_hit=False, t0=t0,
+            )
         if self.strict:
             for s, d, sk, dk in zip(src.tolist(), dst.tolist(), src_keys, dst_keys):
                 self._deliver_checked(
@@ -988,6 +1187,7 @@ class LowBandwidthNetwork:
             "columnar": self.columnar,
             "schedule_method": self.schedule_method,
             "schedule_cache": self._schedule_cache is not None,
+            "transport": self.transport_name,
             "kernels": _kernels.kernel_info(),
         }
 

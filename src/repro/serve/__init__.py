@@ -26,10 +26,11 @@ from repro.serve.jobs import (
     triangle_job,
 )
 from repro.serve.loadgen import LoadReport, revalue, run_load, synthetic_workload
-from repro.serve.pool import ServePool, ServePoolClosed
+from repro.serve.pool import DeadlineExceeded, ServePool, ServePoolClosed
 
 __all__ = [
     "AdmissionError",
+    "DeadlineExceeded",
     "ServeConfig",
     "ServeFrontend",
     "TenantAccount",

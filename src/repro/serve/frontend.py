@@ -36,16 +36,18 @@ from dataclasses import dataclass, field
 from repro.envconfig import (
     env_cache_dir,
     env_serve_batch_window_ms,
+    env_serve_job_timeout_s,
     env_serve_max_queue,
     env_serve_workers,
 )
 from repro.model.plan import default_plan_cache
 from repro.model.schedule_cache import default_schedule_cache
 from repro.serve.jobs import Job, JobResult
-from repro.serve.pool import ServePool
+from repro.serve.pool import DeadlineExceeded, ServePool
 
 __all__ = [
     "AdmissionError",
+    "DeadlineExceeded",
     "ServeConfig",
     "TenantAccount",
     "ServeFrontend",
@@ -81,6 +83,9 @@ class ServeConfig:
     batch_window_ms: float = 5.0
     max_queue: int = 256
     cache_dir: str | None = None
+    #: per-job execution deadline on worker batches, seconds (0 = off); a
+    #: batch of k jobs gets k * job_timeout_s before its worker is killed
+    job_timeout_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -89,6 +94,8 @@ class ServeConfig:
             raise ValueError("batch_window_ms must be >= 0")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.job_timeout_s < 0:
+            raise ValueError("job_timeout_s must be >= 0")
 
     @classmethod
     def from_env(cls, *, environ=None, **overrides) -> "ServeConfig":
@@ -97,6 +104,7 @@ class ServeConfig:
             "batch_window_ms": env_serve_batch_window_ms(environ=environ),
             "max_queue": env_serve_max_queue(environ=environ),
             "cache_dir": env_cache_dir(environ=environ),
+            "job_timeout_s": env_serve_job_timeout_s(environ=environ),
         }
         values.update(overrides)
         return cls(**values)
@@ -209,6 +217,7 @@ class ServeFrontend:
         self._coalesced_jobs = 0
         self._completed = 0
         self._rejected = 0
+        self._deadline_exceeded = 0
         self._tenants: dict[str, TenantAccount] = {}
         self._started = False
 
@@ -219,7 +228,11 @@ class ServeFrontend:
         """Bring up the worker pool and the dispatch bridge; idempotent."""
         if self._started:
             return
-        self._pool = ServePool(self.config.workers, cache_dir=self.config.cache_dir)
+        self._pool = ServePool(
+            self.config.workers,
+            cache_dir=self.config.cache_dir,
+            job_timeout_s=self.config.job_timeout_s,
+        )
         self._bridge = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="repro-serve",
@@ -331,6 +344,27 @@ class ServeFrontend:
             for fut, res in zip(batch.futures, results):
                 if not fut.done():
                     fut.set_result(res)
+        except DeadlineExceeded as exc:
+            # fail the wedged jobs typed but keep billing flowing: every
+            # job gets a failed result carrying its share of the partial
+            # wall the dead worker burned (rounds are unknowable — the
+            # worker died with them), so tenant accounts record the
+            # failure, the latency, and the wasted wall honestly
+            self._deadline_exceeded += len(batch.jobs)
+            share = exc.elapsed_s / max(len(batch.jobs), 1)
+            for fut, job in zip(batch.futures, batch.jobs):
+                if not fut.done():
+                    fut.set_result(
+                        JobResult(
+                            job_id=job.job_id,
+                            tenant=job.tenant,
+                            kind=job.kind,
+                            ok=False,
+                            error=f"DeadlineExceeded: {exc}",
+                            batch_size=len(batch.jobs),
+                            wall_s=share,
+                        )
+                    )
         except Exception as exc:
             for fut in batch.futures:
                 if not fut.done():
@@ -357,6 +391,8 @@ class ServeFrontend:
             "open_batches": len(self._open),
             "batch_window_ms": self.config.batch_window_ms,
             "max_queue": self.config.max_queue,
+            "job_timeout_s": self.config.job_timeout_s,
+            "deadline_exceeded_jobs": self._deadline_exceeded,
             # the parent-side cache stats dicts, verbatim
             "cache": default_schedule_cache().stats(),
             "plans": default_plan_cache().stats(),

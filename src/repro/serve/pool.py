@@ -49,6 +49,7 @@ import itertools
 import os
 import queue
 import threading
+import time
 from typing import Any
 
 from repro.analysis import shm
@@ -65,11 +66,26 @@ from repro.model.schedule_cache import (
 )
 from repro.serve.jobs import Job, JobResult, execute_batch
 
-__all__ = ["ServePool", "ServePoolClosed"]
+__all__ = ["ServePool", "ServePoolClosed", "DeadlineExceeded"]
 
 
 class ServePoolClosed(RuntimeError):
     """A batch was submitted to a pool that has been closed."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A worker batch blew its deadline; the wedged worker was killed.
+
+    Carries ``elapsed_s`` (how long the batch ran), ``deadline_s`` (the
+    budget it blew), and ``jobs`` (how many jobs died with it) so the
+    front end can bill the partial work honestly.
+    """
+
+    def __init__(self, message: str, *, elapsed_s: float, deadline_s: float, jobs: int):
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        self.jobs = jobs
 
 
 def _job_parts(job: Job) -> dict:
@@ -144,10 +160,19 @@ class ServePool:
     drains them deterministically.
     """
 
-    def __init__(self, workers: int = 0, *, cache_dir: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        cache_dir: str | os.PathLike | None = None,
+        job_timeout_s: float = 0.0,
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = in-process execution)")
+        if job_timeout_s < 0:
+            raise ValueError("job_timeout_s must be >= 0 (0 = no deadline)")
         self.workers = int(workers)
+        self.job_timeout_s = float(job_timeout_s)
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self._ctx = preferred_context()
         self._idle: queue.SimpleQueue = queue.SimpleQueue()
@@ -170,7 +195,13 @@ class ServePool:
             "shards_written": 0,
             "plans_persisted": 0,
             "plan_shards_written": 0,
+            "deadline_exceeded": 0,
         }
+        # died-by-signal cleanup: a SIGTERM'd parent must still unlink its
+        # arenas and reap resident workers (atexit alone never runs under
+        # the default SIGTERM disposition)
+        shm.register_cleanup(self)
+        shm.install_sigterm_cleanup()
         if self.workers:
             # Start the shared-memory resource tracker *before* forking:
             # workers inherit its fd and register attachments with the
@@ -308,6 +339,10 @@ class ServePool:
         w = self._idle.get()
         batch_id = next(self._seq)
         arena = shm.ShmArena()
+        # batches execute their jobs sequentially, so the batch budget is
+        # the per-job deadline times the batch size (0 = no deadline)
+        deadline_s = self.job_timeout_s * len(jobs) if self.job_timeout_s else 0.0
+        started = time.monotonic()
         try:
             try:
                 transport, payload = self._pack(jobs, arena)
@@ -316,6 +351,23 @@ class ServePool:
             self.counters[f"{transport}_batches"] += 1
             w["task_q"].put((batch_id, transport, payload))
             while True:
+                if deadline_s and time.monotonic() - started > deadline_s:
+                    # a wedged job must not hold a worker hostage: kill
+                    # and replace the worker, fail the batch typed — the
+                    # front end bills the partial wall and fails the jobs
+                    elapsed = time.monotonic() - started
+                    self.counters["deadline_exceeded"] += 1
+                    self._replace(w)
+                    w = None
+                    raise DeadlineExceeded(
+                        f"batch of {len(jobs)} jobs exceeded its deadline "
+                        f"({elapsed:.2f}s > {deadline_s:.2f}s = "
+                        f"{len(jobs)} * job_timeout_s {self.job_timeout_s:g}s); "
+                        f"wedged worker killed",
+                        elapsed_s=elapsed,
+                        deadline_s=deadline_s,
+                        jobs=len(jobs),
+                    )
                 try:
                     if w["conn"].poll(0.05):
                         got_id, results, new, new_plans, err = w["conn"].recv()
@@ -353,5 +405,6 @@ class ServePool:
             "workers": self.workers,
             "alive": sum(1 for w in self._live if w["proc"].is_alive()),
             "cache_dir": self.cache_dir,
+            "job_timeout_s": self.job_timeout_s,
             **self.counters,
         }

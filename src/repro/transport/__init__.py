@@ -1,0 +1,56 @@
+"""Pluggable delivery planes for the low-bandwidth network.
+
+The model (schedules, rounds, billing, per-computer memories) lives in
+:class:`~repro.model.network.LowBandwidthNetwork`; *where the bytes go*
+is this package's job:
+
+- :mod:`repro.transport.base` — the :class:`Transport` protocol, the
+  in-process :class:`LocalTransport` reference, shared
+  :class:`TransportConfig` knobs, and :func:`make_transport`;
+- :mod:`repro.transport.framing` — the length-prefixed wire format;
+- :mod:`repro.transport.host` — the per-shard host process of the mesh;
+- :mod:`repro.transport.socket_mesh` — :class:`SocketTransport`, the
+  coordinator: real OS processes, framed TCP, per-round barriers,
+  heartbeats, ack/resend, crash recovery, and the real-fault drill;
+- :mod:`repro.transport.runner` — :func:`run_over_transport`, the
+  end-to-end entry the CLI and benches share.
+
+Rounds and message counts are computed by the network before delivery,
+so they are bit-identical across transports by construction; payload
+words round-trip bit-exactly through the framing layer.
+"""
+
+from repro.transport.base import (
+    LocalTransport,
+    PeerDied,
+    Transport,
+    TransportConfig,
+    TransportError,
+    make_transport,
+)
+from repro.transport.runner import (
+    TransportRunOutcome,
+    run_over_transport,
+    values_digest,
+)
+
+__all__ = [
+    "Transport",
+    "TransportConfig",
+    "TransportError",
+    "PeerDied",
+    "LocalTransport",
+    "SocketTransport",
+    "make_transport",
+    "TransportRunOutcome",
+    "run_over_transport",
+    "values_digest",
+]
+
+
+def __getattr__(name):
+    if name == "SocketTransport":  # deferred: pulls in multiprocessing
+        from repro.transport.socket_mesh import SocketTransport
+
+        return SocketTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

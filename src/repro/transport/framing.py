@@ -1,0 +1,167 @@
+"""Wire protocol for the socket transport: length-prefixed framed messages.
+
+Every byte that crosses a :class:`~repro.transport.socket_mesh.SocketTransport`
+connection is one *frame*:
+
+.. code-block:: text
+
+    +--------+--------+----------------+----------------------+
+    | magic  | type   | body length    | body (pickled tuple) |
+    | 2 B    | 1 B    | 4 B (uint32 LE)| <= MAX_FRAME bytes   |
+    +--------+--------+----------------+----------------------+
+
+The 2-byte magic guards against stream desynchronisation (a partial
+write followed by a reconnect must never be parsed as a frame), the
+length prefix makes message boundaries explicit over TCP's byte stream,
+and the body is a pickled tuple whose shape is fixed per frame type
+(:class:`FrameType`).  :func:`recv_frame` reassembles frames from
+arbitrary fragmentation — TCP may hand back one byte at a time — and
+raises :class:`ConnectionClosed` on EOF and :class:`FrameError` on any
+malformed header, so a garbage or truncated stream becomes a typed
+error, never a hang or a mis-parse.
+
+Payload values (the model's machine words — semiring scalars) are
+serialized per word with :func:`encode_value` / :func:`decode_value`;
+pickle round-trips NumPy scalars and Python numbers bit-exactly, which
+is what the transport's bit-identity guarantee rests on.  The framing
+layer is deliberately dependency-free and pure so it can be unit-tested
+against truncation, fragmentation, and desync without any sockets.
+
+Security note: the transport authenticates peers with a per-run shared
+token carried in the HELLO frame and binds to the loopback interface by
+default.  It is a research harness for *measuring* a real wire, not a
+hardened network service; do not expose its listeners to hostile
+networks.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "FrameType",
+    "FrameError",
+    "ConnectionClosed",
+    "MAX_FRAME",
+    "encode_frame",
+    "send_frame",
+    "recv_frame",
+    "recv_exact",
+    "encode_value",
+    "decode_value",
+]
+
+#: stream-desync guard: every frame starts with these two bytes
+MAGIC = b"\x9eR"
+
+#: refuse to allocate for absurd announced lengths (a desynced or hostile
+#: stream must fail fast, not OOM the coordinator)
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<2sBI")  # magic, frame type, body length
+
+
+class FrameType(enum.IntEnum):
+    """Every message the mesh exchanges (body shapes in parentheses)."""
+
+    HELLO = 1  #: host -> coord: (host_id, token, listen_port, pid)
+    PEERS = 2  #: coord -> host: (gen, {host_id: port})
+    PEER_HELLO = 3  #: host -> host on dial: (host_id, token, listen_port)
+    MESH_OK = 4  #: host -> coord: (host_id, gen)
+    ROUND = 5  #: coord -> host: (step, gen, round_no, label, sends, expect)
+    DATA = 6  #: host -> host: (step, msg_idx, src, dst, value_bytes)
+    ACK = 7  #: host -> host: (step, msg_idx)
+    BARRIER = 8  #: host -> coord: (step, gen, host_id, delivered, counters)
+    BARRIER_FAIL = 9  #: host -> coord: (step, gen, host_id, reason, detail)
+    HEARTBEAT = 10  #: host -> coord: (host_id, beat_seq)
+    SHUTDOWN = 11  #: coord -> host: ()
+    ABORT = 12  #: coord -> host: (reason,)
+
+
+class FrameError(RuntimeError):
+    """A malformed frame: bad magic, unknown type, or oversized body."""
+
+
+class ConnectionClosed(RuntimeError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+def encode_frame(ftype: FrameType, payload: Any) -> bytes:
+    """One frame as bytes: header plus pickled payload."""
+    body = pickle.dumps(payload, protocol=4)
+    if len(body) > MAX_FRAME:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(MAGIC, int(ftype), len(body)) + body
+
+
+def send_frame(sock: socket.socket, ftype: FrameType, payload: Any) -> int:
+    """Send one frame; returns the number of bytes written.
+
+    ``sendall`` either writes the whole frame or raises — a partial
+    write surfaces as an ``OSError``, never as a silently truncated
+    frame (the receiving side's magic/length checks would reject the
+    torn remainder after a reconnect anyway).
+    """
+    data = encode_frame(ftype, payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes, reassembling TCP fragmentation.
+
+    Raises :class:`ConnectionClosed` if the stream ends first; a
+    ``socket.timeout`` from the socket's own deadline propagates.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining}/{count} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[FrameType, Any]:
+    """Read one complete frame; returns ``(type, payload)``.
+
+    Any header corruption raises :class:`FrameError` — the caller must
+    treat the connection as poisoned and drop it (the stream position
+    is unrecoverable once the length prefix cannot be trusted).
+    """
+    header = recv_exact(sock, _HEADER.size)
+    magic, ftype_raw, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}: stream desynchronized")
+    if length > MAX_FRAME:
+        raise FrameError(f"announced body of {length} bytes exceeds MAX_FRAME")
+    try:
+        ftype = FrameType(ftype_raw)
+    except ValueError:
+        raise FrameError(f"unknown frame type {ftype_raw}") from None
+    body = recv_exact(sock, length)
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise FrameError(
+            f"undecodable frame body ({type(exc).__name__}: {exc})"
+        ) from None
+    return ftype, payload
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize one machine word for the wire (bit-exact round trip)."""
+    return pickle.dumps(value, protocol=4)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return pickle.loads(data)

@@ -1,0 +1,605 @@
+"""`SocketTransport`: the coordinator of the multi-process TCP mesh.
+
+The coordinator owns the model (memories, schedules, billing — all of
+:class:`~repro.model.network.LowBandwidthNetwork`) and delegates each
+scheduled model round to ``W`` real host processes
+(:mod:`repro.transport.host`), each hosting the model computers
+``{c : c % W == host_id}``.  One :meth:`SocketTransport.deliver_step`
+call is one barriered wire round:
+
+1. the coordinator groups the round's messages by source host and sends
+   every host a ``ROUND`` frame (its payloads to push plus how many
+   payloads it must receive);
+2. hosts move the words peer-to-peer as ``DATA``/``ACK`` frames with
+   idempotent resend (see :mod:`repro.transport.host`);
+3. each host reports ``BARRIER`` with the payloads its computers
+   received; the coordinator commits them and the model round is done.
+
+Failure handling is the point of this module.  Three detectors run
+while a barrier is outstanding — a host's control connection reaching
+EOF (a SIGKILLed process closes its sockets), heartbeat staleness
+(``miss_beats`` missed intervals catches *paused* processes whose
+sockets stay open), and explicit ``BARRIER_FAIL`` reports from peers
+whose ack/resend budget ran out.  Any of them converts into one fault
+verdict ``(host, detail)``.  While the respawn budget
+(``max_respawns``) lasts, the coordinator recovers: SIGKILL the corpse,
+spawn a replacement host, repair the mesh under a bumped generation
+number (``PEERS`` → ``MESH_OK`` handshake), and re-issue the in-flight
+round — receivers deduplicate by ``(step, msg_idx)``, so the re-issue
+is idempotent and the model sees nothing but wall-clock.  When the
+budget is exhausted the step raises :class:`~repro.transport.base.PeerDied`,
+which the network converts into a clean, context-carrying
+``NetworkError`` — graceful degradation, never a hang and never a
+silent result.
+
+The scheduling and billing happen in the network *before* delivery, so
+rounds and message counts over this transport are bit-identical to
+:class:`~repro.transport.base.LocalTransport` by construction; payload
+words round-trip bit-exactly through the framing layer.  Wire-level
+retries, reconnects, and respawns live strictly below the model and
+show up only in :meth:`stats` and wall-clock.
+
+A :meth:`arm_drill` hook injects *real* faults for tests and the CI
+smoke drill: after a chosen step's ``ROUND`` frames go out, a live host
+process is SIGKILLed (crash-stop) or SIGSTOPped (wedged peer) — not a
+:class:`~repro.model.faults.FaultPlan` simulation.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import signal
+import socket
+import threading
+import time
+import weakref
+from typing import Any, Sequence
+
+from repro.transport.base import (
+    PeerDied,
+    StepEntry,
+    Transport,
+    TransportConfig,
+    TransportError,
+)
+from repro.transport.framing import (
+    ConnectionClosed,
+    FrameError,
+    FrameType,
+    recv_frame,
+    send_frame,
+)
+from repro.transport.host import host_main, host_of
+
+__all__ = ["SocketTransport"]
+
+_POLL_S = 0.1
+
+#: every live transport, closed at interpreter exit so a forgotten
+#: close() never leaks host processes
+_LIVE: "weakref.WeakSet[SocketTransport]" = weakref.WeakSet()
+
+
+def _close_live_transports() -> None:
+    for transport in list(_LIVE):
+        try:
+            transport.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_transports)
+
+
+class _HostHandle:
+    """Coordinator-side view of one host process."""
+
+    __slots__ = (
+        "idx",
+        "proc",
+        "pid",
+        "port",
+        "conn",
+        "send_lock",
+        "alive",
+        "detail",
+        "last_beat",
+        "reader",
+    )
+
+    def __init__(self, idx: int, proc, pid: int, port: int, conn: socket.socket):
+        self.idx = idx
+        self.proc = proc
+        self.pid = pid
+        self.port = port
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.alive = True
+        self.detail: str | None = None
+        self.last_beat = time.monotonic()
+        self.reader: threading.Thread | None = None
+
+
+class SocketTransport(Transport):
+    """Real-wire delivery plane over a mesh of host processes."""
+
+    name = "tcp"
+    is_wire = True
+
+    def __init__(self, config: TransportConfig | None = None):
+        self.config = config or TransportConfig()
+        self.config.validate()
+        self._n: int | None = None
+        self._workers = 0
+        self._token = ""
+        self._listener: socket.socket | None = None
+        self._hosts: dict[int, _HostHandle] = {}
+        self._gen = 0
+        self._step = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        self._barriers: dict[tuple[int, int], dict[int, tuple]] = {}
+        self._fails: dict[tuple[int, int], list[tuple[int, str, Any]]] = {}
+        self._mesh_ok: dict[int, set[int]] = {}
+        self._drill: dict[str, Any] | None = None
+        self._stats: dict[str, Any] = {
+            "steps": 0,
+            "words": 0,
+            "respawns": 0,
+            "round_reissues": 0,
+            "barrier_fails": 0,
+            "heartbeats": 0,
+            "faults": [],
+        }
+        self._wire_counters: dict[str, int] = {}
+        _LIVE.add(self)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def ensure_started(self, n: int) -> None:
+        """Boot the mesh for ``n`` computers: spawn the host processes,
+        accept their HELLOs, distribute the peer directory, and start the
+        coordinator-side heartbeat monitor.  Idempotent for the same
+        ``n``; a different ``n`` on a live mesh is a ``TransportError``.
+        """
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._n is not None:
+            if n != self._n:
+                raise TransportError(
+                    f"transport already started for n={self._n}, cannot serve n={n}"
+                )
+            return
+        from repro.analysis.executor import preferred_context
+
+        self._n = int(n)
+        self._workers = max(1, min(self.config.workers, self._n))
+        self._token = secrets.token_hex(8)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.config.bind_host, 0))
+        self._listener.listen(max(4, self._workers))
+        self._listener.settimeout(_POLL_S)
+        coord_port = self._listener.getsockname()[1]
+
+        ctx = preferred_context()
+        deadline = (
+            time.monotonic() + self.config.timeout_ms / 1e3 + 2.0 * self._workers
+        )
+        procs = {}
+        for idx in range(self._workers):
+            proc = ctx.Process(
+                target=host_main,
+                args=(
+                    idx,
+                    self.config.bind_host,
+                    coord_port,
+                    self._token,
+                    self.config,
+                    self._workers,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs[idx] = proc
+        while len(self._hosts) < self._workers and time.monotonic() < deadline:
+            handle = self._accept_hello(deadline)
+            if handle is None:
+                continue
+            handle.proc = procs.get(handle.idx, handle.proc)
+            self._install_handle(handle)
+        if len(self._hosts) < self._workers:
+            missing = sorted(set(range(self._workers)) - set(self._hosts))
+            self.close()
+            raise TransportError(
+                f"mesh startup failed: hosts {missing} never said HELLO"
+            )
+        self._broadcast_peers()
+        self._await_mesh_ok(self._gen, deadline)
+
+    def _accept_hello(self, deadline: float) -> _HostHandle | None:
+        """Accept one control connection; first frame must be a valid
+        HELLO.  Returns ``None`` on a poll timeout (caller re-checks its
+        own deadline)."""
+        assert self._listener is not None
+        try:
+            conn, _addr = self._listener.accept()
+        except socket.timeout:
+            return None
+        except OSError as exc:
+            raise TransportError(f"coordinator listener failed: {exc}") from exc
+        try:
+            conn.settimeout(max(0.1, deadline - time.monotonic()))
+            ftype, payload = recv_frame(conn)
+            if ftype != FrameType.HELLO or payload[1] != self._token:
+                conn.close()
+                return None
+            host_id, _token, listen_port, pid = payload
+        except (ConnectionClosed, FrameError, OSError, socket.timeout):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return None
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.settimeout(_POLL_S)
+        return _HostHandle(int(host_id), None, int(pid), int(listen_port), conn)
+
+    def _install_handle(self, handle: _HostHandle) -> None:
+        old = self._hosts.get(handle.idx)
+        if old is not None:
+            old.alive = False
+            try:
+                old.conn.close()
+            except OSError:
+                pass
+        self._hosts[handle.idx] = handle
+        reader = threading.Thread(
+            target=self._ctl_reader, args=(handle,), daemon=True
+        )
+        handle.reader = reader
+        reader.start()
+
+    def _ctl_reader(self, handle: _HostHandle) -> None:
+        """Drain one host's control stream into coordinator state."""
+        while handle.alive and not self._closed:
+            try:
+                ftype, payload = recv_frame(handle.conn)
+            except socket.timeout:
+                continue
+            except (ConnectionClosed, FrameError, OSError):
+                with self._cond:
+                    if handle.alive:
+                        handle.alive = False
+                        handle.detail = "control connection lost"
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                if ftype == FrameType.HEARTBEAT:
+                    handle.last_beat = time.monotonic()
+                    self._stats["heartbeats"] += 1
+                elif ftype == FrameType.BARRIER:
+                    step, gen, host_id, delivered, counters = payload
+                    self._barriers.setdefault((step, gen), {})[host_id] = (
+                        delivered,
+                        counters,
+                    )
+                elif ftype == FrameType.BARRIER_FAIL:
+                    step, gen, host_id, reason, suspect = payload
+                    self._fails.setdefault((step, gen), []).append(
+                        (host_id, reason, suspect)
+                    )
+                    self._stats["barrier_fails"] += 1
+                elif ftype == FrameType.MESH_OK:
+                    host_id, gen = payload
+                    self._mesh_ok.setdefault(gen, set()).add(host_id)
+                self._cond.notify_all()
+
+    def _send(self, handle: _HostHandle, ftype: FrameType, payload: Any) -> bool:
+        if not handle.alive:
+            return False
+        try:
+            with handle.send_lock:
+                send_frame(handle.conn, ftype, payload)
+            return True
+        except OSError:
+            with self._cond:
+                handle.alive = False
+                handle.detail = handle.detail or "control send failed"
+                self._cond.notify_all()
+            return False
+
+    def _broadcast_peers(self) -> None:
+        ports = {idx: h.port for idx, h in self._hosts.items()}
+        for handle in self._hosts.values():
+            self._send(handle, FrameType.PEERS, (self._gen, ports))
+
+    def _await_mesh_ok(self, gen: int, deadline: float) -> None:
+        wanted = set(self._hosts)
+        with self._cond:
+            while time.monotonic() < deadline:
+                if wanted <= self._mesh_ok.get(gen, set()):
+                    return
+                self._cond.wait(timeout=_POLL_S)
+        missing = sorted(wanted - self._mesh_ok.get(gen, set()))
+        self.close()
+        raise TransportError(
+            f"mesh establishment (gen {gen}) timed out waiting for hosts {missing}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+    def deliver_step(
+        self, entries: Sequence[StepEntry], *, label: str, round_no: int
+    ) -> dict[int, bytes]:
+        """Execute one scheduled wire round on the mesh: fan the entries
+        out to their source hosts, let the hosts exchange DATA/ACK over
+        their peer connections, and barrier until every live host reports
+        the step complete.  A host crash mid-step triggers respawn and a
+        re-issue of the whole step (delivery is idempotent per
+        ``(step, msg_idx)``); past the respawn budget raises
+        :class:`~repro.transport.base.PeerDied`.
+        """
+        if self._closed:
+            raise TransportError("transport is closed")
+        if self._n is None:
+            raise TransportError("transport not started (call ensure_started)")
+        if not entries:
+            return {}
+        self._step += 1
+        step = self._step
+        while True:
+            gen = self._gen
+            sends: dict[int, list] = {idx: [] for idx in self._hosts}
+            expect: dict[int, int] = {idx: 0 for idx in self._hosts}
+            for entry in entries:
+                msg_idx, src, dst, payload = entry
+                sends[host_of(src, self._workers)].append(
+                    (msg_idx, src, dst, payload)
+                )
+                expect[host_of(dst, self._workers)] += 1
+            for idx, handle in list(self._hosts.items()):
+                self._send(
+                    handle,
+                    FrameType.ROUND,
+                    (step, gen, round_no, label, sends[idx], expect[idx]),
+                )
+            self._maybe_fire_drill(step)
+            fault = self._await_barriers(step, gen)
+            if fault is None:
+                with self._cond:
+                    reports = self._barriers.pop((step, gen))
+                    for key in [k for k in self._barriers if k[0] == step]:
+                        del self._barriers[key]
+                    for key in [k for k in self._fails if k[0] == step]:
+                        del self._fails[key]
+                merged: dict[int, bytes] = {}
+                for delivered, counters in reports.values():
+                    merged.update(dict(delivered))
+                    for name, value in counters.items():
+                        self._wire_counters[name] = (
+                            self._wire_counters.get(name, 0) + int(value)
+                        )
+                if len(merged) != len(entries):
+                    raise TransportError(
+                        f"step {step} ({label!r}): {len(merged)} payloads "
+                        f"delivered, {len(entries)} expected"
+                    )
+                self._stats["steps"] += 1
+                self._stats["words"] += len(entries)
+                return merged
+            host_id, detail = fault
+            self._recover(host_id, detail, label=label, round_no=round_no)
+            self._stats["round_reissues"] += 1
+
+    def _await_barriers(self, step: int, gen: int) -> tuple[int, str] | None:
+        """Wait until every host barriers, or a fault verdict emerges."""
+        deadline = time.monotonic() + self.config.timeout_ms / 1e3
+        stale_s = self.config.miss_beats * self.config.heartbeat_ms / 1e3
+        with self._cond:
+            while True:
+                done = self._barriers.get((step, gen), {})
+                if set(self._hosts) <= set(done):
+                    return None
+                waiting = [h for i, h in self._hosts.items() if i not in done]
+                for host_id, reason, suspect in self._fails.get((step, gen), []):
+                    if isinstance(suspect, int) and suspect in self._hosts:
+                        return suspect, f"host {host_id} reported: {reason}"
+                    stalest = max(
+                        waiting or self._hosts.values(),
+                        key=lambda h: time.monotonic() - h.last_beat,
+                    )
+                    return stalest.idx, (
+                        f"host {host_id} reported: {reason} "
+                        f"(stalest peer selected)"
+                    )
+                now = time.monotonic()
+                for handle in waiting:
+                    if not handle.alive:
+                        return handle.idx, handle.detail or "control connection lost"
+                    if now - handle.last_beat > stale_s:
+                        return handle.idx, (
+                            f"missed {self.config.miss_beats} heartbeats "
+                            f"({now - handle.last_beat:.2f}s silent)"
+                        )
+                if now >= deadline:
+                    return waiting[0].idx, "barrier deadline exceeded"
+                self._cond.wait(timeout=0.02)
+
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+    def _recover(
+        self, host_id: int, detail: str, *, label: str, round_no: int
+    ) -> None:
+        """Replace a crashed host and repair the mesh, or abort typed."""
+        event = {
+            "host": host_id,
+            "detail": detail,
+            "step": self._step,
+            "label": label,
+            "round": round_no,
+        }
+        self._stats["faults"].append(event)
+        handle = self._hosts.get(host_id)
+        if self._stats["respawns"] >= self.config.max_respawns:
+            event["action"] = "abort"
+            raise PeerDied(host_id, detail)
+        event["action"] = "respawn"
+        self._stats["respawns"] += 1
+        if handle is not None:
+            self._reap(handle)
+        from repro.analysis.executor import preferred_context
+
+        self._gen += 1
+        gen = self._gen
+        deadline = time.monotonic() + self.config.timeout_ms / 1e3 + 2.0
+        proc = preferred_context().Process(
+            target=host_main,
+            args=(
+                host_id,
+                self.config.bind_host,
+                self._listener.getsockname()[1],
+                self._token,
+                self.config,
+                self._workers,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        replacement = None
+        while replacement is None and time.monotonic() < deadline:
+            accepted = self._accept_hello(deadline)
+            if accepted is not None and accepted.idx == host_id:
+                replacement = accepted
+            elif accepted is not None:
+                try:
+                    accepted.conn.close()
+                except OSError:
+                    pass
+        if replacement is None:
+            raise PeerDied(host_id, f"{detail}; respawned host never said HELLO")
+        replacement.proc = proc
+        self._install_handle(replacement)
+        self._broadcast_peers()
+        try:
+            self._await_mesh_ok(gen, deadline)
+        except TransportError as exc:
+            raise PeerDied(host_id, f"{detail}; mesh repair failed: {exc}") from exc
+
+    def _reap(self, handle: _HostHandle) -> None:
+        """Make sure a faulted host process is actually dead."""
+        with self._cond:
+            handle.alive = False
+            self._cond.notify_all()
+        try:
+            os.kill(handle.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+        if handle.proc is not None:
+            try:
+                handle.proc.join(timeout=2.0)
+            except Exception:
+                pass
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # fault drill (real signals against live processes)
+    # ------------------------------------------------------------------ #
+    def arm_drill(
+        self, *, kind: str = "kill", after_step: int = 1, host: int | None = None
+    ) -> None:
+        """Arm a one-shot real fault: once ``after_step`` steps have been
+        dispatched, SIGKILL (``kind="kill"``) or SIGSTOP
+        (``kind="pause"``) a live host process mid-round."""
+        if kind not in ("kill", "pause"):
+            raise ValueError(f"drill kind must be 'kill' or 'pause', got {kind!r}")
+        if after_step < 1:
+            raise ValueError("drill after_step must be >= 1")
+        self._drill = {
+            "kind": kind,
+            "after_step": int(after_step),
+            "host": host,
+            "fired": False,
+        }
+
+    def _maybe_fire_drill(self, step: int) -> None:
+        drill = self._drill
+        if drill is None or drill["fired"] or step < drill["after_step"]:
+            return
+        host_id = drill["host"]
+        if host_id is None:
+            host_id = max(self._hosts)
+        handle = self._hosts.get(host_id)
+        if handle is None or not handle.alive:
+            return
+        sig = signal.SIGKILL if drill["kind"] == "kill" else signal.SIGSTOP
+        try:
+            os.kill(handle.pid, sig)
+        except (OSError, ProcessLookupError):
+            pass
+        drill["fired"] = True
+        drill["fired_step"] = step
+        drill["fired_host"] = host_id
+        drill["fired_pid"] = handle.pid
+        self._stats["drill"] = dict(drill)
+
+    # ------------------------------------------------------------------ #
+    # introspection / teardown
+    # ------------------------------------------------------------------ #
+    def hosts(self) -> list[tuple[int, int, bool]]:
+        """``(host_id, pid, alive)`` for every current host process."""
+        return [(h.idx, h.pid, h.alive) for h in self._hosts.values()]
+
+    def stats(self) -> dict[str, Any]:
+        """Report mesh activity: steps/words, respawns, round re-issues,
+        faults, the armed drill, and the summed per-host wire counters
+        (``resends``, ``reconnects``, ``acks_sent``, ...)."""
+        out = dict(self._stats)
+        out["transport"] = self.name
+        out["workers"] = self._workers
+        out["generation"] = self._gen
+        out["wire"] = dict(self._wire_counters)
+        if self._drill is not None:
+            out.setdefault("drill", dict(self._drill))
+        return out
+
+    def close(self) -> None:
+        """Shut the mesh down: SHUTDOWN every live host, join briefly,
+        SIGKILL stragglers, and release every socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in list(self._hosts.values()):
+            if handle.alive:
+                self._send(handle, FrameType.SHUTDOWN, ())
+        deadline = time.monotonic() + 2.0
+        for handle in list(self._hosts.values()):
+            if handle.proc is not None:
+                try:
+                    handle.proc.join(timeout=max(0.1, deadline - time.monotonic()))
+                except Exception:
+                    pass
+            try:
+                os.kill(handle.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._hosts.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        _LIVE.discard(self)

@@ -258,3 +258,108 @@ def test_reads_real_environment(monkeypatch, tmp_path):
     assert env_cache_dir() is None
     assert env_cert_checks() == 20
     assert env_checkpoint_dir() is None
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_SERVE_JOB_TIMEOUT_S
+# ---------------------------------------------------------------------- #
+def test_serve_job_timeout_unset_or_empty_returns_default():
+    from repro.envconfig import SERVE_JOB_TIMEOUT_VAR, env_serve_job_timeout_s
+
+    assert env_serve_job_timeout_s(environ={}) == 0.0
+    assert env_serve_job_timeout_s(default=3.5, environ={}) == 3.5
+    assert env_serve_job_timeout_s(environ={SERVE_JOB_TIMEOUT_VAR: "  "}) == 0.0
+
+
+def test_serve_job_timeout_valid_values_parse():
+    from repro.envconfig import SERVE_JOB_TIMEOUT_VAR, env_serve_job_timeout_s
+
+    assert env_serve_job_timeout_s(environ={SERVE_JOB_TIMEOUT_VAR: "2.5"}) == 2.5
+    assert env_serve_job_timeout_s(environ={SERVE_JOB_TIMEOUT_VAR: " 10 "}) == 10.0
+    assert env_serve_job_timeout_s(environ={SERVE_JOB_TIMEOUT_VAR: "0"}) == 0.0
+
+
+def test_serve_job_timeout_rejects_garbage_and_out_of_range():
+    from repro.envconfig import SERVE_JOB_TIMEOUT_VAR, env_serve_job_timeout_s
+
+    for bad in ("fast", "-1", "-0.5", "nan", "inf"):
+        with pytest.raises(EnvConfigError, match=SERVE_JOB_TIMEOUT_VAR):
+            env_serve_job_timeout_s(environ={SERVE_JOB_TIMEOUT_VAR: bad})
+
+
+# ---------------------------------------------------------------------- #
+# REPRO_TRANSPORT / REPRO_TRANSPORT_TIMEOUT_MS / REPRO_TRANSPORT_HEARTBEAT_MS
+# ---------------------------------------------------------------------- #
+def test_transport_unset_or_empty_returns_default():
+    from repro.envconfig import TRANSPORT_VAR, env_transport
+
+    assert env_transport(environ={}) == "local"
+    assert env_transport(default="tcp", environ={}) == "tcp"
+    assert env_transport(environ={TRANSPORT_VAR: ""}) == "local"
+
+
+def test_transport_valid_choices_parse_case_insensitively():
+    from repro.envconfig import TRANSPORT_VAR, env_transport
+
+    assert env_transport(environ={TRANSPORT_VAR: "local"}) == "local"
+    assert env_transport(environ={TRANSPORT_VAR: "tcp"}) == "tcp"
+    assert env_transport(environ={TRANSPORT_VAR: " TCP "}) == "tcp"
+
+
+def test_transport_rejects_unknown_planes():
+    from repro.envconfig import TRANSPORT_VAR, env_transport
+
+    for bad in ("udp", "mpi", "1", "carrier-pigeon"):
+        with pytest.raises(EnvConfigError, match=TRANSPORT_VAR):
+            env_transport(environ={TRANSPORT_VAR: bad})
+
+
+def test_transport_timeout_parses_and_rejects():
+    from repro.envconfig import TRANSPORT_TIMEOUT_VAR, env_transport_timeout_ms
+
+    assert env_transport_timeout_ms(environ={}) == 5000.0
+    assert (
+        env_transport_timeout_ms(environ={TRANSPORT_TIMEOUT_VAR: "2500"}) == 2500.0
+    )
+    assert (
+        env_transport_timeout_ms(environ={TRANSPORT_TIMEOUT_VAR: " 1e4 "}) == 10000.0
+    )
+    for bad in ("soon", "0", "-100", "nan", "inf"):
+        with pytest.raises(EnvConfigError, match=TRANSPORT_TIMEOUT_VAR):
+            env_transport_timeout_ms(environ={TRANSPORT_TIMEOUT_VAR: bad})
+
+
+def test_transport_heartbeat_parses_and_rejects():
+    from repro.envconfig import (
+        TRANSPORT_HEARTBEAT_VAR,
+        env_transport_heartbeat_ms,
+    )
+
+    assert env_transport_heartbeat_ms(environ={}) == 100.0
+    assert (
+        env_transport_heartbeat_ms(environ={TRANSPORT_HEARTBEAT_VAR: "50"}) == 50.0
+    )
+    for bad in ("x", "0", "-5", "nan", "inf"):
+        with pytest.raises(EnvConfigError, match=TRANSPORT_HEARTBEAT_VAR):
+            env_transport_heartbeat_ms(environ={TRANSPORT_HEARTBEAT_VAR: bad})
+
+
+def test_transport_knobs_flow_into_transport_config(monkeypatch):
+    """The env knobs reach TransportConfig.from_env — and its cross-field
+    liveness rule still applies on top of per-variable validation."""
+    from repro.transport import TransportConfig
+
+    cfg = TransportConfig.from_env(
+        environ={
+            "REPRO_TRANSPORT_TIMEOUT_MS": "4000",
+            "REPRO_TRANSPORT_HEARTBEAT_MS": "200",
+        }
+    )
+    assert cfg.timeout_ms == 4000.0 and cfg.heartbeat_ms == 200.0
+    with pytest.raises(ValueError, match="liveness"):
+        TransportConfig.from_env(
+            environ={
+                "REPRO_TRANSPORT_TIMEOUT_MS": "400",
+                "REPRO_TRANSPORT_HEARTBEAT_MS": "100",
+            }
+        )

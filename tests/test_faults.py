@@ -385,3 +385,92 @@ def test_targeted_drop_ordinals_count_only_wired_messages():
     # the next phase's wired messages hold ordinals 2 and 3: index 1 drops
     assert not pf2.deliver[1]
     assert pf2.deliver[3]
+
+
+# ---------------------------------------------------------------------- #
+# backoff_schedule: the closed form shared by the model and the wire
+# ---------------------------------------------------------------------- #
+def test_backoff_schedule_closed_form():
+    from repro.model.faults import backoff_schedule
+
+    assert backoff_schedule(base=1, cap=8, retries=0) == []
+    assert backoff_schedule(base=1, cap=8, retries=5) == [1, 2, 4, 8, 8]
+    assert backoff_schedule(base=3, cap=7, retries=4) == [3, 6, 7, 7]
+    # cap == base: every wait sits on the cap edge
+    assert backoff_schedule(base=2, cap=2, retries=4) == [2, 2, 2, 2]
+    # float inputs (the wire's milliseconds) stay floats
+    assert backoff_schedule(base=50.0, cap=400.0, retries=4) == [
+        50.0, 100.0, 200.0, 400.0,
+    ]
+    with pytest.raises(ValueError, match="retries"):
+        backoff_schedule(base=1, cap=8, retries=-1)
+    with pytest.raises(ValueError, match="base"):
+        backoff_schedule(base=4, cap=2, retries=1)
+
+
+def _crashed_receiver_net(cfg):
+    """A 4-computer network where computer 1 is dead from round 0."""
+    net = LowBandwidthNetwork(
+        4, fault_plan=FaultPlan(crashes={1: 0}), resilience=cfg
+    )
+    net.deal(0, "k", 1.0)
+    return net
+
+
+def test_retry_exhaustion_max_retries_zero_terminates_immediately():
+    """`max_retries=0` must fail after exactly one delivery attempt —
+    no retries, no backoff, no spin."""
+    cfg = ResilienceConfig(max_retries=0)
+    net = _crashed_receiver_net(cfg)
+    rex = ResilientExchange(net, cfg)
+    with pytest.raises(NetworkError, match="unrecoverable"):
+        rex.exchange_arrays(
+            np.array([0]), np.array([1]), ["k"], ["k"], label="p"
+        )
+    counts = net._injector.counts
+    assert counts["unrecoverable"] == 1
+    assert counts["backoff_rounds"] == 0
+    assert counts["retry_phases"] == 0
+
+
+def test_retry_exhaustion_billed_backoff_matches_closed_form_sum():
+    """Every idle round the protocol burns must equal the closed-form
+    schedule sum(min(base * 2**(t-1), cap) for t in 1..retries)."""
+    from repro.model.faults import backoff_schedule
+
+    for base, cap, retries in [(1, 4, 3), (1, 8, 5), (2, 2, 4), (3, 7, 6)]:
+        cfg = ResilienceConfig(
+            max_retries=retries,
+            backoff_base=base,
+            backoff_cap=cap,
+            on_unrecoverable="record",
+        )
+        net = _crashed_receiver_net(cfg)
+        rex = ResilientExchange(net, cfg)
+        rex.exchange_arrays(
+            np.array([0]), np.array([1]), ["k"], ["k"], label="p"
+        )
+        counts = net._injector.counts
+        expected = sum(backoff_schedule(base=base, cap=cap, retries=retries))
+        assert counts["backoff_rounds"] == expected, (base, cap, retries)
+        assert counts["retry_phases"] == retries
+        assert counts["unrecoverable"] == 1
+        # the backoff rounds are billed in the phase summary, not free
+        summary = net.phase_summary()
+        assert sum(r for r, _m in summary.values()) == net.rounds
+
+
+def test_retry_exhaustion_on_cap_edge_terminates_with_unrecoverable():
+    """A capped schedule (every wait == cap) must still terminate: the
+    budget is counted in retries, never in elapsed backoff."""
+    cfg = ResilienceConfig(
+        max_retries=7, backoff_base=8, backoff_cap=8, on_unrecoverable="raise"
+    )
+    net = _crashed_receiver_net(cfg)
+    rex = ResilientExchange(net, cfg)
+    with pytest.raises(NetworkError, match="unrecoverable"):
+        rex.exchange_arrays(
+            np.array([0]), np.array([1]), ["k"], ["k"], label="p"
+        )
+    assert net._injector.counts["unrecoverable"] == 1
+    assert net._injector.counts["backoff_rounds"] == 7 * 8

@@ -495,3 +495,88 @@ def test_synthetic_load_coalesces_and_matches_serial_ground_truth():
         assert serial.ok and served.ok
         assert _same_values(serial.x, served.x)
         assert serial.value == served.value
+
+
+# ---------------------------------------------------------------------- #
+# Job deadlines: wedged workers are killed, never waited on forever
+# ---------------------------------------------------------------------- #
+def _wedge_forever(jobs):
+    import time
+
+    time.sleep(60)
+    raise AssertionError("the deadline should have killed this worker")
+
+
+def _fork_only():
+    from repro.analysis.executor import preferred_context
+
+    return preferred_context().get_start_method() != "fork"
+
+
+@pytest.mark.skipif(
+    _fork_only(), reason="wedge injection rides fork-inherited monkeypatching"
+)
+def test_pool_deadline_kills_wedged_worker_and_raises_typed(monkeypatch):
+    import repro.serve.pool as pool_mod
+    from repro.serve import DeadlineExceeded
+
+    monkeypatch.setattr(pool_mod, "execute_batch", _wedge_forever)
+    inst = _base_instance(n=12, d=2, seed=21)
+    with ServePool(1, job_timeout_s=0.25) as pool:
+        with pytest.raises(DeadlineExceeded) as ei:
+            pool.run_batch([multiply_job("t", inst)])
+        assert ei.value.jobs == 1
+        assert ei.value.deadline_s == 0.25
+        assert ei.value.elapsed_s >= 0.25
+        assert "wedged worker killed" in str(ei.value)
+        stats = pool.stats()
+        assert stats["deadline_exceeded"] == 1
+        assert stats["worker_replacements"] == 1
+        assert stats["alive"] == 1  # a fresh worker is back in service
+
+
+@pytest.mark.skipif(
+    _fork_only(), reason="wedge injection rides fork-inherited monkeypatching"
+)
+def test_frontend_deadline_fails_jobs_with_partial_bill(monkeypatch):
+    import repro.serve.pool as pool_mod
+
+    monkeypatch.setattr(pool_mod, "execute_batch", _wedge_forever)
+    inst = _base_instance(n=12, d=2, seed=22)
+
+    async def main():
+        cfg = ServeConfig(workers=1, batch_window_ms=1.0, job_timeout_s=0.25)
+        async with ServeFrontend(cfg) as fe:
+            res = await fe.submit(multiply_job("tenant-a", inst))
+            return res, fe.stats()
+
+    res, stats = _drive(main())
+    # the job fails typed — never hangs, never silently succeeds
+    assert not res.ok
+    assert "DeadlineExceeded" in res.error
+    assert res.x is None
+    # partial billing: the wasted wall is on the tenant's bill
+    assert res.wall_s >= 0.25
+    assert stats["deadline_exceeded_jobs"] == 1
+    assert stats["pool"]["deadline_exceeded"] == 1
+    acct = stats["tenants"]["tenant-a"]
+    assert acct["failed"] == 1 and acct["completed"] == 0
+    assert acct["wall_s"] >= 0.25
+
+
+def test_job_timeout_validation_and_env():
+    assert ServeConfig().job_timeout_s == 0.0  # off by default
+    with pytest.raises(ValueError, match="job_timeout_s"):
+        ServeConfig(job_timeout_s=-1.0)
+    with pytest.raises(ValueError, match="job_timeout_s"):
+        ServePool(0, job_timeout_s=-0.5)
+    cfg = ServeConfig.from_env(environ={"REPRO_SERVE_JOB_TIMEOUT_S": "1.5"})
+    assert cfg.job_timeout_s == 1.5
+
+
+def test_pool_without_deadline_still_completes_normal_batches():
+    inst = _base_instance(n=12, d=2, seed=23)
+    with ServePool(0, job_timeout_s=5.0) as pool:
+        out = pool.run_batch([multiply_job("t", inst)])
+        assert out[0].ok
+        assert pool.stats()["deadline_exceeded"] == 0

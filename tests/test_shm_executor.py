@@ -228,3 +228,93 @@ def test_record_stream_round_trip():
     for k in entries:
         assert np.array_equal(out[k], entries[k])
     _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------- #
+# SIGTERM hygiene: a terminated service leaves no /dev/shm segments and
+# no worker processes behind
+# ---------------------------------------------------------------------- #
+def test_cleanup_all_closes_live_arenas():
+    arena = shm.ShmArena()
+    seg = arena.create(128)
+    name = seg.name
+    assert name in shm.active_segments()
+    shm.cleanup_all()
+    assert arena.closed
+    assert name not in shm.active_segments()
+    shm.cleanup_all()  # idempotent
+
+
+def test_sigterm_install_is_idempotent_and_chains():
+    assert shm.install_sigterm_cleanup()
+    assert shm.install_sigterm_cleanup()  # second call is a no-op
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+def test_sigterm_on_live_pool_leaves_no_segments(tmp_path):
+    """SIGTERM a process holding a ServePool and open arena segments:
+    the chained handler must unlink every repro segment, reap the
+    resident workers, and still die with the SIGTERM status."""
+    import subprocess
+    import sys
+    import time
+
+    script = tmp_path / "victim.py"
+    script.write_text(
+        """
+import os, sys, time
+import numpy as np
+from repro.analysis import shm
+from repro.serve import ServePool
+
+pool = ServePool(1)  # installs the SIGTERM hook, registers itself
+arena = shm.ShmArena()
+arena.share_array(np.arange(1024))
+arena.share_array(np.ones((64, 64)))
+worker_pid = pool._live[0]["proc"].pid
+print("READY", ",".join(shm.active_segments()), worker_pid, flush=True)
+time.sleep(60)  # wait to be SIGTERMed mid-service
+"""
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("READY"), (line, proc.stderr.read())
+        _, segments, worker_pid = line.split(" ")
+        segment_names = [s for s in segments.split(",") if s]
+        assert segment_names, "victim created no segments?"
+        worker_pid = int(worker_pid)
+
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=30)
+        assert rc == -signal.SIGTERM  # died *of* SIGTERM, post-cleanup
+
+        # every segment the victim created is gone from /dev/shm
+        leaked = set(segment_names) & set(shm.active_segments())
+        assert not leaked, f"leaked segments after SIGTERM: {leaked}"
+
+        # the resident worker was reaped, not orphaned
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                os.kill(worker_pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.1)
+        else:
+            os.kill(worker_pid, signal.SIGKILL)
+            raise AssertionError(f"worker {worker_pid} survived SIGTERM")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
